@@ -1,0 +1,43 @@
+//! Ablation: cardinality encoding (totalizer vs. sequential counter).
+//!
+//! The minimum-distance circuits are dominated by cardinality
+//! constraints, so the encoding choice moves the whole synthesizer.
+//! This bench solves forced-count queries under both encodings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fec_smt::{CardEncoding, Lit, SmtResult, SmtSolver};
+
+/// Build `n` flags, constrain `Σ ≤ k`, force `k` of them true, solve
+/// (SAT), then force one more (UNSAT).
+fn solve_boundary(n: usize, k: usize, enc: CardEncoding) {
+    let mut s = SmtSolver::new();
+    let xs: Vec<Lit> = (0..n).map(|_| s.fresh_lit()).collect();
+    s.at_most_k_with(&xs, k, enc);
+    for x in xs.iter().take(k) {
+        s.add_clause(&[*x]);
+    }
+    assert_eq!(s.solve(&[]), SmtResult::Sat);
+    s.add_clause(&[xs[k]]);
+    assert_eq!(s.solve(&[]), SmtResult::Unsat);
+}
+
+fn bench_card(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cardinality_boundary");
+    for &(n, k) in &[(40usize, 20usize), (80, 40), (120, 30)] {
+        for enc in [CardEncoding::Totalizer, CardEncoding::Sequential] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{enc:?}"), format!("n{n}_k{k}")),
+                &(n, k),
+                |b, &(n, k)| b.iter(|| solve_boundary(n, k, enc)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_card
+}
+criterion_main!(benches);

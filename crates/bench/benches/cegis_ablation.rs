@@ -1,0 +1,51 @@
+//! Ablation: counterexample granularity in the CEGIS loop.
+//!
+//! The paper blocks the entire candidate matrix (`makeCex`) and lists
+//! "smaller (more general) counterexamples" as future work (§6). This
+//! bench quantifies the gap on small synthesis problems: data-word
+//! counterexamples vs. whole-candidate blocking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::encode::CexMode;
+use fec_synth::spec::parse_property;
+use std::time::Duration;
+
+fn run(mode: CexMode, prop: &str) -> u64 {
+    let config = SynthesisConfig {
+        timeout: Duration::from_secs(60),
+        cex_mode: mode,
+        ..Default::default()
+    };
+    let p = parse_property(prop).expect("static property");
+    Synthesizer::new(config)
+        .run(&p)
+        .expect("synthesis must succeed")
+        .iterations
+}
+
+fn bench_cegis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cegis_counterexamples");
+    let problems = [
+        ("md3_k4", "len_d(G0) = 4 && len_c(G0) = 3 && md(G0) = 3"),
+        ("md4_k4", "len_d(G0) = 4 && len_c(G0) = 4 && md(G0) = 4"),
+        ("md3_k8", "len_d(G0) = 8 && len_c(G0) = 4 && md(G0) = 3"),
+    ];
+    for (name, prop) in problems {
+        for mode in [CexMode::DataWord, CexMode::BlockCandidate] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), name),
+                &prop,
+                |b, prop| b.iter(|| run(mode, prop)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(10));
+    targets = bench_cegis
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation: encoder specialization (Fig. 5's mechanism in isolation).
+//!
+//! Compares the three in-process kernels on generators of different
+//! coefficient densities: the mask+popcount kernel (cost ∝ check
+//! columns), the sparse term kernel (cost ∝ len_1 — the emitted-C
+//! analogue), and the naive cell-walk (cost ∝ k·c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fec_codegen::{MaskKernel, NaiveKernel, SparseKernel};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_checks_32bit");
+    // shortened Hamming (dense-ish) vs a handful of densities from the
+    // deterministic family
+    let dense = {
+        // ~50% fill with distinct weight-≥2 rows: a genuinely dense
+        // coefficient matrix (vs the 2-per-row sparse one below)
+        let mut p = fec_gf2::BitMatrix::zeros(32, 17);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..32 {
+            loop {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let row = (x >> 40) as u32 & 0x1FFFF;
+                if row.count_ones() >= 6 && seen.insert(row) {
+                    for c in 0..17 {
+                        p.set(r, c, (row >> c) & 1 == 1);
+                    }
+                    break;
+                }
+            }
+        }
+        fec_hamming::Generator::from_coefficients(p)
+    };
+    let sparse_code = {
+        // minimal-ones md-3 structure: two bits per row, staggered
+        let mut p = fec_gf2::BitMatrix::zeros(32, 17);
+        let mut combos = (0..17usize)
+            .flat_map(|a| ((a + 1)..17).map(move |b| (a, b)))
+            .take(32);
+        for r in 0..32 {
+            let (a, b) = combos.next().unwrap();
+            p.set(r, a, true);
+            p.set(r, b, true);
+        }
+        fec_hamming::Generator::from_coefficients(p)
+    };
+    for (name, g) in [("dense", &dense), ("sparse64", &sparse_code)] {
+        let ones = g.coefficient_ones();
+        let mask = MaskKernel::new(g);
+        let sparse = SparseKernel::new(g);
+        let naive = NaiveKernel::new(g);
+        group.bench_with_input(BenchmarkId::new("mask", format!("{name}_{ones}ones")), &(), |b, ()| {
+            let mut d = 0u64;
+            b.iter(|| {
+                d = d.wrapping_add(0x9E37_79B9);
+                mask.encode_checks(d & 0xFFFF_FFFF)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", format!("{name}_{ones}ones")), &(), |b, ()| {
+            let mut d = 0u64;
+            b.iter(|| {
+                d = d.wrapping_add(0x9E37_79B9);
+                sparse.encode_checks(d & 0xFFFF_FFFF)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", format!("{name}_{ones}ones")), &(), |b, ()| {
+            let mut d = 0u64;
+            b.iter(|| {
+                d = d.wrapping_add(0x9E37_79B9);
+                naive.encode_checks(d & 0xFFFF_FFFF)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kernels
+}
+criterion_main!(benches);

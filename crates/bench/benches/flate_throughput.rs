@@ -1,0 +1,50 @@
+//! gzip substrate throughput on the three regimes Fig. 6 exercises:
+//! sparse bit files, dense bit files, and incompressible noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fec_flate::{gzip_compress, gzip_decompress};
+
+fn corpus(kind: &str, len: usize) -> Vec<u8> {
+    match kind {
+        "sparse_ascii_bits" => (0..len)
+            .map(|i| if i % 13 == 0 { b'1' } else { b'0' })
+            .collect(),
+        "dense_ascii_bits" => (0..len)
+            .map(|i| if (i * 2654435761usize) & 1 == 0 { b'1' } else { b'0' })
+            .collect(),
+        "noise" => {
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            (0..len)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 33) as u8
+                })
+                .collect()
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn bench_flate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gzip");
+    let len = 64 * 1024;
+    group.throughput(Throughput::Bytes(len as u64));
+    for kind in ["sparse_ascii_bits", "dense_ascii_bits", "noise"] {
+        let data = corpus(kind, len);
+        group.bench_with_input(BenchmarkId::new("compress", kind), &data, |b, data| {
+            b.iter(|| gzip_compress(data))
+        });
+        let gz = gzip_compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress", kind), &gz, |b, gz| {
+            b.iter(|| gzip_decompress(gz).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_flate
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! The paper-intro block-code family tour: Hamming vs. Reed-Solomon
+//! vs. LDPC on the same binary symmetric channel.
+//!
+//! Each family runs at its natural operating point (the comparison is
+//! of *behavioural character*, not of codes at identical rate):
+//! Hamming corrects exactly one bit cheaply, RS corrects symbol bursts
+//! algebraically, LDPC corrects iteratively and degrades gracefully.
+//! Reported per BER: residual word error rate after decoding.
+//!
+//! ```text
+//! cargo run -p fec-bench --release --bin code_families [--trials=N]
+//! ```
+
+use fec_bench::{arg_u64, print_header, print_row};
+use fec_channel::bsc::Bsc;
+use fec_gf2::BitVec;
+use fec_hamming::{standards, CheckOutcome};
+use fec_ldpc::LdpcCode;
+use fec_rs::{GfTables, ReedSolomon};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let trials = arg_u64("trials", 3_000);
+    let hamming = standards::shortened_hamming(57, 6).unwrap(); // (63,57), corrects 1 bit
+    let field = GfTables::new(4).unwrap();
+    let rs = ReedSolomon::new(&field, 15, 11).unwrap(); // 60 bits, corrects 2 symbols
+    let ldpc = LdpcCode::gallager(96, 3, 6, 7).unwrap(); // ~rate 1/2, iterative
+
+    println!(
+        "Block-code families on the BSC ({trials} words per point; residual word error rate)"
+    );
+    println!(
+        "  Hamming (63,57) rate {:.2} | RS(15,11)/GF(16) rate {:.2} | LDPC (96,{}) rate {:.2}",
+        57.0 / 63.0,
+        11.0 / 15.0,
+        ldpc.data_len(),
+        ldpc.data_len() as f64 / 96.0
+    );
+    let widths = [8, 14, 16, 12];
+    print_header(&["BER", "Hamming(63,57)", "RS(15,11)", "LDPC(96)"], &widths);
+    for ber in [0.001, 0.003, 0.01, 0.03] {
+        let bsc = Bsc::new(ber);
+        let mut rng = SmallRng::seed_from_u64(0xFA_417 ^ ber.to_bits());
+
+        // Hamming: encode random 57-bit word, transmit, correct 1
+        let mut ham_err = 0u64;
+        for _ in 0..trials {
+            let mut data = BitVec::zeros(57);
+            for i in 0..57 {
+                if rng.random::<bool>() {
+                    data.set(i, true);
+                }
+            }
+            let clean = hamming.encode(&data);
+            let mut w = clean.clone();
+            bsc.transmit(&mut rng, &mut w);
+            if let CheckOutcome::SingleError { position } = hamming.check(&w) {
+                w.flip(position);
+            }
+            ham_err += u64::from(hamming.extract_data(&w) != data);
+        }
+
+        // RS: 11 nibbles, transmit 60 bits, decode
+        let mut rs_err = 0u64;
+        for _ in 0..trials {
+            let data: Vec<u16> = (0..11).map(|_| rng.random::<u16>() & 0xF).collect();
+            let clean = rs.encode(&data);
+            let mut bits = BitVec::zeros(60);
+            for (i, &s) in clean.iter().enumerate() {
+                for j in 0..4 {
+                    bits.set(i * 4 + j, (s >> j) & 1 == 1);
+                }
+            }
+            bsc.transmit(&mut rng, &mut bits);
+            let mut rx: Vec<u16> = (0..15)
+                .map(|i| {
+                    let mut s = 0u16;
+                    for j in 0..4 {
+                        s |= u16::from(bits.get(i * 4 + j)) << j;
+                    }
+                    s
+                })
+                .collect();
+            let _ = rs.decode(&mut rx);
+            rs_err += u64::from(rx[..11] != data[..]);
+        }
+
+        // LDPC: encode, transmit, bit-flip decode
+        let mut ldpc_err = 0u64;
+        for _ in 0..trials {
+            let mut data = BitVec::zeros(ldpc.data_len());
+            for i in 0..data.len() {
+                if rng.random::<bool>() {
+                    data.set(i, true);
+                }
+            }
+            let clean = ldpc.encode(&data);
+            let mut w = clean.clone();
+            bsc.transmit(&mut rng, &mut w);
+            match ldpc.decode_bit_flipping(&w, 60) {
+                Some(fixed) if fixed == clean => {}
+                _ => ldpc_err += 1,
+            }
+        }
+
+        print_row(
+            &[
+                format!("{ber}"),
+                rate(ham_err, trials),
+                rate(rs_err, trials),
+                rate(ldpc_err, trials),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\ncharacter: Hamming fails once two bits flip per 63-bit block; RS rides\n\
+         out 2 corrupted symbols per word; LDPC (lower rate) corrects the most\n\
+         at high BER. The paper's synthesis targets the Hamming end: short\n\
+         blocks, line-rate decoding, formally verified distance."
+    );
+}
+
+fn rate(errs: u64, trials: u64) -> String {
+    format!("{:.4}", errs as f64 / trials as f64)
+}

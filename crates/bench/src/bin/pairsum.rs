@@ -1,0 +1,80 @@
+//! §6 (future work): 2-bit-error detection via unique pair sums.
+//!
+//! Reproduces the paper's closing example: the (7,4) code cannot
+//! distinguish the displayed 2-bit error from a 1-bit error, while the
+//! extended 15-check-bit construction can. Also SAT-verifies the
+//! extended code's minimum distance (the paper says 3; the displayed
+//! construction actually achieves 5 — see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run -p fec-bench --release --bin pairsum
+//! ```
+
+use fec_gf2::BitVec;
+use fec_hamming::pairsum::{classify_pair_sums, paper_section6_extended, PairSumStatus};
+use fec_hamming::standards;
+use fec_smt::Budget;
+use fec_synth::verify::sat_min_distance;
+
+fn main() {
+    let g74 = standards::hamming_7_4();
+    println!("plain (7,4): pair-sum status = {:?}", classify_pair_sums(&g74));
+
+    // the paper's worked example: flip codeword bits 1 and 4 of
+    // (0011|100); the syndrome equals another single column's value
+    let w = g74.encode(&BitVec::from_bitstring("0011").unwrap());
+    let mut bad = w.clone();
+    bad.flip(1);
+    bad.flip(4);
+    println!(
+        "two-bit flip on (7,4) classified as: {:?}  (cannot be told from a 1-bit error)",
+        g74.check(&bad)
+    );
+
+    let ext = paper_section6_extended();
+    println!(
+        "\nextended code: k={}, c={}, pair-sum status = {:?}",
+        ext.data_len(),
+        ext.check_len(),
+        classify_pair_sums(&ext)
+    );
+    assert_eq!(classify_pair_sums(&ext), PairSumStatus::Distinguishable);
+    let (md, stats) = sat_min_distance(&ext, Budget::unlimited());
+    println!(
+        "SAT-verified minimum distance of the extended code: {:?} ({:.2} s)\n\
+         (paper text says 3; the construction as displayed achieves 5 — both ≥ 3)",
+        md,
+        stats.elapsed.as_secs_f64()
+    );
+
+    let w = ext.encode(&BitVec::from_bitstring("0011").unwrap());
+    let mut bad = w.clone();
+    bad.flip(1);
+    bad.flip(4);
+    println!(
+        "same 2-bit flip on the extended code: {:?}  (distinguishable)",
+        ext.check(&bad)
+    );
+
+    // the paper's §6 goal, realized: "adding number of correctable bit
+    // errors as a property … may allow us to correct multi-bit errors
+    // using fewer check bits than the above manually-crafted matrix"
+    println!("\nsynthesizing with the new corr(G0) >= 2 property …");
+    let prop = fec_synth::spec::parse_property(
+        "len_d(G0) = 4 && 2 <= len_c(G0) <= 14 && corr(G0) >= 2 && minimal(len_c(G0))",
+    )
+    .expect("static property");
+    let r = fec_synth::cegis::Synthesizer::new(fec_synth::cegis::SynthesisConfig::default())
+        .run(&prop)
+        .expect("synthesis");
+    let g = &r.generators[0];
+    println!(
+        "synthesized a 2-bit-error-correcting code with {} check bits \
+         (manual §6 construction: 11) in {} iterations:\n{}",
+        g.check_len(),
+        r.iterations,
+        g
+    );
+    let (md, _) = sat_min_distance(g, Budget::unlimited());
+    println!("SAT-verified minimum distance: {md:?} (corr = {})", (md.unwrap() - 1) / 2);
+}

@@ -1,0 +1,64 @@
+//! §4.1: formally verify the 802.3df-shape (128,120) Hamming code.
+//!
+//! The paper verifies (a) that the code has minimum distance 3
+//! (14.40 s on their machine) and (b) that it does NOT have minimum
+//! distance 4 (122.58 s). Absolute times differ on our solver and
+//! hardware; the verdicts are what is reproduced.
+//!
+//! ```text
+//! cargo run -p fec-bench --release --bin verify_8023df
+//! ```
+
+use fec_hamming::standards;
+use fec_smt::Budget;
+use fec_synth::verify::{verify_min_distance_exact, VerifyOutcome};
+
+fn main() {
+    let g = standards::ieee_8023df_128_120();
+    println!(
+        "verifying the (128,120) inner Hamming code (k={}, c={}, {} coefficient ones)",
+        g.data_len(),
+        g.check_len(),
+        g.coefficient_ones()
+    );
+
+    let (outcome, stats) = verify_min_distance_exact(&g, 3, Budget::unlimited());
+    println!(
+        "md(G) = 3: {}  [{:.2} s, {} conflicts, {} solver calls]",
+        verdict(&outcome),
+        stats.elapsed.as_secs_f64(),
+        stats.conflicts,
+        stats.solve_calls
+    );
+    assert_eq!(outcome, VerifyOutcome::Holds, "the code must have md 3");
+
+    let (outcome, stats) = verify_min_distance_exact(&g, 4, Budget::unlimited());
+    println!(
+        "md(G) = 4: {}  [{:.2} s, {} conflicts, {} solver calls]",
+        verdict(&outcome),
+        stats.elapsed.as_secs_f64(),
+        stats.conflicts,
+        stats.solve_calls
+    );
+    assert!(
+        matches!(outcome, VerifyOutcome::Fails { .. }),
+        "the negated property must fail"
+    );
+    if let VerifyOutcome::Fails { witness: Some(x) } = outcome {
+        let w = g.encode(&x);
+        println!(
+            "  counterexample: data word of weight {} gives a codeword of weight {}",
+            x.count_ones(),
+            w.count_ones()
+        );
+    }
+    println!("paper: md=3 verified in 14.40 s; ¬(md=4) verified in 122.58 s (Z3 4.8.11, i9-10900K)");
+}
+
+fn verdict(o: &VerifyOutcome) -> &'static str {
+    match o {
+        VerifyOutcome::Holds => "HOLDS",
+        VerifyOutcome::Fails { .. } => "FAILS",
+        VerifyOutcome::Unknown => "UNKNOWN",
+    }
+}

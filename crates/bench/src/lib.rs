@@ -1,0 +1,78 @@
+//! Experiment harness: shared helpers for the per-table/figure
+//! binaries in `src/bin/` and the Criterion benchmarks in `benches/`.
+//!
+//! Every binary accepts `--quick` (scaled-down workload for smoke
+//! runs) and prints the same rows/series the paper reports; see
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+use std::time::Duration;
+
+/// Parses `--name=value` from the command line, with a default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `true` when `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+/// The standard trial count: the paper's 10,000,000, or 1,000,000
+/// under `--quick`, overridable with `--trials=N`.
+pub fn trial_count() -> u64 {
+    let default = if arg_flag("quick") { 1_000_000 } else { 10_000_000 };
+    arg_u64("trials", default)
+}
+
+/// Per-step synthesis timeout: the paper's 120 s, or 20 s under
+/// `--quick`, overridable with `--timeout=SECS`.
+pub fn synth_timeout() -> Duration {
+    let default = if arg_flag("quick") { 20 } else { 120 };
+    Duration::from_secs(arg_u64("timeout", default))
+}
+
+/// Worker threads for simulation harnesses.
+pub fn thread_count() -> usize {
+    arg_u64(
+        "threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get() as u64),
+    ) as usize
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a header row plus separator.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing_defaults() {
+        assert_eq!(arg_u64("definitely-not-set", 7), 7);
+        assert!(!arg_flag("definitely-not-set"));
+    }
+
+    #[test]
+    fn trial_count_has_paper_default() {
+        assert_eq!(trial_count(), 10_000_000);
+    }
+}

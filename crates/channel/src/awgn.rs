@@ -1,0 +1,136 @@
+//! BPSK over AWGN: the soft-output channel for Chase decoding.
+
+use fec_gf2::BitVec;
+use rand::{Rng, RngExt};
+
+/// An additive-white-Gaussian-noise channel for BPSK symbols
+/// (`0 → +1, 1 → −1`) at a given noise standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Awgn {
+    sigma: f64,
+}
+
+impl Awgn {
+    /// Channel with noise standard deviation `sigma > 0`.
+    pub fn new(sigma: f64) -> Awgn {
+        assert!(sigma > 0.0, "sigma must be positive");
+        Awgn { sigma }
+    }
+
+    /// Channel at a given Eb/N0 (dB) for a rate-`r` code:
+    /// `sigma² = 1 / (2 · r · 10^(EbN0/10))`.
+    pub fn from_ebn0_db(ebn0_db: f64, rate: f64) -> Awgn {
+        let ebn0 = 10f64.powf(ebn0_db / 10.0);
+        Awgn::new((1.0 / (2.0 * rate * ebn0)).sqrt())
+    }
+
+    /// The noise standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Hard-decision crossover probability of this channel,
+    /// `Q(1/σ)` — what an equivalent BSC would see.
+    pub fn equivalent_ber(&self) -> f64 {
+        q_function(1.0 / self.sigma)
+    }
+
+    /// Transmits a codeword, returning per-bit soft values
+    /// (sign = hard decision, magnitude = reliability).
+    pub fn transmit<R: Rng + ?Sized>(&self, rng: &mut R, word: &BitVec) -> Vec<f64> {
+        (0..word.len())
+            .map(|i| {
+                let x = if word.get(i) { -1.0 } else { 1.0 };
+                x + self.sigma * gaussian(rng)
+            })
+            .collect()
+    }
+}
+
+/// Standard normal sample (Box–Muller).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The Gaussian tail probability `Q(x) = P(N(0,1) > x)` via the
+/// complementary-error-function series (Abramowitz–Stegun 7.1.26,
+/// |error| < 1.5e-7).
+pub fn q_function(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - q_function(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * (x / std::f64::consts::SQRT_2));
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    0.5 * poly * (-x * x / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn q_function_known_values() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-6);
+        assert!((q_function(1.0) - 0.158655).abs() < 1e-4);
+        assert!((q_function(2.0) - 0.022750).abs() < 1e-4);
+        assert!((q_function(-1.0) - 0.841345).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ebn0_conversion() {
+        // rate 1/2 at 0 dB: sigma² = 1 ⇒ sigma = 1
+        let ch = Awgn::from_ebn0_db(0.0, 0.5);
+        assert!((ch.sigma() - 1.0).abs() < 1e-12);
+        // higher Eb/N0 ⇒ less noise
+        assert!(Awgn::from_ebn0_db(6.0, 0.5).sigma() < ch.sigma());
+    }
+
+    #[test]
+    fn empirical_ber_matches_q_function() {
+        let ch = Awgn::new(0.8);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let word = BitVec::zeros(1000); // all +1 symbols
+        let mut errors = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            for v in ch.transmit(&mut rng, &word) {
+                if v < 0.0 {
+                    errors += 1;
+                }
+            }
+        }
+        let rate = errors as f64 / (1000 * trials) as f64;
+        let expect = ch.equivalent_ber();
+        assert!(
+            (rate - expect).abs() / expect < 0.1,
+            "empirical {rate} vs Q {expect}"
+        );
+    }
+
+    #[test]
+    fn soft_values_average_to_symbols() {
+        let ch = Awgn::new(0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut word = BitVec::zeros(4000);
+        for i in 0..2000 {
+            word.set(i, true); // first half −1, second half +1
+        }
+        let soft = ch.transmit(&mut rng, &word);
+        let mean_ones: f64 = soft[..2000].iter().sum::<f64>() / 2000.0;
+        let mean_zeros: f64 = soft[2000..].iter().sum::<f64>() / 2000.0;
+        assert!((mean_ones + 1.0).abs() < 0.1, "mean {mean_ones}");
+        assert!((mean_zeros - 1.0).abs() < 0.1, "mean {mean_zeros}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_sigma() {
+        Awgn::new(0.0);
+    }
+}

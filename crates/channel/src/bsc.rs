@@ -1,0 +1,155 @@
+//! The binary symmetric channel.
+
+use fec_gf2::BitVec;
+use rand::{Rng, RngExt};
+
+/// A binary symmetric channel: every transmitted bit flips
+/// independently with probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Bsc {
+    p: f64,
+    /// Pre-computed `1 / ln(1 - p)` for geometric skip sampling.
+    inv_log_q: f64,
+}
+
+impl Bsc {
+    /// Creates a channel with bit-error probability `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f64) -> Bsc {
+        assert!((0.0..1.0).contains(&p), "bit-error probability {p} out of range");
+        Bsc {
+            p,
+            inv_log_q: if p > 0.0 { 1.0 / (1.0 - p).ln() } else { 0.0 },
+        }
+    }
+
+    /// The channel's bit-error probability.
+    pub fn bit_error_rate(&self) -> f64 {
+        self.p
+    }
+
+    /// Transmits `word`, flipping bits in place. Returns the number of
+    /// flips.
+    ///
+    /// Uses geometric gap sampling: the distance to the next flipped
+    /// bit is `⌊ln(U)/ln(1-p)⌋`, so the cost is O(flips), not O(bits) —
+    /// this is what makes the 10-million-word runs cheap.
+    pub fn transmit<R: Rng + ?Sized>(&self, rng: &mut R, word: &mut BitVec) -> usize {
+        if self.p == 0.0 {
+            return 0;
+        }
+        let mut flips = 0;
+        let mut i = self.next_gap(rng);
+        while i < word.len() {
+            word.flip(i);
+            flips += 1;
+            i += 1 + self.next_gap(rng);
+        }
+        flips
+    }
+
+    /// Transmits the low `bits` of a packed word, flipping in place.
+    pub fn transmit_u64<R: Rng + ?Sized>(&self, rng: &mut R, word: &mut u64, bits: usize) -> usize {
+        debug_assert!(bits <= 64);
+        if self.p == 0.0 {
+            return 0;
+        }
+        let mut flips = 0;
+        let mut i = self.next_gap(rng);
+        while i < bits {
+            *word ^= 1 << i;
+            flips += 1;
+            i += 1 + self.next_gap(rng);
+        }
+        flips
+    }
+
+    fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // U ∈ (0, 1]; gap = floor(ln U / ln(1-p)) ∈ {0, 1, …}
+        let u: f64 = 1.0 - rng.random::<f64>(); // avoid ln(0)
+        (u.ln() * self.inv_log_q) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_never_flips() {
+        let bsc = Bsc::new(0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut w = BitVec::zeros(128);
+        assert_eq!(bsc.transmit(&mut rng, &mut w), 0);
+        assert!(w.is_zero());
+    }
+
+    #[test]
+    fn flip_count_matches_reported() {
+        let bsc = Bsc::new(0.3);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let mut w = BitVec::zeros(200);
+            let flips = bsc.transmit(&mut rng, &mut w);
+            assert_eq!(w.count_ones(), flips);
+        }
+    }
+
+    #[test]
+    fn empirical_rate_close_to_p() {
+        let p = 0.1;
+        let bsc = Bsc::new(p);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let trials = 20_000;
+        let bits = 64;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let mut w = BitVec::zeros(bits);
+            total += bsc.transmit(&mut rng, &mut w);
+        }
+        let rate = total as f64 / (trials * bits) as f64;
+        assert!(
+            (rate - p).abs() < 0.01,
+            "empirical rate {rate} too far from {p}"
+        );
+    }
+
+    #[test]
+    fn u64_variant_matches_rate() {
+        let p = 0.25;
+        let bsc = Bsc::new(p);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let trials = 20_000;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let mut w = 0u64;
+            total += bsc.transmit_u64(&mut rng, &mut w, 32);
+            assert_eq!(w.count_ones() as usize, w.count_ones() as usize);
+            assert_eq!(w >> 32, 0, "flips outside the advertised width");
+        }
+        let rate = total as f64 / (trials * 32) as f64;
+        assert!((rate - p).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_p_of_one() {
+        Bsc::new(1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bsc = Bsc::new(0.1);
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(1234);
+            let mut w = BitVec::zeros(512);
+            bsc.transmit(&mut rng, &mut w);
+            w
+        };
+        assert_eq!(run(), run());
+    }
+}

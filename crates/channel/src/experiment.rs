@@ -1,0 +1,339 @@
+//! Robustness trial harnesses: the machinery behind Fig. 4 and Table 2.
+
+use crate::bsc::Bsc;
+use crate::floatbits::random_numeric_f32;
+use fec_gf2::BitVec;
+use fec_hamming::robustness::p_at_least_m_flips;
+use fec_hamming::{CompositeCode, Generator};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Results of a Fig. 4-style robustness trial for one generator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RobustnessReport {
+    /// Trials whose channel flipped at least `md` bits — the paper's
+    /// upper line, matching the theoretical `P_u · trials`.
+    pub at_least_md_flips: u64,
+    /// Trials where the corrupted word was a *different valid
+    /// codeword* — true undetected errors (the lower line).
+    pub undetected: u64,
+    /// Trials with a non-zero syndrome (errors that were detected).
+    pub detected: u64,
+    /// Total trials.
+    pub trials: u64,
+}
+
+impl RobustnessReport {
+    fn merge(self, other: RobustnessReport) -> RobustnessReport {
+        RobustnessReport {
+            at_least_md_flips: self.at_least_md_flips + other.at_least_md_flips,
+            undetected: self.undetected + other.undetected,
+            detected: self.detected + other.detected,
+            trials: self.trials + other.trials,
+        }
+    }
+
+    /// The theoretical expectation of the upper line:
+    /// `P(≥ md flips) · trials` (§2.2).
+    pub fn theoretical_at_least_md(n: usize, md: usize, p: f64, trials: u64) -> f64 {
+        p_at_least_m_flips(n, md, p) * trials as f64
+    }
+}
+
+/// Runs the §4.2 robustness experiment for one generator: `trials`
+/// random data words, encode, BSC with rate `p`, count outcomes.
+///
+/// `md` is the generator's minimum distance (used only for the
+/// ≥-md-flips counter). Work is split across `threads`.
+pub fn robustness_trial(
+    g: &Generator,
+    md: usize,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> RobustnessReport {
+    let threads = threads.max(1);
+    let chunk = trials / threads as u64;
+    let mut reports: Vec<RobustnessReport> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let n = if t == threads - 1 {
+                    trials - chunk * (threads as u64 - 1)
+                } else {
+                    chunk
+                };
+                let worker_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+                scope.spawn(move || robustness_worker(g, md, p, n, worker_seed))
+            })
+            .collect();
+        for h in handles {
+            reports.push(h.join().expect("worker panicked"));
+        }
+    });
+    reports
+        .into_iter()
+        .fold(RobustnessReport::default(), RobustnessReport::merge)
+}
+
+fn robustness_worker(g: &Generator, md: usize, p: f64, trials: u64, seed: u64) -> RobustnessReport {
+    let bsc = Bsc::new(p);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let k = g.data_len();
+    assert!(k <= 64, "robustness_trial supports k ≤ 64");
+    let mut report = RobustnessReport {
+        trials,
+        ..Default::default()
+    };
+    for _ in 0..trials {
+        let data_bits: u64 = rng.random::<u64>() & mask64(k);
+        let data = BitVec::from_u128(data_bits as u128, k);
+        let clean = g.encode(&data);
+        let mut received = clean.clone();
+        let flips = bsc.transmit(&mut rng, &mut received);
+        if flips >= md {
+            report.at_least_md_flips += 1;
+        }
+        if flips == 0 {
+            continue;
+        }
+        if g.is_valid(&received) {
+            report.undetected += 1;
+        } else {
+            report.detected += 1;
+        }
+    }
+    report
+}
+
+fn mask64(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Results of a Table 2-style float32 trial for one code ensemble.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Float32Report {
+    /// Undetected errors: every segment's syndrome was zero but the
+    /// received word differs from the transmitted one.
+    pub undetected: u64,
+    /// Sum of |Δ| over undetected errors whose corrupted data decodes
+    /// to a *numeric* float (divide by `numeric_errors` for Table 2's
+    /// "avg. err.").
+    pub error_magnitude_sum: f64,
+    /// Undetected errors whose corrupted data is numeric.
+    pub numeric_errors: u64,
+    /// Undetected errors where numeric data was corrupted into NaN/±∞
+    /// (the "non-num." column).
+    pub non_numeric: u64,
+    /// Total trials.
+    pub trials: u64,
+}
+
+impl Float32Report {
+    fn merge(self, o: Float32Report) -> Float32Report {
+        Float32Report {
+            undetected: self.undetected + o.undetected,
+            error_magnitude_sum: self.error_magnitude_sum + o.error_magnitude_sum,
+            numeric_errors: self.numeric_errors + o.numeric_errors,
+            non_numeric: self.non_numeric + o.non_numeric,
+            trials: self.trials + o.trials,
+        }
+    }
+
+    /// Average numeric error magnitude over undetected numeric errors.
+    pub fn avg_error_magnitude(&self) -> f64 {
+        if self.numeric_errors == 0 {
+            0.0
+        } else {
+            self.error_magnitude_sum / self.numeric_errors as f64
+        }
+    }
+}
+
+/// Runs the §4.3 experiment: `trials` random *numeric* float32 words,
+/// encoded with `code`, BSC at rate `p`; counts undetected errors,
+/// their numeric magnitude, and non-numeric corruptions.
+pub fn float32_trial(
+    code: &CompositeCode,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> Float32Report {
+    assert_eq!(code.data_len(), 32, "float32 trial needs a 32-bit code");
+    let threads = threads.max(1);
+    let chunk = trials / threads as u64;
+    let mut reports = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let n = if t == threads - 1 {
+                    trials - chunk * (threads as u64 - 1)
+                } else {
+                    chunk
+                };
+                let worker_seed = seed.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(t as u64 + 1));
+                scope.spawn(move || float32_worker(code, p, n, worker_seed))
+            })
+            .collect();
+        for h in handles {
+            reports.push(h.join().expect("worker panicked"));
+        }
+    });
+    reports
+        .into_iter()
+        .fold(Float32Report::default(), Float32Report::merge)
+}
+
+fn float32_worker(code: &CompositeCode, p: f64, trials: u64, seed: u64) -> Float32Report {
+    let bsc = Bsc::new(p);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = Float32Report {
+        trials,
+        ..Default::default()
+    };
+    for _ in 0..trials {
+        let bits = random_numeric_f32(&mut rng);
+        let data = BitVec::from_u128(bits as u128, 32);
+        let clean = code.encode(&data);
+        let mut received = clean.clone();
+        let flips = bsc.transmit(&mut rng, &mut received);
+        if flips == 0 {
+            continue;
+        }
+        if !code.is_valid(&received) {
+            continue; // detected
+        }
+        report.undetected += 1;
+        let got_bits = received.slice(0..32).to_u128() as u32;
+        if got_bits == bits {
+            // flips confined to check bits reproduced a valid word with
+            // identical data: numerically harmless, magnitude 0
+            report.numeric_errors += 1;
+            continue;
+        }
+        let original = f32::from_bits(bits);
+        let corrupted = f32::from_bits(got_bits);
+        if corrupted.is_finite() {
+            report.numeric_errors += 1;
+            report.error_magnitude_sum += (corrupted as f64 - original as f64).abs();
+        } else {
+            report.non_numeric += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fec_hamming::standards;
+
+    #[test]
+    fn strong_code_has_fewer_undetected_than_weak() {
+        let weak = standards::parity_code(4); // md 2
+        let strong = standards::hamming_extended_8_4(); // md 4
+        let trials = 200_000;
+        let rw = robustness_trial(&weak, 2, 0.1, trials, 1, 4);
+        let rs = robustness_trial(&strong, 4, 0.1, trials, 1, 4);
+        assert!(rw.undetected > rs.undetected * 2,
+            "weak {} vs strong {}", rw.undetected, rs.undetected);
+    }
+
+    #[test]
+    fn at_least_md_matches_theory() {
+        let g = standards::hamming_7_4();
+        let trials = 400_000;
+        let r = robustness_trial(&g, 3, 0.1, trials, 99, 4);
+        let theory = RobustnessReport::theoretical_at_least_md(7, 3, 0.1, trials);
+        let rel = (r.at_least_md_flips as f64 - theory).abs() / theory;
+        assert!(rel < 0.05, "observed {} vs theory {theory}", r.at_least_md_flips);
+    }
+
+    #[test]
+    fn undetected_errors_are_bounded_by_flip_count_line() {
+        // every undetected error needs ≥ md flips, so the lower line
+        // can never exceed the upper one
+        let g = standards::hamming_7_4();
+        let r = robustness_trial(&g, 3, 0.1, 100_000, 5, 2);
+        assert!(r.undetected <= r.at_least_md_flips);
+        assert_eq!(r.trials, 100_000);
+    }
+
+    #[test]
+    fn trials_split_exactly_across_threads() {
+        let g = standards::parity_code(8);
+        let r = robustness_trial(&g, 2, 0.05, 100_003, 5, 4);
+        assert_eq!(r.trials, 100_003);
+    }
+
+    #[test]
+    fn float32_parity_only_misses_doubles() {
+        // two 16-bit parity codes: every single-bit flip is caught, so
+        // undetected requires ≥ 2 flips within one segment
+        let code = CompositeCode::contiguous_msb_first(vec![
+            standards::parity_code(16),
+            standards::parity_code(16),
+        ])
+        .unwrap();
+        let r = float32_trial(&code, 0.1, 100_000, 17, 4);
+        assert!(r.undetected > 0, "p=0.1 must produce undetected doubles");
+        assert!(r.numeric_errors + r.non_numeric <= r.undetected);
+    }
+
+    #[test]
+    fn stronger_float_code_cuts_undetected_errors() {
+        let parity2 = CompositeCode::contiguous_msb_first(vec![
+            standards::parity_code(16),
+            standards::parity_code(16),
+        ])
+        .unwrap();
+        let strong = CompositeCode::contiguous_msb_first(vec![
+            standards::shortened_hamming(16, 6).unwrap(),
+            standards::shortened_hamming(16, 6).unwrap(),
+        ])
+        .unwrap();
+        let trials = 150_000;
+        let rp = float32_trial(&parity2, 0.1, trials, 23, 4);
+        let rs = float32_trial(&strong, 0.1, trials, 23, 4);
+        assert!(
+            rp.undetected > rs.undetected * 10,
+            "parity {} vs strong {}",
+            rp.undetected,
+            rs.undetected
+        );
+    }
+
+    #[test]
+    fn float32_specific_code_cuts_error_magnitude() {
+        // the Table 2 claim: protecting the upper bits more strongly
+        // reduces the *magnitude* of undetected numeric error even if
+        // the undetected *count* is higher than full md-3 protection
+        let weighted = CompositeCode::contiguous_msb_first(vec![
+            standards::shortened_hamming(8, 5).unwrap(),
+            standards::parity_code(8),
+            standards::parity_code(16),
+        ])
+        .unwrap();
+        let parity2 = CompositeCode::contiguous_msb_first(vec![
+            standards::parity_code(16),
+            standards::parity_code(16),
+        ])
+        .unwrap();
+        let trials = 300_000;
+        let rw = float32_trial(&weighted, 0.1, trials, 31, 4);
+        let rp = float32_trial(&parity2, 0.1, trials, 31, 4);
+        assert!(rw.undetected < rp.undetected);
+        assert!(
+            rw.avg_error_magnitude() < rp.avg_error_magnitude(),
+            "weighted {:e} vs parity {:e}",
+            rw.avg_error_magnitude(),
+            rp.avg_error_magnitude()
+        );
+    }
+}

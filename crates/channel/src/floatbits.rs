@@ -1,0 +1,177 @@
+//! Per-bit numeric-error analysis of 32-bit data types (Fig. 1).
+//!
+//! For each bit position `i`, what is the average magnitude of the
+//! numeric error caused by flipping bit `i`? For two's-complement
+//! integers the answer is exactly `2^i` (for the sign bit, flipping
+//! changes the value by `2^31`). For IEEE-754 floats the answer
+//! depends on the field the bit lands in, so it is estimated by
+//! sampling uniformly over *numeric* bit patterns (the paper averages
+//! "across all possible" values; uniform sampling converges to the
+//! same normalized profile).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Exact average |Δ| for flipping bit `i` of an `i32`.
+///
+/// Flipping bit `i` changes the value by exactly `2^i` in magnitude
+/// (bit 31, the sign, also moves the value by `2^31`).
+pub fn int32_bit_error_magnitude(bit: usize) -> f64 {
+    assert!(bit < 32);
+    (bit as f64).exp2()
+}
+
+/// Sampled average |Δ| for flipping bit `i` of a *numeric* `f32`,
+/// over `samples` uniform numeric bit patterns. Flips that produce a
+/// non-numeric value (NaN/±∞) are excluded from the average, matching
+/// the paper's separate "non-numeric" accounting.
+pub fn float32_bit_error_magnitude(bit: usize, samples: u64, seed: u64) -> f64 {
+    assert!(bit < 32);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut total = 0.0f64;
+    let mut counted = 0u64;
+    while counted < samples {
+        let bits: u32 = rng.random();
+        let x = f32::from_bits(bits);
+        if !x.is_finite() {
+            continue;
+        }
+        let y = f32::from_bits(bits ^ (1 << bit));
+        if !y.is_finite() {
+            // resulting value is non-numeric: tracked separately
+            counted += 1;
+            continue;
+        }
+        total += (y as f64 - x as f64).abs();
+        counted += 1;
+    }
+    total / samples as f64
+}
+
+/// The full per-bit profile for both types, normalized so the largest
+/// entry is 100 (the scale Fig. 1 uses).
+pub struct BitErrorProfile {
+    /// Normalized average |Δ| for `i32`, index = bit position.
+    pub int32: [f64; 32],
+    /// Normalized average |Δ| for numeric `f32`.
+    pub float32: [f64; 32],
+}
+
+/// Computes the Fig. 1 profile (`samples` per float bit).
+pub fn bit_error_profile(samples: u64, seed: u64) -> BitErrorProfile {
+    let mut int32 = [0.0; 32];
+    let mut float32 = [0.0; 32];
+    for bit in 0..32 {
+        int32[bit] = int32_bit_error_magnitude(bit);
+        float32[bit] = float32_bit_error_magnitude(bit, samples, seed ^ bit as u64);
+    }
+    normalize(&mut int32);
+    normalize(&mut float32);
+    BitErrorProfile { int32, float32 }
+}
+
+/// The §4.3 weights for the upper 16 bits of a float32, exactly as the
+/// paper lists them (derived from the Fig. 1 profile): index 0 is the
+/// MSB (sign bit), index 15 is bit 16 of the float.
+pub const PAPER_FLOAT32_UPPER_WEIGHTS_MSB_FIRST: [f64; 16] = [
+    100.0, 100.0, 100.0, 100.0, 99.0, 98.0, 82.0, 45.0, 17.0, 17.0, 8.0, 4.0, 2.0, 1.0, 1.0, 1.0,
+];
+
+/// Derives §4.3-style integer-ish weights from a sampled profile: the
+/// upper 16 float bits, normalized to max 100, MSB first, floored at 1.
+pub fn derive_upper16_weights(profile: &BitErrorProfile) -> [f64; 16] {
+    let mut out = [0.0; 16];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let bit = 31 - i; // MSB first
+        *slot = (profile.float32[bit]).max(1.0);
+    }
+    out
+}
+
+fn normalize(xs: &mut [f64]) {
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    if max > 0.0 {
+        for x in xs {
+            *x = (*x / max * 100.0 * 10.0).round() / 10.0; // 0.1 resolution
+        }
+    }
+}
+
+/// Draws a uniformly random *numeric* (finite) `f32` bit pattern.
+pub fn random_numeric_f32<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+    loop {
+        let bits: u32 = rng.random();
+        if f32::from_bits(bits).is_finite() {
+            return bits;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int32_profile_is_powers_of_two() {
+        assert_eq!(int32_bit_error_magnitude(0), 1.0);
+        assert_eq!(int32_bit_error_magnitude(10), 1024.0);
+        assert_eq!(int32_bit_error_magnitude(31), 2147483648.0);
+    }
+
+    #[test]
+    fn float_sign_bit_flips_are_symmetric() {
+        // flipping the sign bit of x gives |Δ| = 2|x|; always numeric
+        let m = float32_bit_error_magnitude(31, 5_000, 1);
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn float_exponent_bits_dominate_mantissa_bits() {
+        // the Fig. 1 observation: exponent bits (23..31) cause far
+        // larger numeric error than mantissa bits (0..23)
+        let top_exp = float32_bit_error_magnitude(30, 20_000, 2);
+        let mid_mantissa = float32_bit_error_magnitude(10, 20_000, 3);
+        // flipping mantissa bit 10 scales the value by at most 2^-13
+        // of the leading bit, so the gap is about 2^13 ≈ 8×10³
+        assert!(
+            top_exp > mid_mantissa * 1e3,
+            "exponent {top_exp} vs mantissa {mid_mantissa}"
+        );
+    }
+
+    #[test]
+    fn profile_is_normalized_to_100() {
+        let p = bit_error_profile(2_000, 7);
+        let max_f = p.float32.iter().cloned().fold(f64::MIN, f64::max);
+        let max_i = p.int32.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(max_f, 100.0);
+        assert_eq!(max_i, 100.0);
+        // int32 profile is monotone in bit position
+        for w in p.int32.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn derived_weights_have_paper_shape() {
+        // monotone non-increasing MSB-first, heavy head, light tail —
+        // the qualitative shape behind the §4.3 weight list
+        let p = bit_error_profile(20_000, 11);
+        let w = derive_upper16_weights(&p);
+        // the paper's list opens with four 100s: the sign bit and top
+        // exponent bits all saturate after normalization
+        assert!(w[..4].iter().all(|&x| x > 50.0), "heavy head: {w:?}");
+        assert!(w[0] >= w[8], "head should outweigh middle");
+        assert!(w[8] >= w[15], "middle should outweigh tail");
+        assert!(w[15] >= 1.0);
+    }
+
+    #[test]
+    fn random_numeric_is_finite() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let bits = random_numeric_f32(&mut rng);
+            assert!(f32::from_bits(bits).is_finite());
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! `fecsynth` — command-line front end for the synthesis workspace.
+//! All logic lives in the `fec-cli` library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (code, out) = fec_cli::run(&args);
+    print!("{out}");
+    std::process::exit(code);
+}

@@ -1,0 +1,358 @@
+//! Command implementations for the `fecsynth` binary.
+//!
+//! Kept in a library so the commands are unit-testable without
+//! spawning processes; the binary (`src/bin/fecsynth.rs`) is a thin
+//! argv → [`run`] shim.
+
+use fec_gf2::BitVec;
+use fec_hamming::{distance, Generator};
+use fec_smt::Budget;
+use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::spec::parse_property;
+use fec_synth::verify::{sat_min_distance, verify_props, VerifyOutcome};
+use std::time::Duration;
+
+/// Usage text for `--help` and argument errors.
+pub const USAGE: &str = "\
+fecsynth — synthesize, verify, and export Hamming FEC generators
+
+USAGE:
+    fecsynth synth  \"<property>\" [--timeout=SECS]
+    fecsynth verify \"<property>\" --coeff <rows>  (rows like 101/110/111/011)
+    fecsynth info   --coeff <rows>
+    fecsynth emit   --coeff <rows> [--lang=c|rust]
+    fecsynth encode --coeff <rows> --data <bits>
+
+PROPERTY LANGUAGE (paper Fig. 3 + corr extension):
+    len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4
+         && md(G0) = 3 && minimal(len_c(G0))
+    functions: len_d len_c len_1 md corr; objectives: minimal(e) maximal(e)
+
+EXAMPLES:
+    fecsynth synth \"len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))\"
+    fecsynth verify \"md(G0) = 3\" --coeff 101/110/111/011
+    fecsynth emit --coeff 101/110/111/011 --lang=c
+";
+
+/// Runs one CLI invocation; returns (exit code, output text).
+pub fn run(args: &[String]) -> (i32, String) {
+    let mut out = String::new();
+    let code = match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(args, &mut out),
+        Some("verify") => cmd_verify(args, &mut out),
+        Some("info") => cmd_info(args, &mut out),
+        Some("emit") => cmd_emit(args, &mut out),
+        Some("encode") => cmd_encode(args, &mut out),
+        Some("--help") | Some("-h") | None => {
+            out.push_str(USAGE);
+            0
+        }
+        Some(other) => {
+            out.push_str(&format!("unknown command {other:?}\n\n{USAGE}"));
+            2
+        }
+    };
+    (code, out)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    let eq = format!("--{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v);
+        }
+        if a == &format!("--{name}") {
+            return args.get(i + 1).map(String::as_str);
+        }
+    }
+    None
+}
+
+fn parse_coeff(args: &[String]) -> Result<Generator, String> {
+    let rows = flag_value(args, "coeff").ok_or("missing --coeff <rows>")?;
+    let text = rows.replace('/', "\n");
+    Generator::from_coeff_str(&text).ok_or_else(|| format!("malformed coefficient rows {rows:?}"))
+}
+
+fn cmd_synth(args: &[String], out: &mut String) -> i32 {
+    let Some(spec) = args.get(1).filter(|s| !s.starts_with("--")) else {
+        out.push_str("synth: missing property argument\n");
+        return 2;
+    };
+    let timeout = flag_value(args, "timeout")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let prop = match parse_property(spec) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push_str(&format!("{e}\n"));
+            return 2;
+        }
+    };
+    let config = SynthesisConfig {
+        timeout: Duration::from_secs(timeout),
+        ..Default::default()
+    };
+    match Synthesizer::new(config).run(&prop) {
+        Ok(r) => {
+            for (i, g) in r.generators.iter().enumerate() {
+                out.push_str(&format!(
+                    "G{i}: ({}, {}) code, {} coefficient ones\n{}\n",
+                    g.codeword_len(),
+                    g.data_len(),
+                    g.coefficient_ones(),
+                    g
+                ));
+                out.push_str(&format!(
+                    "coeff (for --coeff): {}\n",
+                    coeff_arg(g)
+                ));
+            }
+            out.push_str(&format!(
+                "{} iterations, {:.2} s\n",
+                r.iterations,
+                r.elapsed.as_secs_f64()
+            ));
+            0
+        }
+        Err(e) => {
+            out.push_str(&format!("synthesis failed: {e}\n"));
+            1
+        }
+    }
+}
+
+fn cmd_verify(args: &[String], out: &mut String) -> i32 {
+    let Some(spec) = args.get(1).filter(|s| !s.starts_with("--")) else {
+        out.push_str("verify: missing property argument\n");
+        return 2;
+    };
+    let g = match parse_coeff(args) {
+        Ok(g) => g,
+        Err(e) => {
+            out.push_str(&format!("{e}\n"));
+            return 2;
+        }
+    };
+    let prop = match parse_property(spec) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push_str(&format!("{e}\n"));
+            return 2;
+        }
+    };
+    let (outcome, stats) = verify_props(&[g], &prop, Budget::unlimited());
+    match outcome {
+        VerifyOutcome::Holds => {
+            out.push_str(&format!("HOLDS ({:.2} s)\n", stats.elapsed.as_secs_f64()));
+            0
+        }
+        VerifyOutcome::Fails { .. } => {
+            out.push_str("FAILS\n");
+            1
+        }
+        VerifyOutcome::Unknown => {
+            out.push_str("UNKNOWN (budget exhausted)\n");
+            3
+        }
+    }
+}
+
+fn cmd_info(args: &[String], out: &mut String) -> i32 {
+    let g = match parse_coeff(args) {
+        Ok(g) => g,
+        Err(e) => {
+            out.push_str(&format!("{e}\n"));
+            return 2;
+        }
+    };
+    let md = if g.data_len() <= 20 {
+        distance::min_distance_exhaustive(&g)
+    } else {
+        sat_min_distance(&g, Budget::unlimited()).0.unwrap_or(0)
+    };
+    out.push_str(&format!(
+        "({}, {}) code: {} check bits, {} coefficient ones\n\
+         minimum distance {md} → detects {} errors, corrects {}\n{}\n",
+        g.codeword_len(),
+        g.data_len(),
+        g.check_len(),
+        g.coefficient_ones(),
+        md.saturating_sub(1),
+        md.saturating_sub(1) / 2,
+        g
+    ));
+    0
+}
+
+fn cmd_emit(args: &[String], out: &mut String) -> i32 {
+    let g = match parse_coeff(args) {
+        Ok(g) => g,
+        Err(e) => {
+            out.push_str(&format!("{e}\n"));
+            return 2;
+        }
+    };
+    match flag_value(args, "lang").unwrap_or("c") {
+        "c" => out.push_str(&fec_codegen::emit_c(&g, false)),
+        "rust" => out.push_str(&fec_codegen::emit_rust(&g)),
+        other => {
+            out.push_str(&format!("unknown language {other:?} (use c or rust)\n"));
+            return 2;
+        }
+    }
+    0
+}
+
+fn cmd_encode(args: &[String], out: &mut String) -> i32 {
+    let g = match parse_coeff(args) {
+        Ok(g) => g,
+        Err(e) => {
+            out.push_str(&format!("{e}\n"));
+            return 2;
+        }
+    };
+    let Some(data) = flag_value(args, "data") else {
+        out.push_str("encode: missing --data <bits>\n");
+        return 2;
+    };
+    let Some(bits) = BitVec::from_bitstring(data) else {
+        out.push_str(&format!("malformed data bits {data:?}\n"));
+        return 2;
+    };
+    if bits.len() != g.data_len() {
+        out.push_str(&format!(
+            "data is {} bits but the code expects {}\n",
+            bits.len(),
+            g.data_len()
+        ));
+        return 2;
+    }
+    out.push_str(&format!("{}\n", g.encode(&bits)));
+    0
+}
+
+fn coeff_arg(g: &Generator) -> String {
+    (0..g.data_len())
+        .map(|r| {
+            (0..g.check_len())
+                .map(|c| if g.coefficients().get(r, c) { '1' } else { '0' })
+                .collect::<String>()
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        let (code, out) = run(&[]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        let (code, out) = run(&argv(&["bogus"]));
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn synth_produces_a_code() {
+        let (code, out) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
+            "--timeout=30",
+        ]));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("(7, 4) code"), "{out}");
+        assert!(out.contains("coeff (for --coeff):"));
+    }
+
+    #[test]
+    fn synth_rejects_bad_property() {
+        let (code, out) = run(&argv(&["synth", "md(G0) ="]));
+        assert_eq!(code, 2);
+        assert!(out.contains("parse error"));
+    }
+
+    #[test]
+    fn synth_reports_infeasible() {
+        let (code, out) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && len_c(G0) = 1 && md(G0) = 3",
+            "--timeout=30",
+        ]));
+        assert_eq!(code, 1);
+        assert!(out.contains("no generator"));
+    }
+
+    #[test]
+    fn verify_holds_and_fails() {
+        let coeff = "101/110/111/011";
+        let (code, out) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("HOLDS"));
+        let (code, out) = run(&argv(&["verify", "md(G0) = 4", "--coeff", coeff]));
+        assert_eq!(code, 1);
+        assert!(out.contains("FAILS"));
+    }
+
+    #[test]
+    fn info_reports_distance() {
+        let (code, out) = run(&argv(&["info", "--coeff", "101/110/111/011"]));
+        assert_eq!(code, 0);
+        assert!(out.contains("minimum distance 3"), "{out}");
+        assert!(out.contains("corrects 1"));
+    }
+
+    #[test]
+    fn emit_c_and_rust() {
+        let (code, out) = run(&argv(&["emit", "--coeff", "11/01", "--lang=c"]));
+        assert_eq!(code, 0);
+        assert!(out.contains("uint64_t encode_checks"));
+        let (code, out) = run(&argv(&["emit", "--coeff", "11/01", "--lang=rust"]));
+        assert_eq!(code, 0);
+        assert!(out.contains("pub fn encode_checks"));
+        let (code, _) = run(&argv(&["emit", "--coeff", "11/01", "--lang=go"]));
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn encode_round_trip_with_fig2_data() {
+        let (code, out) = run(&argv(&[
+            "encode",
+            "--coeff",
+            "101/110/111/011",
+            "--data",
+            "0011",
+        ]));
+        assert_eq!(code, 0);
+        assert_eq!(out.trim(), "0011100"); // the paper's Fig. 2 example
+    }
+
+    #[test]
+    fn encode_length_mismatch() {
+        let (code, out) = run(&argv(&[
+            "encode",
+            "--coeff",
+            "101/110/111/011",
+            "--data",
+            "001",
+        ]));
+        assert_eq!(code, 2);
+        assert!(out.contains("expects 4"));
+    }
+
+    #[test]
+    fn coeff_parsing_errors() {
+        let (code, _) = run(&argv(&["info"]));
+        assert_eq!(code, 2);
+        let (code, _) = run(&argv(&["info", "--coeff", "1x1"]));
+        assert_eq!(code, 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Runtime-specialized encode/check kernels for data words ≤ 64 bits.
+
+use fec_gf2::parity64;
+use fec_hamming::Generator;
+
+/// Mask-specialized kernel: one pre-computed data-bit mask per check
+/// column; encoding a word is `check_len` AND+POPCNT operations. The
+/// analogue of the paper's GCC `-O3` build of the emitted C.
+#[derive(Clone, Debug)]
+pub struct MaskKernel {
+    masks: Vec<u64>,
+    data_len: usize,
+}
+
+impl MaskKernel {
+    /// Builds the kernel for a generator with `data_len ≤ 64`.
+    ///
+    /// # Panics
+    /// Panics if `g.data_len() > 64` or `g.check_len() > 64`.
+    pub fn new(g: &Generator) -> MaskKernel {
+        assert!(g.data_len() <= 64, "mask kernel supports k ≤ 64");
+        assert!(g.check_len() <= 64, "mask kernel supports c ≤ 64");
+        let masks = (0..g.check_len())
+            .map(|j| {
+                let mut m = 0u64;
+                for y in 0..g.data_len() {
+                    if g.coefficients().get(y, j) {
+                        m |= 1 << y;
+                    }
+                }
+                m
+            })
+            .collect();
+        MaskKernel {
+            masks,
+            data_len: g.data_len(),
+        }
+    }
+
+    /// Number of data bits.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Number of check bits.
+    pub fn check_len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Computes the check bits for a data word (bit `i` of the result
+    /// is check bit `i`).
+    #[inline]
+    pub fn encode_checks(&self, data: u64) -> u64 {
+        debug_assert_eq!(data >> self.data_len.min(63) >> u32::from(self.data_len == 64), 0);
+        let mut out = 0u64;
+        for (j, &m) in self.masks.iter().enumerate() {
+            out |= (u64::from(parity64(data & m))) << j;
+        }
+        out
+    }
+
+    /// Checks a received `(data, checks)` pair; returns the syndrome
+    /// (zero = valid).
+    #[inline]
+    pub fn syndrome(&self, data: u64, checks: u64) -> u64 {
+        self.encode_checks(data) ^ checks
+    }
+
+    /// `true` when the received pair is a valid codeword.
+    #[inline]
+    pub fn is_valid(&self, data: u64, checks: u64) -> bool {
+        self.syndrome(data, checks) == 0
+    }
+}
+
+/// Sparse kernel: the in-process analog of the paper's emitted C —
+/// per check bit, only the *set* coefficient positions are evaluated
+/// (one shift+XOR each), so the cost is proportional to `len_1`.
+#[derive(Clone, Debug)]
+pub struct SparseKernel {
+    /// For each check column, the data-bit indices with a set
+    /// coefficient.
+    terms: Vec<Vec<u8>>,
+}
+
+impl SparseKernel {
+    /// Builds the kernel for a generator with `data_len ≤ 64`.
+    pub fn new(g: &Generator) -> SparseKernel {
+        assert!(g.data_len() <= 64, "sparse kernel supports k ≤ 64");
+        assert!(g.check_len() <= 64, "sparse kernel supports c ≤ 64");
+        let terms = (0..g.check_len())
+            .map(|j| {
+                (0..g.data_len())
+                    .filter(|&y| g.coefficients().get(y, j))
+                    .map(|y| y as u8)
+                    .collect()
+            })
+            .collect();
+        SparseKernel { terms }
+    }
+
+    /// Total number of shift+XOR terms (= `len_1`).
+    pub fn term_count(&self) -> usize {
+        self.terms.iter().map(Vec::len).sum()
+    }
+
+    /// Computes the check bits term by term, exactly like the emitted C.
+    #[inline]
+    pub fn encode_checks(&self, data: u64) -> u64 {
+        let mut out = 0u64;
+        for (j, cols) in self.terms.iter().enumerate() {
+            let mut b = 0u64;
+            for &y in cols {
+                b ^= data >> y;
+            }
+            out |= (b & 1) << j;
+        }
+        out
+    }
+
+    /// Syndrome of a received pair.
+    #[inline]
+    pub fn syndrome(&self, data: u64, checks: u64) -> u64 {
+        self.encode_checks(data) ^ checks
+    }
+}
+
+/// Unspecialized kernel: walks every matrix cell with single-bit reads,
+/// the way a naive (`-O0`-like) generated program would.
+#[derive(Clone, Debug)]
+pub struct NaiveKernel {
+    g: Generator,
+}
+
+impl NaiveKernel {
+    /// Wraps a generator with `data_len ≤ 64`.
+    pub fn new(g: &Generator) -> NaiveKernel {
+        assert!(g.data_len() <= 64, "naive kernel supports k ≤ 64");
+        assert!(g.check_len() <= 64, "naive kernel supports c ≤ 64");
+        NaiveKernel { g: g.clone() }
+    }
+
+    /// Computes the check bits bit by bit.
+    #[inline]
+    pub fn encode_checks(&self, data: u64) -> u64 {
+        let mut out = 0u64;
+        for j in 0..self.g.check_len() {
+            let mut bit = 0u64;
+            for y in 0..self.g.data_len() {
+                // the paper's generated C: `bit ^= (d >> y & 1) & p;`
+                bit ^= (data >> y & 1) & u64::from(self.g.coefficients().get(y, j));
+            }
+            out |= bit << j;
+        }
+        out
+    }
+
+    /// Syndrome of a received pair.
+    #[inline]
+    pub fn syndrome(&self, data: u64, checks: u64) -> u64 {
+        self.encode_checks(data) ^ checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fec_gf2::BitVec;
+    use fec_hamming::standards;
+
+    #[test]
+    fn mask_kernel_matches_matrix_encode() {
+        let g = standards::hamming_7_4();
+        let k = MaskKernel::new(&g);
+        for d in 0u64..16 {
+            let data = BitVec::from_u128(d as u128, 4);
+            let word = g.encode(&data);
+            let expect = word.slice(4..7).to_u128() as u64;
+            assert_eq!(k.encode_checks(d), expect, "data {d:04b}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree() {
+        let g = standards::shortened_hamming(32, 6).unwrap();
+        let mask = MaskKernel::new(&g);
+        let naive = NaiveKernel::new(&g);
+        let sparse = SparseKernel::new(&g);
+        assert_eq!(sparse.term_count(), g.coefficient_ones());
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = x >> 32; // 32-bit data
+            assert_eq!(mask.encode_checks(d), naive.encode_checks(d));
+            assert_eq!(mask.encode_checks(d), sparse.encode_checks(d));
+            assert_eq!(sparse.syndrome(d, sparse.encode_checks(d)), 0);
+        }
+    }
+
+    #[test]
+    fn valid_codewords_have_zero_syndrome() {
+        let g = standards::shortened_hamming(16, 5).unwrap();
+        let k = MaskKernel::new(&g);
+        for d in [0u64, 1, 0xFFFF, 0xA5A5, 0x1234] {
+            let checks = k.encode_checks(d);
+            assert!(k.is_valid(d, checks));
+            // flipping any check bit breaks validity
+            for j in 0..k.check_len() {
+                assert!(!k.is_valid(d, checks ^ (1 << j)));
+            }
+            // flipping any data bit breaks validity (md ≥ 2 codes)
+            for i in 0..16 {
+                assert!(!k.is_valid(d ^ (1 << i), checks));
+            }
+        }
+    }
+
+    #[test]
+    fn syndrome_locates_single_data_bit_errors() {
+        let g = standards::hamming_7_4();
+        let k = MaskKernel::new(&g);
+        let d = 0b0011u64;
+        let checks = k.encode_checks(d);
+        // flip data bit 2: syndrome must equal row 2 of P (= 111)
+        let s = k.syndrome(d ^ 0b100, checks);
+        assert_eq!(s, 0b111);
+    }
+
+    #[test]
+    fn full_width_kernels() {
+        let g = standards::shortened_hamming(64, 7).unwrap();
+        let k = MaskKernel::new(&g);
+        let n = NaiveKernel::new(&g);
+        let d = u64::MAX;
+        assert_eq!(k.encode_checks(d), n.encode_checks(d));
+        assert_eq!(k.syndrome(d, k.encode_checks(d)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≤ 64")]
+    fn mask_kernel_rejects_wide_data() {
+        MaskKernel::new(&standards::ieee_8023df_128_120());
+    }
+}

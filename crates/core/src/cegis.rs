@@ -1,0 +1,835 @@
+//! Algorithm 1: counterexample-guided inductive synthesis of
+//! generators, with bound-tightening optimization.
+//!
+//! Two solver instances cooperate, exactly as in §3.3/§3.4:
+//!
+//! - the **synthesizer** holds symbolic generators, the structural
+//!   constraints extracted from the property (lengths, cell pins,
+//!   `len_1` cardinality), and the accumulated counterexamples;
+//! - one **verifier** per generator holds the φ_md distance-violation
+//!   circuit over its own symbolic cells; a candidate is checked by
+//!   *assuming* its cell values (`makeAssertion`), which keeps the
+//!   verifier fully incremental across iterations.
+//!
+//! Optimization (`minimal(e)` / `maximal(e)`) runs the outer
+//! bound-tightening loop of Algorithm 1: each successful synthesis
+//! tightens the bound past the achieved value until the solver fails
+//! or the per-step timeout expires. Every intermediate optimum is kept
+//! (the paper's §4.4 uses exactly those 82 intermediate generators).
+
+use crate::encode::{CexMode, SymbolicGenerator};
+use crate::spec::{CmpOp, Expr, GenFn, Prop};
+use fec_gf2::BitVec;
+use fec_hamming::Generator;
+use fec_smt::{Budget, CardEncoding, Lit, SmtResult, SmtSolver};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Tunables for a synthesis run.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthesisConfig {
+    /// Per-optimization-step (and per-solver-call) wall-clock budget —
+    /// the paper's "solver timeout of 120 s".
+    pub timeout: Duration,
+    /// Counterexample generalization mode (ablation axis).
+    pub cex_mode: CexMode,
+    /// Cardinality encoding (ablation axis).
+    pub card_encoding: CardEncoding,
+    /// Upper bound on check bits when the property gives none.
+    pub default_max_check: usize,
+    /// Keep counterexamples across optimization bounds (sound in both
+    /// modes; the paper re-derives them per bound — set `false` for
+    /// paper-faithful behaviour).
+    pub persist_counterexamples: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            timeout: Duration::from_secs(120),
+            cex_mode: CexMode::DataWord,
+            card_encoding: CardEncoding::Totalizer,
+            default_max_check: 14,
+            persist_counterexamples: true,
+        }
+    }
+}
+
+/// Synthesis failure.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SynthError {
+    /// The property uses a construct the structural extractor does not
+    /// support (the paper's tool has the same shape: props are compiled
+    /// into solver assertions, not interpreted).
+    Unsupported(String),
+    /// The property is structurally inconsistent (e.g. conflicting
+    /// equalities).
+    Inconsistent(String),
+    /// The constraints admit no generator.
+    NoSolution,
+    /// Budget exhausted before any solution was found.
+    Timeout,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Unsupported(s) => write!(f, "unsupported property: {s}"),
+            SynthError::Inconsistent(s) => write!(f, "inconsistent property: {s}"),
+            SynthError::NoSolution => write!(f, "no generator satisfies the property"),
+            SynthError::Timeout => write!(f, "timeout before any solution"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// A successful synthesis.
+#[derive(Clone, Debug)]
+pub struct SynthesisResult {
+    /// The final (best) generators.
+    pub generators: Vec<Generator>,
+    /// Total CEGIS iterations (synthesizer proposals), the paper's
+    /// "iterations" column.
+    pub iterations: u64,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Every optimization success, as (objective value, generators) —
+    /// e.g. the 82 intermediate generators of §4.4.
+    pub intermediates: Vec<(i64, Vec<Generator>)>,
+}
+
+/// The structural facts extracted from a property.
+#[derive(Clone, Debug)]
+pub struct ProblemShape {
+    pub gens: Vec<GenShape>,
+    pub objective: Option<Objective>,
+}
+
+/// Per-generator structural constraints.
+#[derive(Clone, Debug)]
+pub struct GenShape {
+    pub data_len: usize,
+    pub min_distance: usize,
+    pub check_lo: usize,
+    pub check_hi: usize,
+    pub ones_lo: Option<usize>,
+    pub ones_hi: Option<usize>,
+    /// Pinned coefficient cells `(row, check_col, value)` (from
+    /// `Gi(r, c) = b` conjuncts; `check_col` is relative to `P`).
+    pub pinned_cells: Vec<(usize, usize, bool)>,
+}
+
+/// A single optimization directive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Objective {
+    MinCheckLen(usize),
+    MaxCheckLen(usize),
+    MinOnes(usize),
+    MaxOnes(usize),
+}
+
+impl ProblemShape {
+    /// Compiles a parsed property into structural constraints
+    /// (`initSolvers`' analysis phase).
+    pub fn from_prop(prop: &Prop, config: &SynthesisConfig) -> Result<ProblemShape, SynthError> {
+        // fold only *pure arithmetic* — measurements like len_G are
+        // symbolic here even though EvalContext could evaluate them
+        fn fold(e: &Expr) -> Option<f64> {
+            Some(match e {
+                Expr::Int(n) => *n as f64,
+                Expr::Real(r) => *r,
+                Expr::Add(a, b) => fold(a)? + fold(b)?,
+                Expr::Sub(a, b) => fold(a)? - fold(b)?,
+                Expr::Mul(a, b) => fold(a)? * fold(b)?,
+                Expr::Neg(a) => -fold(a)?,
+                _ => return None,
+            })
+        }
+        let fold_idx = |e: &Expr| {
+            let v = fold(e)?;
+            (v >= 0.0 && v.fract() == 0.0).then_some(v as usize)
+        };
+
+        let mut len_g: Option<usize> = None;
+        #[derive(Default, Clone)]
+        struct Partial {
+            data_len: Option<usize>,
+            md: Option<usize>,
+            c_lo: Option<usize>,
+            c_hi: Option<usize>,
+            ones_lo: Option<usize>,
+            ones_hi: Option<usize>,
+            cells: Vec<(usize, usize, bool)>,
+        }
+        let mut partials: Vec<Partial> = Vec::new();
+        let ensure = |partials: &mut Vec<Partial>, i: usize| {
+            while partials.len() <= i {
+                partials.push(Partial::default());
+            }
+        };
+        let mut objective: Option<Objective> = None;
+
+        for conj in prop.conjuncts() {
+            match conj {
+                Prop::True => {}
+                Prop::False => {
+                    return Err(SynthError::Inconsistent("property contains false".into()))
+                }
+                Prop::Minimal(e) | Prop::Maximal(e) => {
+                    let is_min = matches!(conj, Prop::Minimal(_));
+                    let obj = match e {
+                        Expr::GenFn(GenFn::LenC, g) => {
+                            let i = fold_idx(g).ok_or_else(|| unsupported(conj))?;
+                            if is_min {
+                                Objective::MinCheckLen(i)
+                            } else {
+                                Objective::MaxCheckLen(i)
+                            }
+                        }
+                        Expr::GenFn(GenFn::LenOnes, g) => {
+                            let i = fold_idx(g).ok_or_else(|| unsupported(conj))?;
+                            if is_min {
+                                Objective::MinOnes(i)
+                            } else {
+                                Objective::MaxOnes(i)
+                            }
+                        }
+                        _ => return Err(unsupported(conj)),
+                    };
+                    if objective.replace(obj).is_some() {
+                        return Err(SynthError::Unsupported(
+                            "multiple optimization directives".into(),
+                        ));
+                    }
+                }
+                Prop::Cmp(op, lhs, rhs) => {
+                    // normalize: measurement on the left, constant right
+                    let (op, measure, value) = match (fold(lhs), fold(rhs)) {
+                        (None, Some(v)) => (*op, lhs, v),
+                        (Some(v), None) => (flip(*op), rhs, v),
+                        _ => return Err(unsupported(conj)),
+                    };
+                    if value < 0.0 || value.fract() != 0.0 {
+                        return Err(SynthError::Inconsistent(format!(
+                            "non-natural bound in {conj}"
+                        )));
+                    }
+                    let v = value as usize;
+                    match measure {
+                        Expr::LenG => match op {
+                            CmpOp::Eq => {
+                                if len_g.replace(v).is_some_and(|old| old != v) {
+                                    return Err(SynthError::Inconsistent(
+                                        "conflicting len_G".into(),
+                                    ));
+                                }
+                            }
+                            _ => return Err(unsupported(conj)),
+                        },
+                        Expr::GenFn(func, g) => {
+                            let i = fold_idx(g).ok_or_else(|| unsupported(conj))?;
+                            ensure(&mut partials, i);
+                            let p = &mut partials[i];
+                            match (func, op) {
+                                (GenFn::LenD, CmpOp::Eq) => {
+                                    if p.data_len.replace(v).is_some_and(|o| o != v) {
+                                        return Err(SynthError::Inconsistent(format!(
+                                            "conflicting len_d(G{i})"
+                                        )));
+                                    }
+                                }
+                                (GenFn::Md, CmpOp::Eq) => {
+                                    if p.md.replace(v).is_some_and(|o| o != v) {
+                                        return Err(SynthError::Inconsistent(format!(
+                                            "conflicting md(G{i})"
+                                        )));
+                                    }
+                                }
+                                (GenFn::Md, CmpOp::Ge) => {
+                                    p.md = Some(p.md.map_or(v, |o| o.max(v)));
+                                }
+                                // §6 extension: corr(G) ⋈ t lowers to a
+                                // minimum-distance requirement md ≥ 2t+1
+                                // (nearest-syndrome decoding corrects t
+                                // errors iff md ≥ 2t+1)
+                                (GenFn::Corr, CmpOp::Eq) | (GenFn::Corr, CmpOp::Ge) => {
+                                    let need = 2 * v + 1;
+                                    p.md = Some(p.md.map_or(need, |o| o.max(need)));
+                                }
+                                (GenFn::LenC, CmpOp::Eq) => {
+                                    p.c_lo = Some(v);
+                                    p.c_hi = Some(v);
+                                }
+                                (GenFn::LenC, CmpOp::Le) => set_min(&mut p.c_hi, v),
+                                (GenFn::LenC, CmpOp::Lt) => set_min(&mut p.c_hi, v.saturating_sub(1)),
+                                (GenFn::LenC, CmpOp::Ge) => set_max(&mut p.c_lo, v),
+                                (GenFn::LenC, CmpOp::Gt) => set_max(&mut p.c_lo, v + 1),
+                                (GenFn::LenOnes, CmpOp::Eq) => {
+                                    p.ones_lo = Some(v);
+                                    p.ones_hi = Some(v);
+                                }
+                                (GenFn::LenOnes, CmpOp::Le) => set_min(&mut p.ones_hi, v),
+                                (GenFn::LenOnes, CmpOp::Lt) => {
+                                    set_min(&mut p.ones_hi, v.saturating_sub(1))
+                                }
+                                (GenFn::LenOnes, CmpOp::Ge) => set_max(&mut p.ones_lo, v),
+                                (GenFn::LenOnes, CmpOp::Gt) => set_max(&mut p.ones_lo, v + 1),
+                                _ => return Err(unsupported(conj)),
+                            }
+                        }
+                        Expr::Cell { gen, row, col } => {
+                            let (CmpOp::Eq, 0 | 1) = (op, v) else {
+                                return Err(unsupported(conj));
+                            };
+                            let i = fold_idx(gen).ok_or_else(|| unsupported(conj))?;
+                            let r = fold_idx(row).ok_or_else(|| unsupported(conj))?;
+                            let c = fold_idx(col).ok_or_else(|| unsupported(conj))?;
+                            ensure(&mut partials, i);
+                            partials[i].cells.push((r, c, v == 1));
+                        }
+                        _ => return Err(unsupported(conj)),
+                    }
+                }
+                other => return Err(unsupported(other)),
+            }
+        }
+
+        let n = len_g.unwrap_or(partials.len().max(1));
+        if partials.len() > n {
+            return Err(SynthError::Inconsistent(format!(
+                "constraints mention G{} but len_G = {n}",
+                partials.len() - 1
+            )));
+        }
+        let mut gens = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = partials.get(i).cloned().unwrap_or_default();
+            let data_len = p.data_len.ok_or_else(|| {
+                SynthError::Unsupported(format!("len_d(G{i}) must be fixed by the property"))
+            })?;
+            let check_hi = p.c_hi.unwrap_or(config.default_max_check).max(1);
+            let check_lo = p.c_lo.unwrap_or(1).max(1);
+            if check_lo > check_hi {
+                return Err(SynthError::Inconsistent(format!(
+                    "len_c(G{i}) bounds [{check_lo}, {check_hi}] are empty"
+                )));
+            }
+            // pinned cells: property indexes the full G; map to P columns
+            let mut pinned = Vec::new();
+            for (r, c, v) in p.cells {
+                if r >= data_len {
+                    return Err(SynthError::Inconsistent(format!(
+                        "G{i}({r}, {c}) row out of range"
+                    )));
+                }
+                if c < data_len {
+                    // identity part: must agree with I
+                    if (c == r) != v {
+                        return Err(SynthError::Inconsistent(format!(
+                            "G{i}({r}, {c}) contradicts the identity block"
+                        )));
+                    }
+                } else {
+                    pinned.push((r, c - data_len, v));
+                }
+            }
+            gens.push(GenShape {
+                data_len,
+                min_distance: p.md.unwrap_or(1),
+                check_lo,
+                check_hi,
+                ones_lo: p.ones_lo,
+                ones_hi: p.ones_hi,
+                pinned_cells: pinned,
+            });
+        }
+        Ok(ProblemShape { gens, objective })
+    }
+}
+
+fn unsupported(p: &Prop) -> SynthError {
+    SynthError::Unsupported(p.to_string())
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn set_min(slot: &mut Option<usize>, v: usize) {
+    *slot = Some(slot.map_or(v, |o| o.min(v)));
+}
+
+fn set_max(slot: &mut Option<usize>, v: usize) {
+    *slot = Some(slot.map_or(v, |o| o.max(v)));
+}
+
+/// One verifier instance: symbolic cells plus the φ_md circuit.
+struct VerifierInstance {
+    solver: SmtSolver,
+    sym: SymbolicGenerator,
+    witness_lits: Vec<Lit>,
+}
+
+/// The Algorithm 1 driver.
+pub struct Synthesizer {
+    config: SynthesisConfig,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with the given configuration.
+    pub fn new(config: SynthesisConfig) -> Synthesizer {
+        Synthesizer { config }
+    }
+
+    /// Runs synthesis for a parsed property.
+    pub fn run(&mut self, prop: &Prop) -> Result<SynthesisResult, SynthError> {
+        crate::spec::typecheck(prop).map_err(|e| SynthError::Unsupported(e.to_string()))?;
+        let shape = ProblemShape::from_prop(prop, &self.config)?;
+        self.run_shape(&shape)
+    }
+
+    /// Runs synthesis for pre-extracted structural constraints.
+    pub fn run_shape(&mut self, shape: &ProblemShape) -> Result<SynthesisResult, SynthError> {
+        let start = Instant::now();
+        let mut syn = SmtSolver::new();
+        let mut syms = Vec::with_capacity(shape.gens.len());
+        for gs in &shape.gens {
+            let sym = SymbolicGenerator::new(&mut syn, gs.data_len, gs.check_hi, gs.min_distance);
+            sym.len_c().assert_ge(&mut syn, gs.check_lo);
+            for &(r, c, v) in &gs.pinned_cells {
+                if c >= gs.check_hi {
+                    return Err(SynthError::Inconsistent(format!(
+                        "pinned cell column {c} exceeds check bound {}",
+                        gs.check_hi
+                    )));
+                }
+                let lit = sym.cell(r, c);
+                syn.add_clause(&[if v { lit } else { !lit }]);
+            }
+            let cells = sym.all_cells();
+            if let Some(hi) = gs.ones_hi {
+                syn.at_most_k_with(&cells, hi, self.config.card_encoding);
+            }
+            if let Some(lo) = gs.ones_lo {
+                syn.at_least_k_with(&cells, lo, self.config.card_encoding);
+            }
+            syms.push(sym);
+        }
+
+        let mut verifiers: Vec<Option<VerifierInstance>> = shape
+            .gens
+            .iter()
+            .map(|gs| {
+                (gs.min_distance >= 2).then(|| {
+                    let mut solver = SmtSolver::new();
+                    let sym = SymbolicGenerator::new(
+                        &mut solver,
+                        gs.data_len,
+                        gs.check_hi,
+                        gs.min_distance,
+                    );
+                    let witness_lits =
+                        sym.assert_distance_violation(&mut solver, self.config.card_encoding);
+                    VerifierInstance {
+                        solver,
+                        sym,
+                        witness_lits,
+                    }
+                })
+            })
+            .collect();
+
+        let mut iterations = 0u64;
+        let mut best: Option<Vec<Generator>> = None;
+        let mut intermediates: Vec<(i64, Vec<Generator>)> = Vec::new();
+
+        match shape.objective {
+            None => {
+                let deadline = Instant::now() + self.config.timeout;
+                match self.cegis(&mut syn, &syms, &mut verifiers, deadline, &mut iterations) {
+                    CegisOutcome::Found(gens) => best = Some(gens),
+                    CegisOutcome::Exhausted => {
+                        return Err(SynthError::NoSolution);
+                    }
+                    CegisOutcome::Timeout => {
+                        return Err(SynthError::Timeout);
+                    }
+                }
+            }
+            Some(obj) => {
+                let mut bound = self.initial_bound(shape, obj);
+                loop {
+                    // Algorithm 1 line 2: canBeFurtherOptimized
+                    if !bound_feasible(shape, obj, bound) {
+                        break;
+                    }
+                    syn.push();
+                    self.assert_bound(&mut syn, &syms, shape, obj, bound);
+                    let deadline = Instant::now() + self.config.timeout;
+                    let step =
+                        self.cegis(&mut syn, &syms, &mut verifiers, deadline, &mut iterations);
+                    syn.pop();
+                    match step {
+                        CegisOutcome::Found(gens) => {
+                            let achieved = objective_value(&gens, obj);
+                            intermediates.push((achieved, gens.clone()));
+                            best = Some(gens);
+                            // o.success(): tighten past the achieved value
+                            match next_bound(obj, achieved) {
+                                Some(b) => bound = b,
+                                None => break,
+                            }
+                        }
+                        CegisOutcome::Exhausted | CegisOutcome::Timeout => break, // o.failure()
+                    }
+                }
+                if best.is_none() {
+                    return Err(SynthError::NoSolution);
+                }
+            }
+        }
+
+        Ok(SynthesisResult {
+            generators: best.expect("checked above"),
+            iterations,
+            elapsed: start.elapsed(),
+            intermediates,
+        })
+    }
+
+    fn initial_bound(&self, shape: &ProblemShape, obj: Objective) -> i64 {
+        match obj {
+            Objective::MinCheckLen(i) => shape.gens[i].check_hi as i64,
+            Objective::MaxCheckLen(i) => shape.gens[i].check_lo as i64,
+            Objective::MinOnes(i) => shape.gens[i]
+                .ones_hi
+                .unwrap_or(shape.gens[i].data_len * shape.gens[i].check_hi)
+                as i64,
+            Objective::MaxOnes(i) => shape.gens[i].ones_lo.unwrap_or(0) as i64,
+        }
+    }
+
+    fn assert_bound(
+        &self,
+        syn: &mut SmtSolver,
+        syms: &[SymbolicGenerator],
+        _shape: &ProblemShape,
+        obj: Objective,
+        bound: i64,
+    ) {
+        match obj {
+            Objective::MinCheckLen(i) => syms[i].len_c().assert_le(syn, bound as usize),
+            Objective::MaxCheckLen(i) => syms[i].len_c().assert_ge(syn, bound as usize),
+            Objective::MinOnes(i) => {
+                let cells = syms[i].all_cells();
+                syn.at_most_k_with(&cells, bound as usize, self.config.card_encoding);
+            }
+            Objective::MaxOnes(i) => {
+                let cells = syms[i].all_cells();
+                syn.at_least_k_with(&cells, bound as usize, self.config.card_encoding);
+            }
+        }
+    }
+
+    /// The inner synthesize–verify loop (Algorithm 1 lines 6–18).
+    fn cegis(
+        &self,
+        syn: &mut SmtSolver,
+        syms: &[SymbolicGenerator],
+        verifiers: &mut [Option<VerifierInstance>],
+        deadline: Instant,
+        iterations: &mut u64,
+    ) -> CegisOutcome {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return CegisOutcome::Timeout;
+            }
+            let budget = Budget::with_timeout(deadline - now);
+            *iterations += 1;
+            match syn.solve_with_budget(&[], budget) {
+                SmtResult::Unsat => return CegisOutcome::Exhausted,
+                SmtResult::Unknown => return CegisOutcome::Timeout,
+                SmtResult::Sat => {}
+            }
+            let candidates: Vec<Generator> = syms.iter().map(|s| s.extract(syn)).collect();
+            let mut all_verified = true;
+            for (i, cand) in candidates.iter().enumerate() {
+                let Some(ver) = verifiers[i].as_mut() else {
+                    continue; // md ≤ 1: nothing to verify
+                };
+                let now = Instant::now();
+                if now >= deadline {
+                    return CegisOutcome::Timeout;
+                }
+                let budget = Budget::with_timeout(deadline - now);
+                let pins = ver.sym.pin_assumptions(cand);
+                match ver.solver.solve_with_budget(&pins, budget) {
+                    SmtResult::Unsat => {} // verifier succeeded for this gen
+                    SmtResult::Unknown => return CegisOutcome::Timeout,
+                    SmtResult::Sat => {
+                        all_verified = false;
+                        match self.config.cex_mode {
+                            CexMode::BlockCandidate => {
+                                let clause = syms[i].blocking_clause(syn, cand);
+                                if self.config.persist_counterexamples {
+                                    syn.add_clause_permanent(&clause);
+                                } else {
+                                    syn.add_clause(&clause);
+                                }
+                            }
+                            CexMode::DataWord => {
+                                let x = BitVec::from_bools(
+                                    &ver.witness_lits
+                                        .iter()
+                                        .map(|&l| ver.solver.model_lit(l))
+                                        .collect::<Vec<_>>(),
+                                );
+                                let enc = self.config.card_encoding;
+                                if self.config.persist_counterexamples {
+                                    // dataword counterexamples are sound
+                                    // regardless of the optimization
+                                    // bound, so install them at the root
+                                    syn.at_root(|s| {
+                                        syms[i].add_dataword_counterexample(s, &x, enc)
+                                    });
+                                } else {
+                                    syms[i].add_dataword_counterexample(syn, &x, enc);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if all_verified {
+                return CegisOutcome::Found(candidates);
+            }
+        }
+    }
+}
+
+fn objective_value(gens: &[Generator], obj: Objective) -> i64 {
+    match obj {
+        Objective::MinCheckLen(i) | Objective::MaxCheckLen(i) => gens[i].check_len() as i64,
+        Objective::MinOnes(i) | Objective::MaxOnes(i) => gens[i].coefficient_ones() as i64,
+    }
+}
+
+fn next_bound(obj: Objective, achieved: i64) -> Option<i64> {
+    match obj {
+        Objective::MinCheckLen(_) | Objective::MinOnes(_) => Some(achieved - 1),
+        Objective::MaxCheckLen(_) | Objective::MaxOnes(_) => Some(achieved + 1),
+    }
+}
+
+fn bound_feasible(shape: &ProblemShape, obj: Objective, bound: i64) -> bool {
+    match obj {
+        Objective::MinCheckLen(i) => bound >= shape.gens[i].check_lo as i64,
+        Objective::MaxCheckLen(i) => bound <= shape.gens[i].check_hi as i64,
+        Objective::MinOnes(i) => bound >= shape.gens[i].ones_lo.unwrap_or(0) as i64,
+        Objective::MaxOnes(i) => {
+            bound <= shape.gens[i].ones_hi.unwrap_or(shape.gens[i].data_len * shape.gens[i].check_hi) as i64
+        }
+    }
+}
+
+enum CegisOutcome {
+    Found(Vec<Generator>),
+    Exhausted,
+    Timeout,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_property;
+    use fec_hamming::distance;
+
+    fn quick_config() -> SynthesisConfig {
+        SynthesisConfig {
+            timeout: Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shape_extraction_section31_example() {
+        let p = parse_property(
+            "len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4 && md(G0) = 3 \
+             && minimal(len_c(G0))",
+        )
+        .unwrap();
+        let shape = ProblemShape::from_prop(&p, &quick_config()).unwrap();
+        assert_eq!(shape.gens.len(), 1);
+        let g = &shape.gens[0];
+        assert_eq!((g.data_len, g.min_distance, g.check_lo, g.check_hi), (4, 3, 1, 4));
+        assert_eq!(shape.objective, Some(Objective::MinCheckLen(0)));
+    }
+
+    #[test]
+    fn shape_extraction_rejects_unsupported() {
+        let cfg = quick_config();
+        for src in [
+            "md(G0) = 3",                       // no len_d
+            "len_d(G0) = 4 && sum_w < 3",       // sum_w needs the weighted API
+            "len_d(G0) = 4 || md(G0) = 3",      // top-level disjunction
+            "len_d(G0) = 4 && len_d(G0) = 5",   // inconsistent
+            "len_d(G0) = 4 && 3 <= len_c(G0) <= 2", // empty bounds
+        ] {
+            let p = parse_property(src).unwrap();
+            assert!(
+                ProblemShape::from_prop(&p, &cfg).is_err(),
+                "should reject {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesizes_the_paper_74_example() {
+        let p = parse_property(
+            "len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4 && md(G0) = 3 \
+             && minimal(len_c(G0))",
+        )
+        .unwrap();
+        let r = Synthesizer::new(quick_config()).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert_eq!(g.data_len(), 4);
+        assert_eq!(g.check_len(), 3, "optimal Hamming (7,4) check length");
+        assert_eq!(distance::min_distance_exhaustive(g), 3);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn synthesizes_parity_code_md2() {
+        // §4.3: "we first synthesized a generator with a single check
+        // bit and minimum distance of 2 … functions exactly as an
+        // even-parity bit"
+        let p = parse_property("len_d(G0) = 16 && len_c(G0) = 1 && md(G0) = 2").unwrap();
+        let r = Synthesizer::new(quick_config()).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert_eq!(g.check_len(), 1);
+        // the only md-2 single-check-bit code is the all-ones column
+        assert_eq!(g.coefficient_ones(), 16);
+    }
+
+    #[test]
+    fn synthesizes_md4_with_minimized_checks() {
+        let p = parse_property(
+            "len_d(G0) = 4 && 2 <= len_c(G0) <= 8 && md(G0) = 4 && minimal(len_c(G0))",
+        )
+        .unwrap();
+        let r = Synthesizer::new(quick_config()).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert_eq!(distance::min_distance_exhaustive(g), 4);
+        // the optimal [8,4,4] extended Hamming shape
+        assert_eq!(g.check_len(), 4, "known optimum for [n,4,4]");
+        assert!(!r.intermediates.is_empty());
+    }
+
+    #[test]
+    fn infeasible_distance_is_no_solution() {
+        // md 3 with one check bit is impossible
+        let p = parse_property("len_d(G0) = 4 && len_c(G0) = 1 && md(G0) = 3").unwrap();
+        let e = Synthesizer::new(quick_config()).run(&p).unwrap_err();
+        assert_eq!(e, SynthError::NoSolution);
+    }
+
+    #[test]
+    fn block_candidate_mode_also_converges() {
+        let mut cfg = quick_config();
+        cfg.cex_mode = CexMode::BlockCandidate;
+        let p = parse_property("len_d(G0) = 3 && len_c(G0) = 3 && md(G0) = 3").unwrap();
+        let r = Synthesizer::new(cfg).run(&p).unwrap();
+        assert_eq!(distance::min_distance_exhaustive(&r.generators[0]), 3);
+    }
+
+    #[test]
+    fn pinned_cells_are_respected() {
+        // force P[0][0] = 1 and P[0][1] = 0 via full-matrix coordinates
+        // (columns 4 and 5 of the 4-data-bit generator)
+        let p = parse_property(
+            "len_d(G0) = 4 && len_c(G0) = 3 && md(G0) = 3 && G0(0, 4) = 1 && G0(0, 5) = 0",
+        )
+        .unwrap();
+        let r = Synthesizer::new(quick_config()).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert!(g.coefficients().get(0, 0));
+        assert!(!g.coefficients().get(0, 1));
+        assert_eq!(distance::min_distance_exhaustive(g), 3);
+    }
+
+    #[test]
+    fn identity_cell_constraints_checked() {
+        let cfg = quick_config();
+        let p = parse_property("len_d(G0) = 4 && G0(0, 0) = 0").unwrap();
+        assert!(matches!(
+            ProblemShape::from_prop(&p, &cfg),
+            Err(SynthError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn multi_generator_synthesis() {
+        let p = parse_property(
+            "len_G = 2 && len_d(G0) = 4 && len_c(G0) = 3 && md(G0) = 3 \
+             && len_d(G1) = 8 && len_c(G1) = 1 && md(G1) = 2",
+        )
+        .unwrap();
+        let r = Synthesizer::new(quick_config()).run(&p).unwrap();
+        assert_eq!(r.generators.len(), 2);
+        assert_eq!(distance::min_distance_exhaustive(&r.generators[0]), 3);
+        assert_eq!(distance::min_distance_exhaustive(&r.generators[1]), 2);
+    }
+
+    #[test]
+    fn corr_property_lowers_to_distance() {
+        // §6: "number of correctable bit errors as a property" —
+        // corr ≥ 2 ⟺ md ≥ 5; known optimum for [n,4,5] is 7 check bits,
+        // far below the 11 of the paper's manual construction
+        let p = parse_property(
+            "len_d(G0) = 4 && 2 <= len_c(G0) <= 14 && corr(G0) >= 2 && minimal(len_c(G0))",
+        )
+        .unwrap();
+        let shape = ProblemShape::from_prop(&p, &quick_config()).unwrap();
+        assert_eq!(shape.gens[0].min_distance, 5);
+        let r = Synthesizer::new(quick_config()).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert!(distance::min_distance_exhaustive(g) >= 5);
+        assert_eq!(g.check_len(), 7, "[11,4,5] is the optimum");
+        // and the synthesized code really corrects every 2-bit error
+        let ctx = crate::spec::EvalContext::from_generators(vec![g.clone()]);
+        let check = parse_property("corr(G0) >= 2").unwrap();
+        assert!(ctx.eval_prop(&check).unwrap());
+    }
+
+    #[test]
+    fn maximal_objective_grows_ones() {
+        let p = parse_property(
+            "len_d(G0) = 3 && len_c(G0) = 3 && md(G0) = 2 && maximal(len_1(G0))",
+        )
+        .unwrap();
+        let r = Synthesizer::new(quick_config()).run(&p).unwrap();
+        // all 9 coefficient bits set still has md ≥ 2 (rows weight 3)
+        assert_eq!(r.generators[0].coefficient_ones(), 9);
+    }
+
+    #[test]
+    fn minimize_ones_reaches_structural_floor() {
+        // md 3 requires every row of P to have weight ≥ 2 → floor is 2k
+        let p = parse_property(
+            "len_d(G0) = 4 && len_c(G0) = 4 && md(G0) = 3 && minimal(len_1(G0))",
+        )
+        .unwrap();
+        let r = Synthesizer::new(quick_config()).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert_eq!(distance::min_distance_exhaustive(g), 3);
+        assert_eq!(g.coefficient_ones(), 8, "2 per row is the floor");
+    }
+}

@@ -1,0 +1,14 @@
+//! The Fig. 3 property language: syntax, parsing, and concrete
+//! evaluation.
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+mod typecheck;
+
+pub use ast::{CmpOp, Expr, GenFn, Prop};
+pub use eval::{EvalContext, EvalError, Value};
+pub use lexer::{LexError, Token};
+pub use parser::{parse_property, ParseError};
+pub use typecheck::{typecheck, PropertySummary, Type, TypeError};

@@ -1,0 +1,265 @@
+//! Static checking of parsed properties.
+//!
+//! The property language is small enough that most errors surface at
+//! parse time, but a class of mistakes only shows up once expressions
+//! are interpreted: real literals used as generator/weight indices,
+//! references to `sum_w` without any weights in scope, comparisons of
+//! a generator function against a negative bound, and so on. The
+//! paper's tool asserts such properties straight into Z3 where they
+//! fail obscurely; this checker reports them up front, and also
+//! returns a [`PropertySummary`] (which generators and features a
+//! property touches) that callers use for solver sizing.
+
+use super::ast::{CmpOp, Expr, GenFn, Prop};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The two numeric types of the language.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Type {
+    Int,
+    Real,
+}
+
+/// A static error with a human-oriented message.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// What a property refers to — used by callers to size solvers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PropertySummary {
+    /// Constant generator indices mentioned (e.g. `G0`, `G3`).
+    pub generators: BTreeSet<usize>,
+    /// `true` when any generator index is a non-constant expression.
+    pub dynamic_generator_indices: bool,
+    /// Mentions of `w(_)`, `len_w`, or `sum_w`.
+    pub uses_weights: bool,
+    /// Mentions of `md(_)` or `corr(_)` (needs a distance verifier).
+    pub uses_distance: bool,
+    /// Number of `minimal`/`maximal` directives.
+    pub optimization_directives: usize,
+}
+
+/// Checks a property; returns its summary or the first error.
+pub fn typecheck(prop: &Prop) -> Result<PropertySummary, TypeError> {
+    let mut summary = PropertySummary::default();
+    check_prop(prop, &mut summary)?;
+    Ok(summary)
+}
+
+fn check_prop(p: &Prop, s: &mut PropertySummary) -> Result<(), TypeError> {
+    match p {
+        Prop::True | Prop::False => Ok(()),
+        Prop::Not(inner) => check_prop(inner, s),
+        Prop::And(a, b) | Prop::Or(a, b) | Prop::Implies(a, b) => {
+            check_prop(a, s)?;
+            check_prop(b, s)
+        }
+        Prop::Minimal(e) | Prop::Maximal(e) => {
+            s.optimization_directives += 1;
+            if const_value(e).is_some() {
+                return Err(TypeError(format!(
+                    "optimization target {e} is a constant — nothing to optimize"
+                )));
+            }
+            check_expr(e, s).map(|_| ())
+        }
+        Prop::Cmp(op, a, b) => {
+            let ta = check_expr(a, s)?;
+            let tb = check_expr(b, s)?;
+            // lint: equating a real against an integer measurement is
+            // fine; comparing two constants is suspicious but legal.
+            let _ = (ta, tb);
+            // lint: generator measurements are non-negative integers
+            for (lhs, rhs) in [(a, b), (b, a)] {
+                if let Expr::GenFn(func, _) = lhs {
+                    if let Some(v) = const_value(rhs) {
+                        let lower_ok = match op {
+                            CmpOp::Eq => v >= 0.0,
+                            _ => true,
+                        };
+                        if !lower_ok {
+                            return Err(TypeError(format!(
+                                "{func:?} cannot equal the negative constant {v}"
+                            )));
+                        }
+                        if matches!(func, GenFn::LenD | GenFn::LenC | GenFn::LenOnes)
+                            && v.fract() != 0.0
+                            && *op == CmpOp::Eq
+                        {
+                            return Err(TypeError(format!(
+                                "{func:?} is an integer but is equated to {v}"
+                            )));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_expr(e: &Expr, s: &mut PropertySummary) -> Result<Type, TypeError> {
+    match e {
+        Expr::Int(_) => Ok(Type::Int),
+        Expr::Real(_) => Ok(Type::Real),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            let ta = check_expr(a, s)?;
+            let tb = check_expr(b, s)?;
+            Ok(if ta == Type::Real || tb == Type::Real {
+                Type::Real
+            } else {
+                Type::Int
+            })
+        }
+        Expr::Neg(a) => check_expr(a, s),
+        Expr::LenG => Ok(Type::Int),
+        Expr::LenW => {
+            s.uses_weights = true;
+            Ok(Type::Int)
+        }
+        Expr::SumW => {
+            s.uses_weights = true;
+            Ok(Type::Real)
+        }
+        Expr::Weight(idx) => {
+            s.uses_weights = true;
+            require_index(idx, s, "weight index")?;
+            Ok(Type::Real)
+        }
+        Expr::Cell { gen, row, col } => {
+            note_generator(gen, s);
+            require_index(gen, s, "generator index")?;
+            require_index(row, s, "cell row")?;
+            require_index(col, s, "cell column")?;
+            Ok(Type::Int)
+        }
+        Expr::GenFn(func, gen) => {
+            if matches!(func, GenFn::Md | GenFn::Corr) {
+                s.uses_distance = true;
+            }
+            note_generator(gen, s);
+            require_index(gen, s, "generator index")?;
+            Ok(Type::Int)
+        }
+    }
+}
+
+/// Indices must be integer-typed; constant indices must be natural.
+fn require_index(e: &Expr, s: &mut PropertySummary, what: &str) -> Result<(), TypeError> {
+    let t = check_expr(e, s)?;
+    if t != Type::Int {
+        return Err(TypeError(format!("{what} {e} must be an integer")));
+    }
+    if let Some(v) = const_value(e) {
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(TypeError(format!("{what} {e} must be a natural number")));
+        }
+    }
+    Ok(())
+}
+
+fn note_generator(gen: &Expr, s: &mut PropertySummary) {
+    match const_value(gen) {
+        Some(v) if v >= 0.0 && v.fract() == 0.0 => {
+            s.generators.insert(v as usize);
+        }
+        _ => s.dynamic_generator_indices = true,
+    }
+}
+
+/// Pure-arithmetic constant folding (mirrors `cegis`'s folder).
+fn const_value(e: &Expr) -> Option<f64> {
+    Some(match e {
+        Expr::Int(n) => *n as f64,
+        Expr::Real(r) => *r,
+        Expr::Add(a, b) => const_value(a)? + const_value(b)?,
+        Expr::Sub(a, b) => const_value(a)? - const_value(b)?,
+        Expr::Mul(a, b) => const_value(a)? * const_value(b)?,
+        Expr::Neg(a) => -const_value(a)?,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_property;
+
+    fn check(src: &str) -> Result<PropertySummary, TypeError> {
+        typecheck(&parse_property(src).expect("parses"))
+    }
+
+    #[test]
+    fn accepts_the_paper_example_and_summarizes() {
+        let s = check(
+            "len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4 && md(G0) = 3 \
+             && minimal(len_c(G0))",
+        )
+        .unwrap();
+        assert_eq!(s.generators.iter().copied().collect::<Vec<_>>(), [0]);
+        assert!(s.uses_distance);
+        assert!(!s.uses_weights);
+        assert_eq!(s.optimization_directives, 1);
+        assert!(!s.dynamic_generator_indices);
+    }
+
+    #[test]
+    fn collects_multiple_generators_and_weights() {
+        let s = check("md(G0) = 3 && len_c(G2) = 1 && sum_w < 100 && w(3) > 0").unwrap();
+        assert_eq!(s.generators.iter().copied().collect::<Vec<_>>(), [0, 2]);
+        assert!(s.uses_weights);
+    }
+
+    #[test]
+    fn flags_dynamic_generator_indices() {
+        let s = check("md(G[len_G - 1]) = 3").unwrap();
+        assert!(s.dynamic_generator_indices);
+        assert!(s.generators.is_empty());
+    }
+
+    #[test]
+    fn rejects_real_generator_index() {
+        let e = check("md(G[1.5]) = 3").unwrap_err();
+        assert!(e.0.contains("integer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_negative_index() {
+        let e = check("md(G[-1]) = 3").unwrap_err();
+        assert!(e.0.contains("natural"), "{e}");
+    }
+
+    #[test]
+    fn rejects_constant_optimization_target() {
+        let e = check("minimal(3 + 4)").unwrap_err();
+        assert!(e.0.contains("constant"), "{e}");
+    }
+
+    #[test]
+    fn rejects_fractional_length_equation() {
+        let e = check("len_c(G0) = 2.5").unwrap_err();
+        assert!(e.0.contains("integer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_negative_length_equation() {
+        let e = check("len_d(G0) = -4").unwrap_err();
+        assert!(e.0.contains("negative"), "{e}");
+    }
+
+    #[test]
+    fn allows_real_comparisons_and_corr() {
+        let s = check("sum_w < 192.58 && corr(G0) >= 2").unwrap();
+        assert!(s.uses_weights);
+        assert!(s.uses_distance);
+    }
+}

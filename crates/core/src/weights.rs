@@ -1,0 +1,389 @@
+//! Weighted (application-specific) synthesis — §4.3.
+//!
+//! The data bits of a `len_w`-bit word carry real-valued criticality
+//! weights (for float32, the per-bit average error magnitudes of
+//! Fig. 1). The synthesizer chooses a `map : bit → generator`
+//! minimizing the weighted undetected-error objective
+//!
+//! ```text
+//! sum_w = Σ_j w(j) · C(len_d(map(j)) + len_c(map(j)), md(map(j))) · p^md(map(j))
+//! ```
+//!
+//! (constraint (6) of §3.2), where each generator's check length and
+//! minimum distance are fixed by the specification and its data length
+//! is the number of bits mapped to it.
+//!
+//! Implementation: the objective couples the map to the generator
+//! matrices *only* through `(len_d, len_c, md)`, so the search
+//! decomposes exactly:
+//!
+//! 1. **Map synthesis** (SMT): selector booleans `m[j]` plus a counting
+//!    register for `len_d(G0)`; for every possible split `t`, a guarded
+//!    pseudo-boolean bound encodes `len_d(G0) = t → sum_w ≤ B`. The
+//!    bound `B` descends from `initial_bound` (the paper starts at
+//!    1000) until UNSAT or timeout.
+//! 2. **Matrix synthesis** (CEGIS): with the data lengths now concrete,
+//!    the standard Algorithm 1 loop synthesizes each generator. If a
+//!    split turns out infeasible, it is blocked in the map solver and
+//!    step 1 resumes — CEGIS at the decomposition level.
+//!
+//! Like the paper's evaluation, this supports `len_G = 2`; the map
+//! solver rejects larger ensembles.
+
+use crate::cegis::{GenShape, ProblemShape, Synthesizer, SynthesisConfig, SynthError};
+use fec_hamming::robustness::choose_times_pow;
+use fec_hamming::Generator;
+use fec_smt::{Budget, Lit, SmtResult, SmtSolver, UnaryInt};
+use std::time::{Duration, Instant};
+
+/// Fixed attributes of one generator in a weighted ensemble.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightedGenSpec {
+    /// `len_c`: number of check bits.
+    pub check_len: usize,
+    /// Required minimum distance.
+    pub min_distance: usize,
+}
+
+/// A weighted synthesis problem.
+#[derive(Clone, Debug)]
+pub struct WeightedProblem {
+    /// Per-bit criticality weights; `len_w = weights.len()`.
+    /// Index 0 is data bit 0 (LSB), matching `CompositeCode::from_map`.
+    pub weights: Vec<f64>,
+    /// The ensemble (exactly two generators, as in the paper's §4.3).
+    pub gens: Vec<WeightedGenSpec>,
+    /// Channel bit-error probability `p`.
+    pub bit_error_rate: f64,
+    /// Starting bound for the `minimal(sum_w)` descent (paper: 1000).
+    pub initial_bound: f64,
+}
+
+/// A successful weighted synthesis.
+#[derive(Clone, Debug)]
+pub struct WeightedResult {
+    /// The synthesized generators, in spec order.
+    pub generators: Vec<Generator>,
+    /// `map[j]` = generator index protecting data bit `j`.
+    pub map: Vec<usize>,
+    /// Achieved objective value.
+    pub sum_w: f64,
+    /// Total solver iterations (map proposals + CEGIS iterations).
+    pub iterations: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Fixed-point scale for real weights inside the PB encoding.
+const SCALE: f64 = 1e6;
+
+/// Synthesizes a weighted ensemble (map + matrices) minimizing `sum_w`.
+pub fn synthesize_weighted(
+    problem: &WeightedProblem,
+    config: &SynthesisConfig,
+) -> Result<WeightedResult, SynthError> {
+    let start = Instant::now();
+    let lw = problem.weights.len();
+    if problem.gens.len() != 2 {
+        return Err(SynthError::Unsupported(
+            "weighted synthesis supports exactly 2 generators (as evaluated in the paper)".into(),
+        ));
+    }
+    if lw == 0 {
+        return Err(SynthError::Inconsistent("no weights".into()));
+    }
+    let deadline = start + config.timeout;
+
+    // f[i][t] = chooseTimesPow(t + c_i, md_i) for t bits mapped to i
+    let f = |i: usize, t: usize| -> f64 {
+        let spec = &problem.gens[i];
+        choose_times_pow(t + spec.check_len, spec.min_distance, problem.bit_error_rate)
+    };
+
+    let mut iterations = 0u64;
+    // splits proven infeasible by matrix synthesis (decomposition-level
+    // counterexamples: no code with the required (k, c, md) exists)
+    let mut blocked_splits: Vec<usize> = Vec::new();
+
+    'outer: loop {
+        if Instant::now() >= deadline {
+            return Err(SynthError::Timeout);
+        }
+        let Some((map, sum_w)) = solve_map(
+            problem,
+            config,
+            &blocked_splits,
+            deadline,
+            &mut iterations,
+            &f,
+        ) else {
+            return Err(SynthError::NoSolution);
+        };
+
+        // --- matrix synthesis for the concrete split ---------------------
+        let t = map.iter().filter(|&&g| g == 0).count();
+        let mut generators = Vec::with_capacity(2);
+        for (i, spec) in problem.gens.iter().enumerate() {
+            let data_len = if i == 0 { t } else { lw - t };
+            if data_len == 0 {
+                // empty generators are not representable; treat as an
+                // infeasible split
+                blocked_splits.push(t);
+                continue 'outer;
+            }
+            let shape = ProblemShape {
+                gens: vec![GenShape {
+                    data_len,
+                    min_distance: spec.min_distance,
+                    check_lo: spec.check_len,
+                    check_hi: spec.check_len,
+                    ones_lo: None,
+                    ones_hi: None,
+                    pinned_cells: Vec::new(),
+                }],
+                objective: None,
+            };
+            match Synthesizer::new(*config).run_shape(&shape) {
+                Ok(r) => {
+                    iterations += r.iterations;
+                    generators.push(r.generators.into_iter().next().expect("one generator"));
+                }
+                Err(SynthError::NoSolution) => {
+                    // this split admits no generator matrix: block it and
+                    // re-run map synthesis
+                    blocked_splits.push(t);
+                    continue 'outer;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        return Ok(WeightedResult {
+            generators,
+            map,
+            sum_w,
+            iterations,
+            elapsed: start.elapsed(),
+        });
+    }
+}
+
+/// Phase 1: the map solver with bound descent. Returns the best map
+/// found (and its objective value), or `None` if no split meets the
+/// initial bound.
+fn solve_map(
+    problem: &WeightedProblem,
+    config: &SynthesisConfig,
+    blocked_splits: &[usize],
+    deadline: Instant,
+    iterations: &mut u64,
+    f: &impl Fn(usize, usize) -> f64,
+) -> Option<(Vec<usize>, f64)> {
+    let lw = problem.weights.len();
+    let mut s = SmtSolver::new();
+    // m[j] ⇔ bit j maps to generator 0
+    let m: Vec<Lit> = (0..lw).map(|_| s.fresh_lit()).collect();
+    let reg = s.counting_register(&m, config.card_encoding);
+    let t0 = UnaryInt::from_register(reg);
+    for &t in blocked_splits {
+        let eq = t0.eq_const(&mut s, t);
+        s.add_clause(&[!eq]);
+    }
+
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut bound = problem.initial_bound;
+
+    loop {
+        if Instant::now() >= deadline {
+            break;
+        }
+        s.push();
+        // assert sum_w ≤ bound via one guarded PB per split t
+        for t in 0..=lw {
+            let guard = t0.eq_const(&mut s, t);
+            let f0 = f(0, t);
+            let f1 = f(1, lw - t);
+            let base: f64 = problem.weights.iter().map(|w| w * f1).sum();
+            // Σ_j m_j · w_j (f0 - f1) ≤ bound - base, with sign handling
+            let mut lits = Vec::with_capacity(lw);
+            let mut coeffs = Vec::with_capacity(lw);
+            let mut rhs = (bound - base) * SCALE;
+            for (j, &w) in problem.weights.iter().enumerate() {
+                let delta = (w * (f0 - f1) * SCALE).round() as i64;
+                match delta.cmp(&0) {
+                    std::cmp::Ordering::Greater => {
+                        lits.push(m[j]);
+                        coeffs.push(delta as u64);
+                    }
+                    std::cmp::Ordering::Less => {
+                        // m·δ = δ + (¬m)·(-δ)
+                        rhs -= delta as f64;
+                        lits.push(!m[j]);
+                        coeffs.push((-delta) as u64);
+                    }
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+            if rhs < 0.0 {
+                s.add_clause(&[!guard]); // this split can never meet the bound
+            } else {
+                let ok = s.weighted_le_reified(&lits, &coeffs, rhs as u64);
+                s.add_clause(&[!guard, ok]);
+            }
+        }
+
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            s.pop();
+            break;
+        }
+        *iterations += 1;
+        let status = s.solve_with_budget(&[], Budget::with_timeout(remaining));
+        if status != SmtResult::Sat {
+            s.pop();
+            break;
+        }
+        let map: Vec<usize> = m.iter().map(|&l| usize::from(!s.model_lit(l))).collect();
+        let t = map.iter().filter(|&&g| g == 0).count();
+        let achieved: f64 = problem
+            .weights
+            .iter()
+            .zip(&map)
+            .map(|(&w, &gi)| w * f(gi, if gi == 0 { t } else { lw - t }))
+            .sum();
+        s.pop();
+        best = Some((map, achieved));
+        // tighten strictly below the achieved value (one scaled unit)
+        bound = achieved - 1.0 / SCALE;
+        if bound < 0.0 {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fec_hamming::distance;
+
+    /// The paper's §4.3 weights for the upper 16 bits of a float32,
+    /// listed MSB-first in the paper; our `weights[j]` indexes data bit
+    /// `j` LSB-first, so the list is reversed.
+    pub fn paper_float_weights() -> Vec<f64> {
+        let msb_first = [
+            100.0, 100.0, 100.0, 100.0, 99.0, 98.0, 82.0, 45.0, 17.0, 17.0, 8.0, 4.0, 2.0, 1.0,
+            1.0, 1.0,
+        ];
+        msb_first.iter().rev().copied().collect()
+    }
+
+    fn quick() -> SynthesisConfig {
+        SynthesisConfig {
+            timeout: Duration::from_secs(60),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_the_optimal_split_for_the_paper_weights() {
+        // §4.3 synthesizes G_5^8 + G_1^8 (an 8/8 split, sum_w ≈ 225.4)
+        // after hitting its solver timeout. The exact optimum of the
+        // same objective is the 7/9 split (bits 15..9 → strong code,
+        // sum_w ≈ 192.58); our optimizer must find it. The Table 2
+        // bench evaluates both ensembles (see EXPERIMENTS.md).
+        let problem = WeightedProblem {
+            weights: paper_float_weights(),
+            gens: vec![
+                WeightedGenSpec {
+                    check_len: 5,
+                    min_distance: 3,
+                },
+                WeightedGenSpec {
+                    check_len: 1,
+                    min_distance: 2,
+                },
+            ],
+            bit_error_rate: 0.1,
+            initial_bound: 1000.0,
+        };
+        let r = synthesize_weighted(&problem, &quick()).unwrap();
+        let expect_map: Vec<usize> = (0..16).map(|j| usize::from(j < 9)).collect();
+        assert_eq!(r.map, expect_map, "optimal split is bits 15..9 → G0");
+        assert_eq!(r.generators[0].data_len(), 7);
+        assert_eq!(r.generators[0].check_len(), 5);
+        assert!(distance::min_distance_exhaustive(&r.generators[0]) >= 3);
+        assert_eq!(r.generators[1].data_len(), 9);
+        assert_eq!(r.generators[1].check_len(), 1);
+        assert!(distance::min_distance_exhaustive(&r.generators[1]) >= 2);
+        assert!((r.sum_w - 192.58).abs() < 1e-2, "sum_w = {}", r.sum_w);
+        // strictly better than the paper's timeout-limited 8/8 split
+        assert!(r.sum_w < 225.43);
+    }
+
+    #[test]
+    fn uniform_weights_prefer_cheap_splits_consistently() {
+        // with all weights equal, any optimal split has the same value;
+        // just check the result is well-formed and the objective matches
+        let problem = WeightedProblem {
+            weights: vec![1.0; 8],
+            gens: vec![
+                WeightedGenSpec {
+                    check_len: 3,
+                    min_distance: 3,
+                },
+                WeightedGenSpec {
+                    check_len: 1,
+                    min_distance: 2,
+                },
+            ],
+            bit_error_rate: 0.1,
+            initial_bound: 100.0,
+        };
+        let r = synthesize_weighted(&problem, &quick()).unwrap();
+        assert_eq!(r.map.len(), 8);
+        let t = r.map.iter().filter(|&&g| g == 0).count();
+        assert_eq!(r.generators[0].data_len(), t);
+        assert_eq!(r.generators[1].data_len(), 8 - t);
+    }
+
+    #[test]
+    fn rejects_wrong_ensemble_size() {
+        let problem = WeightedProblem {
+            weights: vec![1.0; 4],
+            gens: vec![WeightedGenSpec {
+                check_len: 1,
+                min_distance: 2,
+            }],
+            bit_error_rate: 0.1,
+            initial_bound: 10.0,
+        };
+        assert!(matches!(
+            synthesize_weighted(&problem, &quick()),
+            Err(SynthError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn impossible_bound_fails_cleanly() {
+        let problem = WeightedProblem {
+            weights: vec![1.0; 4],
+            gens: vec![
+                WeightedGenSpec {
+                    check_len: 2,
+                    min_distance: 2,
+                },
+                WeightedGenSpec {
+                    check_len: 1,
+                    min_distance: 2,
+                },
+            ],
+            bit_error_rate: 0.1,
+            initial_bound: 0.0, // nothing is ≤ 0
+        };
+        assert!(matches!(
+            synthesize_weighted(&problem, &quick()),
+            Err(SynthError::NoSolution)
+        ));
+    }
+}

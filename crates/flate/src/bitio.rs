@@ -1,0 +1,183 @@
+//! LSB-first bit I/O, as DEFLATE requires.
+
+/// Accumulates bits least-significant-first into a byte stream.
+#[derive(Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Writes the low `n` bits of `value`, LSB first.
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || value < (1 << n));
+        self.acc |= (value as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.bytes.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Writes a Huffman code: `len` bits with the *most significant
+    /// code bit first* (DEFLATE packs codes in reverse bit order
+    /// relative to everything else).
+    pub fn write_code(&mut self, code: u32, len: u32) {
+        let mut rev = 0u32;
+        for i in 0..len {
+            rev |= ((code >> i) & 1) << (len - 1 - i);
+        }
+        self.write_bits(rev, len);
+    }
+
+    /// Pads to a byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            self.bytes.push((self.acc & 0xFF) as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Writes a whole byte (must be byte-aligned).
+    pub fn write_byte(&mut self, b: u8) {
+        debug_assert_eq!(self.nbits, 0, "write_byte requires alignment");
+        self.bytes.push(b);
+    }
+
+    /// Current output length in bits (for size comparisons).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+
+    /// Finishes (byte-aligning) and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.bytes
+    }
+}
+
+/// Reads bits least-significant-first from a byte stream.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            bytes,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.bytes.len() {
+            self.acc |= (self.bytes[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads `n` bits (LSB first). Returns `None` past end of input.
+    pub fn read_bits(&mut self, n: u32) -> Option<u32> {
+        debug_assert!(n <= 32);
+        self.refill();
+        if self.nbits < n {
+            return None;
+        }
+        let v = (self.acc & ((1u64 << n) - 1)) as u32;
+        self.acc >>= n;
+        self.nbits -= n;
+        Some(v)
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<u32> {
+        self.read_bits(1)
+    }
+
+    /// Discards bits up to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Reads a whole byte after alignment.
+    pub fn read_byte(&mut self) -> Option<u8> {
+        self.read_bits(8).map(|b| b as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xABCD, 16);
+        w.write_bits(1, 1);
+        w.write_bits(0x3FFFFFFF, 30);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(16), Some(0xABCD));
+        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(30), Some(0x3FFFFFFF));
+    }
+
+    #[test]
+    fn code_bits_are_reversed() {
+        let mut w = BitWriter::new();
+        // code 0b110 (MSB first) must appear as bits 1,1,0 in stream order
+        w.write_code(0b110, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes[0] & 0b111, 0b011);
+    }
+
+    #[test]
+    fn align_and_byte_io() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align_byte();
+        w.write_byte(0x42);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0x01, 0x42]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit(), Some(1));
+        r.align_byte();
+        assert_eq!(r.read_byte(), Some(0x42));
+    }
+
+    #[test]
+    fn reading_past_end_returns_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 5);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 10);
+    }
+}

@@ -1,0 +1,394 @@
+//! The DEFLATE compressor (RFC 1951): stored, fixed-Huffman, and
+//! dynamic-Huffman blocks; the smallest encoding wins.
+
+use crate::bitio::BitWriter;
+use crate::huffman::{build_lengths, canonical_codes};
+use crate::lz77::{tokenize, Token};
+
+/// (base, extra_bits) for length codes 257..=285.
+pub(crate) const LENGTH_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// (base, extra_bits) for distance codes 0..=29.
+pub(crate) const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1),
+    (9, 2), (13, 2),
+    (17, 3), (25, 3),
+    (33, 4), (49, 4),
+    (65, 5), (97, 5),
+    (129, 6), (193, 6),
+    (257, 7), (385, 7),
+    (513, 8), (769, 8),
+    (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11),
+    (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Order of code-length-code lengths in the dynamic header.
+pub(crate) const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Maps a match length (3..=258) to (code, extra_bits, extra_value).
+pub(crate) fn length_code(len: u16) -> (u16, u8, u16) {
+    debug_assert!((3..=258).contains(&len));
+    let idx = LENGTH_TABLE
+        .iter()
+        .rposition(|&(base, _)| base <= len)
+        .expect("length in range");
+    // code 285 is exactly 258; lower codes span [base, base + 2^extra)
+    let (base, extra) = LENGTH_TABLE[idx];
+    (257 + idx as u16, extra, len - base)
+}
+
+/// Maps a distance (1..=32768) to (code, extra_bits, extra_value).
+pub(crate) fn dist_code(dist: u16) -> (u16, u8, u16) {
+    debug_assert!(dist >= 1);
+    let idx = DIST_TABLE
+        .iter()
+        .rposition(|&(base, _)| base <= dist)
+        .expect("distance in range");
+    let (base, extra) = DIST_TABLE[idx];
+    (idx as u16, extra, dist - base)
+}
+
+/// The fixed literal/length code lengths (RFC 1951 §3.2.6).
+pub(crate) fn fixed_lit_lengths() -> Vec<u32> {
+    let mut l = vec![8u32; 288];
+    for x in l.iter_mut().take(256).skip(144) {
+        *x = 9;
+    }
+    for x in l.iter_mut().take(280).skip(256) {
+        *x = 7;
+    }
+    l
+}
+
+/// The fixed distance code lengths (all 5 bits).
+pub(crate) fn fixed_dist_lengths() -> Vec<u32> {
+    vec![5u32; 30]
+}
+
+/// Compresses `data` into a raw DEFLATE stream (single final block;
+/// stored blocks are chunked as required).
+pub fn deflate_compress(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+
+    // frequencies (including the end-of-block symbol 256)
+    let mut lit_freq = vec![0u32; 286];
+    let mut dist_freq = vec![0u32; 30];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_code(len).0 as usize] += 1;
+                dist_freq[dist_code(dist).0 as usize] += 1;
+            }
+        }
+    }
+    lit_freq[256] += 1;
+
+    // candidate 1: dynamic block
+    let dyn_lit_lens = build_lengths(&lit_freq, 15);
+    let mut dyn_dist_lens = build_lengths(&dist_freq, 15);
+    if dyn_dist_lens.iter().all(|&l| l == 0) {
+        dyn_dist_lens[0] = 1; // decoders expect ≥ 1 distance code
+    }
+    let dyn_body_bits = body_bits(&tokens, &dyn_lit_lens, &dyn_dist_lens);
+    let header = DynamicHeader::build(&dyn_lit_lens, &dyn_dist_lens);
+    let dyn_total = 3 + header.bit_len() + dyn_body_bits;
+
+    // candidate 2: fixed block
+    let fix_lit = fixed_lit_lengths();
+    let fix_dist = fixed_dist_lengths();
+    let fix_total = 3 + body_bits(&tokens, &fix_lit, &fix_dist);
+
+    // candidate 3: stored
+    let stored_total = stored_bits(data.len());
+
+    let mut w = BitWriter::new();
+    if stored_total <= dyn_total && stored_total <= fix_total {
+        emit_stored(&mut w, data);
+    } else if dyn_total <= fix_total {
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(0b10, 2); // dynamic
+        header.emit(&mut w);
+        emit_body(&mut w, &tokens, &dyn_lit_lens, &dyn_dist_lens);
+    } else {
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2); // fixed
+        emit_body(&mut w, &tokens, &fix_lit, &fix_dist);
+    }
+    w.finish()
+}
+
+fn stored_bits(len: usize) -> usize {
+    // per stored block: 3 bits type + pad + 4 bytes LEN/NLEN; 65535 max
+    let blocks = len.div_ceil(65535).max(1);
+    blocks * (8 + 32) + len * 8
+}
+
+fn emit_stored(w: &mut BitWriter, data: &[u8]) {
+    let chunks: Vec<&[u8]> = if data.is_empty() {
+        vec![&[][..]]
+    } else {
+        data.chunks(65535).collect()
+    };
+    for (i, chunk) in chunks.iter().enumerate() {
+        let last = i + 1 == chunks.len();
+        w.write_bits(u32::from(last), 1);
+        w.write_bits(0b00, 2);
+        w.align_byte();
+        let len = chunk.len() as u16;
+        w.write_byte((len & 0xFF) as u8);
+        w.write_byte((len >> 8) as u8);
+        w.write_byte((!len & 0xFF) as u8);
+        w.write_byte(((!len) >> 8) as u8);
+        for &b in *chunk {
+            w.write_byte(b);
+        }
+    }
+}
+
+fn body_bits(tokens: &[Token], lit_lens: &[u32], dist_lens: &[u32]) -> usize {
+    let mut bits = lit_lens[256] as usize; // EOB
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => bits += lit_lens[b as usize] as usize,
+            Token::Match { len, dist } => {
+                let (lc, le, _) = length_code(len);
+                let (dc, de, _) = dist_code(dist);
+                bits += lit_lens[lc as usize] as usize + le as usize;
+                bits += dist_lens[dc as usize] as usize + de as usize;
+            }
+        }
+    }
+    bits
+}
+
+fn emit_body(w: &mut BitWriter, tokens: &[Token], lit_lens: &[u32], dist_lens: &[u32]) {
+    let lit_codes = canonical_codes(lit_lens);
+    let dist_codes = canonical_codes(dist_lens);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                w.write_code(lit_codes[b as usize], lit_lens[b as usize]);
+            }
+            Token::Match { len, dist } => {
+                let (lc, le, lv) = length_code(len);
+                w.write_code(lit_codes[lc as usize], lit_lens[lc as usize]);
+                if le > 0 {
+                    w.write_bits(lv as u32, le as u32);
+                }
+                let (dc, de, dv) = dist_code(dist);
+                w.write_code(dist_codes[dc as usize], dist_lens[dc as usize]);
+                if de > 0 {
+                    w.write_bits(dv as u32, de as u32);
+                }
+            }
+        }
+    }
+    w.write_code(lit_codes[256], lit_lens[256]); // end of block
+}
+
+/// The dynamic-block header: RLE-coded code lengths plus the
+/// code-length code.
+struct DynamicHeader {
+    hlit: usize,
+    hdist: usize,
+    clc_lens: Vec<u32>,
+    /// RLE symbols: (symbol, extra_bits, extra_value)
+    rle: Vec<(u32, u32, u32)>,
+}
+
+impl DynamicHeader {
+    fn build(lit_lens: &[u32], dist_lens: &[u32]) -> DynamicHeader {
+        let hlit = lit_lens
+            .iter()
+            .rposition(|&l| l > 0)
+            .map_or(257, |p| (p + 1).max(257));
+        let hdist = dist_lens
+            .iter()
+            .rposition(|&l| l > 0)
+            .map_or(1, |p| (p + 1).max(1));
+        // concatenated length sequence, RLE with 16/17/18
+        let mut seq: Vec<u32> = Vec::with_capacity(hlit + hdist);
+        seq.extend_from_slice(&lit_lens[..hlit]);
+        seq.extend_from_slice(&dist_lens[..hdist]);
+        let mut rle: Vec<(u32, u32, u32)> = Vec::new();
+        let mut i = 0;
+        while i < seq.len() {
+            let v = seq[i];
+            let mut run = 1;
+            while i + run < seq.len() && seq[i + run] == v {
+                run += 1;
+            }
+            if v == 0 {
+                let mut left = run;
+                while left >= 11 {
+                    let take = left.min(138);
+                    rle.push((18, 7, (take - 11) as u32));
+                    left -= take;
+                }
+                if left >= 3 {
+                    rle.push((17, 3, (left - 3) as u32));
+                    left = 0;
+                }
+                for _ in 0..left {
+                    rle.push((0, 0, 0));
+                }
+            } else {
+                rle.push((v, 0, 0));
+                let mut left = run - 1;
+                while left >= 3 {
+                    let take = left.min(6);
+                    rle.push((16, 2, (take - 3) as u32));
+                    left -= take;
+                }
+                for _ in 0..left {
+                    rle.push((v, 0, 0));
+                }
+            }
+            i += run;
+        }
+        // code-length code over the RLE symbols
+        let mut clc_freq = vec![0u32; 19];
+        for &(sym, _, _) in &rle {
+            clc_freq[sym as usize] += 1;
+        }
+        let clc_lens = build_lengths(&clc_freq, 7);
+        DynamicHeader {
+            hlit,
+            hdist,
+            clc_lens,
+            rle,
+        }
+    }
+
+    fn hclen(&self) -> usize {
+        let last = CLC_ORDER
+            .iter()
+            .rposition(|&s| self.clc_lens[s] > 0)
+            .unwrap_or(3);
+        (last + 1).max(4)
+    }
+
+    fn bit_len(&self) -> usize {
+        let mut bits = 5 + 5 + 4 + self.hclen() * 3;
+        for &(sym, extra, _) in &self.rle {
+            bits += self.clc_lens[sym as usize] as usize + extra as usize;
+        }
+        bits
+    }
+
+    fn emit(&self, w: &mut BitWriter) {
+        w.write_bits((self.hlit - 257) as u32, 5);
+        w.write_bits((self.hdist - 1) as u32, 5);
+        let hclen = self.hclen();
+        w.write_bits((hclen - 4) as u32, 4);
+        for &s in CLC_ORDER.iter().take(hclen) {
+            w.write_bits(self.clc_lens[s], 3);
+        }
+        let clc_codes = canonical_codes(&self.clc_lens);
+        for &(sym, extra, value) in &self.rle {
+            w.write_code(clc_codes[sym as usize], self.clc_lens[sym as usize]);
+            if extra > 0 {
+                w.write_bits(value, extra);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    #[test]
+    fn length_code_boundaries() {
+        assert_eq!(length_code(3), (257, 0, 0));
+        assert_eq!(length_code(10), (264, 0, 0));
+        assert_eq!(length_code(11), (265, 1, 0));
+        assert_eq!(length_code(12), (265, 1, 1));
+        assert_eq!(length_code(257), (284, 5, 30));
+        assert_eq!(length_code(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn dist_code_boundaries() {
+        assert_eq!(dist_code(1), (0, 0, 0));
+        assert_eq!(dist_code(4), (3, 0, 0));
+        assert_eq!(dist_code(5), (4, 1, 0));
+        assert_eq!(dist_code(24577), (29, 13, 0));
+        assert_eq!(dist_code(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog; \
+                     the quick brown fox jumps over the lazy dog again";
+        let c = deflate_compress(data);
+        assert_eq!(inflate(&c).unwrap(), data);
+        assert!(c.len() < data.len(), "repetitive text must shrink");
+    }
+
+    #[test]
+    fn round_trip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            let c = deflate_compress(data);
+            assert_eq!(inflate(&c).unwrap(), data, "{data:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_incompressible() {
+        // pseudo-random bytes: stored block should win, content preserved
+        let mut data = Vec::with_capacity(5000);
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.push((x >> 33) as u8);
+        }
+        let c = deflate_compress(&data);
+        assert_eq!(inflate(&c).unwrap(), data);
+        assert!(c.len() <= data.len() + 64);
+    }
+
+    #[test]
+    fn round_trip_highly_compressible() {
+        let data = vec![0u8; 100_000];
+        let c = deflate_compress(&data);
+        assert_eq!(inflate(&c).unwrap(), data);
+        assert!(c.len() < 1000, "100k zeros must compress hard, got {}", c.len());
+    }
+
+    #[test]
+    fn round_trip_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let c = deflate_compress(&data);
+        assert_eq!(inflate(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn stored_block_chunking_over_65535() {
+        // force stored by using incompressible data > 65535 bytes
+        let mut data = Vec::with_capacity(70_000);
+        let mut x = 1u64;
+        for _ in 0..70_000 {
+            x = x.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x1405_7B7E_F767_814F);
+            data.push((x >> 33) as u8);
+        }
+        let c = deflate_compress(&data);
+        assert_eq!(inflate(&c).unwrap(), data);
+    }
+}

@@ -1,0 +1,220 @@
+//! The gzip container (RFC 1952): header, DEFLATE body, CRC-32 +
+//! length trailer.
+
+use crate::crc32::crc32;
+use crate::deflate::deflate_compress;
+use crate::inflate::{inflate, InflateError};
+use std::fmt;
+
+/// Gzip decode failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GzipError {
+    TooShort,
+    BadMagic,
+    UnsupportedMethod,
+    Inflate(InflateError),
+    CrcMismatch,
+    LengthMismatch,
+}
+
+impl fmt::Display for GzipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GzipError::TooShort => write!(f, "input shorter than a gzip frame"),
+            GzipError::BadMagic => write!(f, "bad gzip magic bytes"),
+            GzipError::UnsupportedMethod => write!(f, "unsupported compression method"),
+            GzipError::Inflate(e) => write!(f, "deflate error: {e}"),
+            GzipError::CrcMismatch => write!(f, "CRC-32 mismatch"),
+            GzipError::LengthMismatch => write!(f, "ISIZE mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
+
+/// Compresses `data` into a complete gzip member (no filename, mtime 0,
+/// "unknown" OS — deterministic output).
+pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    out.extend_from_slice(&[
+        0x1F, 0x8B, // magic
+        0x08, // CM = deflate
+        0x00, // FLG: none
+        0, 0, 0, 0, // MTIME = 0
+        0x00, // XFL
+        0xFF, // OS = unknown
+    ]);
+    out.extend_from_slice(&deflate_compress(data));
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompresses a gzip member produced by [`gzip_compress`] (or any
+/// single-member stream without optional header fields beyond FEXTRA/
+/// FNAME/FCOMMENT, which are skipped).
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    if data.len() < 18 {
+        return Err(GzipError::TooShort);
+    }
+    if data[0] != 0x1F || data[1] != 0x8B {
+        return Err(GzipError::BadMagic);
+    }
+    if data[2] != 0x08 {
+        return Err(GzipError::UnsupportedMethod);
+    }
+    let flg = data[3];
+    let mut pos = 10;
+    if flg & 0x04 != 0 {
+        // FEXTRA
+        if data.len() < pos + 2 {
+            return Err(GzipError::TooShort);
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated
+        if flg & flag != 0 {
+            while pos < data.len() && data[pos] != 0 {
+                pos += 1;
+            }
+            pos += 1;
+        }
+    }
+    if flg & 0x02 != 0 {
+        pos += 2; // FHCRC
+    }
+    if data.len() < pos + 8 {
+        return Err(GzipError::TooShort);
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate(body).map_err(GzipError::Inflate)?;
+    let trailer = &data[data.len() - 8..];
+    let expect_crc = u32::from_le_bytes(trailer[0..4].try_into().unwrap());
+    let expect_len = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+    if crc32(&out) != expect_crc {
+        return Err(GzipError::CrcMismatch);
+    }
+    if out.len() as u32 != expect_len {
+        return Err(GzipError::LengthMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_basics() {
+        for data in [
+            &b""[..],
+            b"hello",
+            b"hello hello hello hello hello hello",
+            &[0u8; 10_000][..],
+        ] {
+            let gz = gzip_compress(data);
+            assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn header_is_deterministic_and_standard() {
+        let gz = gzip_compress(b"x");
+        assert_eq!(&gz[..4], &[0x1F, 0x8B, 0x08, 0x00]);
+        assert_eq!(gzip_compress(b"x"), gz);
+    }
+
+    #[test]
+    fn corrupted_body_fails_crc() {
+        let mut gz = gzip_compress(b"some reasonably long input to corrupt safely");
+        // flip a bit mid-body (stored-block payload byte)
+        let mid = gz.len() / 2;
+        gz[mid] ^= 0x10;
+        let r = gzip_decompress(&gz);
+        assert!(r.is_err(), "corruption must not pass");
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut gz = gzip_compress(b"abc");
+        gz[0] = 0x1E;
+        assert_eq!(gzip_decompress(&gz), Err(GzipError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let gz = gzip_compress(b"abcdef");
+        assert!(gzip_decompress(&gz[..10]).is_err());
+    }
+
+    #[test]
+    fn external_gzip_accepts_our_output_if_available() {
+        // cross-validate against the system gzip when present
+        let have = std::process::Command::new("gzip")
+            .arg("--version")
+            .output()
+            .is_ok_and(|o| o.status.success());
+        if !have {
+            eprintln!("system gzip not found; skipping");
+            return;
+        }
+        use std::io::Write;
+        let data = b"cross validation payload, repeated: cross validation payload";
+        let gz = gzip_compress(data);
+        let mut child = std::process::Command::new("gzip")
+            .args(["-dc"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.as_mut().unwrap().write_all(&gz).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "system gzip rejected our stream");
+        assert_eq!(out.stdout, data);
+    }
+
+    #[test]
+    fn we_accept_external_gzip_output_if_available() {
+        let have = std::process::Command::new("gzip")
+            .arg("--version")
+            .output()
+            .is_ok_and(|o| o.status.success());
+        if !have {
+            eprintln!("system gzip not found; skipping");
+            return;
+        }
+        use std::io::Write;
+        let data = b"the other direction: decode what the system gzip emits";
+        let mut child = std::process::Command::new("gzip")
+            .args(["-c"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.as_mut().unwrap().write_all(data).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(gzip_decompress(&out.stdout).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_round_trip_random(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            let gz = gzip_compress(&data);
+            prop_assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_round_trip_structured(runs in proptest::collection::vec((any::<u8>(), 1usize..200), 0..40)) {
+            let mut data = Vec::new();
+            for (b, n) in runs {
+                data.extend(std::iter::repeat_n(b, n));
+            }
+            let gz = gzip_compress(&data);
+            prop_assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Canonical Huffman codes with a maximum code length, plus the
+//! compact canonical decoder DEFLATE needs.
+
+use crate::bitio::BitReader;
+
+/// Computes length-limited code lengths for the given symbol
+/// frequencies. Zero-frequency symbols get length 0 (no code).
+///
+/// Builds a standard Huffman tree, then redistributes overlong codes
+/// (zlib's approach): any length > `max_len` is clipped and paid for
+/// by deepening the shallowest deep leaves until Kraft equality holds.
+pub fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
+    let n = freqs.len();
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u32; n];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            // a single symbol still needs a 1-bit code in DEFLATE
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // heap-based Huffman: nodes are (weight, id); leaves are 0..n
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // min-heap via reverse; tie-break on id for determinism
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut parent = vec![usize::MAX; n + used.len()];
+    for &i in &used {
+        heap.push(Node {
+            weight: freqs[i] as u64,
+            id: i,
+        });
+    }
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: next_id,
+        });
+        next_id += 1;
+    }
+    // depth of each leaf = chain length to the root
+    for &i in &used {
+        let mut d = 0;
+        let mut v = i;
+        while parent[v] != usize::MAX {
+            v = parent[v];
+            d += 1;
+        }
+        lengths[i] = d;
+    }
+
+    // enforce the length limit by Kraft-sum repair
+    if lengths.iter().any(|&l| l > max_len) {
+        // count codes per length, clip, then fix the Kraft sum
+        let mut counts = vec![0u64; (max_len + 1) as usize];
+        for &i in &used {
+            counts[lengths[i].min(max_len) as usize] += 1;
+        }
+        // Kraft sum in units of 2^-max_len
+        let unit = |l: u32| 1u64 << (max_len - l);
+        let mut kraft: u64 = used
+            .iter()
+            .map(|&i| unit(lengths[i].min(max_len)))
+            .sum();
+        let budget = 1u64 << max_len;
+        // while over budget, deepen a symbol at the smallest length > ...
+        // standard fix: repeatedly take a leaf at the largest length
+        // < max_len and push it one deeper
+        let mut lens: Vec<u32> = used.iter().map(|&i| lengths[i].min(max_len)).collect();
+        while kraft > budget {
+            // find the deepest leaf with length < max_len
+            let (idx, _) = lens
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l < max_len)
+                .max_by_key(|(_, &l)| l)
+                .expect("repairable");
+            kraft -= unit(lens[idx]);
+            lens[idx] += 1;
+            kraft += unit(lens[idx]);
+        }
+        for (j, &i) in used.iter().enumerate() {
+            lengths[i] = lens[j];
+        }
+        let _ = counts;
+    }
+    lengths
+}
+
+/// Assigns canonical codes to lengths (RFC 1951 §3.2.2). Returns
+/// `codes[i]` = code value (MSB-first) for symbol `i`.
+pub fn canonical_codes(lengths: &[u32]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max_len + 1) as usize];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max_len + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=max_len {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// A canonical decoder: reads one symbol bit by bit using the
+/// first-code-per-length tables.
+pub struct Decoder {
+    /// `first_code[l]`: smallest code of length `l`.
+    first_code: Vec<u32>,
+    /// `first_index[l]`: index into `symbols` of that code.
+    first_index: Vec<u32>,
+    /// count of codes per length.
+    counts: Vec<u32>,
+    /// symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+    max_len: u32,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths. Returns `None` if the
+    /// lengths oversubscribe the Kraft inequality.
+    pub fn new(lengths: &[u32]) -> Option<Decoder> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            return Some(Decoder {
+                first_code: vec![0],
+                first_index: vec![0],
+                counts: vec![0],
+                symbols: Vec::new(),
+                max_len: 0,
+            });
+        }
+        let mut counts = vec![0u32; (max_len + 1) as usize];
+        for &l in lengths {
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        // Kraft check
+        let mut left = 1u64;
+        for l in 1..=max_len {
+            left <<= 1;
+            let c = counts[l as usize] as u64;
+            if c > left {
+                return None; // oversubscribed
+            }
+            left -= c;
+        }
+        let mut symbols = Vec::with_capacity(lengths.len());
+        for l in 1..=max_len {
+            for (sym, &sl) in lengths.iter().enumerate() {
+                if sl == l {
+                    symbols.push(sym as u32);
+                }
+            }
+        }
+        let mut first_code = vec![0u32; (max_len + 1) as usize];
+        let mut first_index = vec![0u32; (max_len + 1) as usize];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for l in 1..=max_len {
+            code <<= 1;
+            first_code[l as usize] = code;
+            first_index[l as usize] = index;
+            code += counts[l as usize];
+            index += counts[l as usize];
+        }
+        Some(Decoder {
+            first_code,
+            first_index,
+            counts,
+            symbols,
+            max_len,
+        })
+    }
+
+    /// Decodes one symbol. Returns `None` on malformed input or EOF.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u32> {
+        let mut code = 0u32;
+        for l in 1..=self.max_len {
+            code = (code << 1) | r.read_bit()?;
+            let li = l as usize;
+            let count = self.counts[li];
+            if count > 0 && code < self.first_code[li] + count {
+                let offset = code - self.first_code[li];
+                return Some(self.symbols[(self.first_index[li] + offset) as usize]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+
+    #[test]
+    fn lengths_respect_kraft() {
+        let freqs = [5, 9, 12, 13, 16, 45];
+        let lens = build_lengths(&freqs, 15);
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 0.5f64.powi(l as i32))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "Kraft sum {kraft}");
+        // classic Huffman: highest frequency gets shortest code
+        assert!(lens[5] <= lens[0]);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lens = build_lengths(&[0, 7, 0], 15);
+        assert_eq!(lens, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn length_limit_is_enforced() {
+        // fibonacci-ish frequencies force deep trees
+        let freqs: Vec<u32> = [1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377].to_vec();
+        let lens = build_lengths(&freqs, 7);
+        assert!(lens.iter().all(|&l| l <= 7), "{lens:?}");
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 0.5f64.powi(l as i32))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn canonical_codes_are_ordered() {
+        // RFC 1951 example: lengths (3,3,3,3,3,2,4,4) for A..H
+        let lengths = [3, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let freqs = [10, 1, 1, 5, 3, 0, 7];
+        let lens = build_lengths(&freqs, 15);
+        let codes = canonical_codes(&lens);
+        let dec = Decoder::new(&lens).unwrap();
+        let message = [0u32, 3, 6, 0, 4, 1, 0, 2, 6, 3, 0];
+        let mut w = BitWriter::new();
+        for &sym in &message {
+            w.write_code(codes[sym as usize], lens[sym as usize]);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &expect in &message {
+            assert_eq!(dec.decode(&mut r), Some(expect));
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversubscribed_lengths() {
+        // three 1-bit codes cannot exist
+        assert!(Decoder::new(&[1, 1, 1]).is_none());
+    }
+
+    #[test]
+    fn empty_and_zero_length_tables() {
+        let d = Decoder::new(&[0, 0, 0]).unwrap();
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(d.decode(&mut r), None);
+    }
+}

@@ -1,0 +1,202 @@
+//! The DEFLATE decompressor (RFC 1951), used to round-trip-test every
+//! compressor path and to decode gzip members.
+
+use crate::bitio::BitReader;
+use crate::deflate::{
+    fixed_dist_lengths, fixed_lit_lengths, CLC_ORDER, DIST_TABLE, LENGTH_TABLE,
+};
+use crate::huffman::Decoder;
+use std::fmt;
+
+/// Decompression failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InflateError {
+    UnexpectedEof,
+    BadBlockType,
+    BadStoredLength,
+    BadHuffmanTable,
+    BadSymbol,
+    BadDistance,
+}
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            InflateError::UnexpectedEof => "unexpected end of input",
+            InflateError::BadBlockType => "reserved block type",
+            InflateError::BadStoredLength => "stored block length check failed",
+            InflateError::BadHuffmanTable => "malformed Huffman table",
+            InflateError::BadSymbol => "invalid symbol",
+            InflateError::BadDistance => "distance exceeds output",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// Decompresses a raw DEFLATE stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.read_bit().ok_or(InflateError::UnexpectedEof)?;
+        let btype = r.read_bits(2).ok_or(InflateError::UnexpectedEof)?;
+        match btype {
+            0b00 => inflate_stored(&mut r, &mut out)?,
+            0b01 => {
+                let lit = Decoder::new(&fixed_lit_lengths()).expect("fixed table");
+                let dist = Decoder::new(&fixed_dist_lengths()).expect("fixed table");
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(InflateError::BadBlockType),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    r.align_byte();
+    let len = r.read_bits(16).ok_or(InflateError::UnexpectedEof)? as u16;
+    let nlen = r.read_bits(16).ok_or(InflateError::UnexpectedEof)? as u16;
+    if len != !nlen {
+        return Err(InflateError::BadStoredLength);
+    }
+    for _ in 0..len {
+        out.push(r.read_byte().ok_or(InflateError::UnexpectedEof)?);
+    }
+    Ok(())
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateError> {
+    let hlit = r.read_bits(5).ok_or(InflateError::UnexpectedEof)? as usize + 257;
+    let hdist = r.read_bits(5).ok_or(InflateError::UnexpectedEof)? as usize + 1;
+    let hclen = r.read_bits(4).ok_or(InflateError::UnexpectedEof)? as usize + 4;
+    let mut clc_lens = vec![0u32; 19];
+    for &s in CLC_ORDER.iter().take(hclen) {
+        clc_lens[s] = r.read_bits(3).ok_or(InflateError::UnexpectedEof)?;
+    }
+    let clc = Decoder::new(&clc_lens).ok_or(InflateError::BadHuffmanTable)?;
+    let mut lens = Vec::with_capacity(hlit + hdist);
+    while lens.len() < hlit + hdist {
+        let sym = clc.decode(r).ok_or(InflateError::UnexpectedEof)?;
+        match sym {
+            0..=15 => lens.push(sym),
+            16 => {
+                let &prev = lens.last().ok_or(InflateError::BadSymbol)?;
+                let n = 3 + r.read_bits(2).ok_or(InflateError::UnexpectedEof)?;
+                for _ in 0..n {
+                    lens.push(prev);
+                }
+            }
+            17 => {
+                let n = 3 + r.read_bits(3).ok_or(InflateError::UnexpectedEof)?;
+                for _ in 0..n {
+                    lens.push(0);
+                }
+            }
+            18 => {
+                let n = 11 + r.read_bits(7).ok_or(InflateError::UnexpectedEof)?;
+                for _ in 0..n {
+                    lens.push(0);
+                }
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+    if lens.len() != hlit + hdist {
+        return Err(InflateError::BadHuffmanTable);
+    }
+    let lit = Decoder::new(&lens[..hlit]).ok_or(InflateError::BadHuffmanTable)?;
+    let dist = Decoder::new(&lens[hlit..]).ok_or(InflateError::BadHuffmanTable)?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Decoder,
+    dist: &Decoder,
+    out: &mut Vec<u8>,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(r).ok_or(InflateError::UnexpectedEof)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LENGTH_TABLE[(sym - 257) as usize];
+                let len =
+                    base as usize + r.read_bits(extra as u32).ok_or(InflateError::UnexpectedEof)? as usize;
+                let dsym = dist.decode(r).ok_or(InflateError::UnexpectedEof)?;
+                if dsym >= 30 {
+                    return Err(InflateError::BadSymbol);
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym as usize];
+                let d = dbase as usize
+                    + r.read_bits(dextra as u32).ok_or(InflateError::UnexpectedEof)? as usize;
+                if d > out.len() {
+                    return Err(InflateError::BadDistance);
+                }
+                let start = out.len() - d;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert_eq!(inflate(&[]), Err(InflateError::UnexpectedEof));
+        // stored-block header cut short
+        assert!(inflate(&[0b000]).is_err());
+    }
+
+    #[test]
+    fn rejects_reserved_block_type() {
+        // BFINAL=1, BTYPE=11
+        assert_eq!(inflate(&[0b0000_0111]), Err(InflateError::BadBlockType));
+    }
+
+    #[test]
+    fn rejects_bad_stored_length_check() {
+        // BFINAL=1, BTYPE=00, then LEN=1, NLEN=1 (must be !LEN)
+        let bytes = [0b0000_0001, 0x01, 0x00, 0x01, 0x00];
+        assert_eq!(inflate(&bytes), Err(InflateError::BadStoredLength));
+    }
+
+    #[test]
+    fn decodes_handwritten_stored_block() {
+        // BFINAL=1 BTYPE=00, aligned, LEN=3, NLEN=!3, "abc"
+        let bytes = [0b0000_0001, 0x03, 0x00, 0xFC, 0xFF, b'a', b'b', b'c'];
+        assert_eq!(inflate(&bytes).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn rejects_distance_past_start() {
+        // craft via compressor then corrupt? simpler: fixed block with a
+        // match at offset before any output — build by hand:
+        // BFINAL=1, BTYPE=01, then length code 257 (len 3) = 0000001,
+        // distance code 0 (dist 1) = 00000, but output is empty
+        let mut w = crate::bitio::BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        w.write_code(0b0000001, 7); // symbol 257
+        w.write_code(0b00000, 5); // distance 1
+        let bytes = w.finish();
+        assert_eq!(inflate(&bytes), Err(InflateError::BadDistance));
+    }
+}

@@ -1,0 +1,32 @@
+//! A from-scratch DEFLATE (RFC 1951) and gzip (RFC 1952)
+//! implementation.
+//!
+//! Fig. 6 of the paper measures the gzip-compressed size of
+//! coefficient-matrix bit files as a function of their set-bit count.
+//! Rather than shelling out to external tooling, this crate implements
+//! the codec: LZ77 with a 32 KiB hash-chained window, canonical
+//! Huffman coding (stored, fixed, and dynamic blocks — the smallest of
+//! the three is emitted), CRC-32, and the gzip container. An inflater
+//! is included so every compressor path is round-trip tested.
+//!
+//! # Example
+//!
+//! ```
+//! let data = b"so much data, so much data, so much data";
+//! let gz = fec_flate::gzip_compress(data);
+//! assert!(gz.len() < data.len() + 20);
+//! assert_eq!(fec_flate::gzip_decompress(&gz).unwrap(), data);
+//! ```
+
+mod bitio;
+mod crc32;
+mod deflate;
+mod gzip;
+mod huffman;
+mod inflate;
+mod lz77;
+
+pub use crc32::crc32;
+pub use deflate::deflate_compress;
+pub use gzip::{gzip_compress, gzip_decompress, GzipError};
+pub use inflate::{inflate, InflateError};

@@ -1,0 +1,197 @@
+//! LZ77 tokenization with a 32 KiB hash-chained window (RFC 1951
+//! limits: match length 3–258, distance 1–32768).
+
+pub const MIN_MATCH: usize = 3;
+pub const MAX_MATCH: usize = 258;
+pub const WINDOW: usize = 32 * 1024;
+
+/// One LZ77 token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) | (u32::from(data[i + 1]) << 8) | (u32::from(data[i + 2]) << 16);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy tokenization with one-step lazy matching (defer a match if
+/// the next position matches longer), zlib-style.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2 + 8);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h]: most recent position with hash h (+1; 0 = none)
+    let mut head = vec![0u32; HASH_SIZE];
+    // prev[i % WINDOW]: previous position in the chain for position i
+    let mut prev = vec![0u32; WINDOW];
+
+    let insert = |head: &mut [u32], prev: &mut [u32], data: &[u8], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            prev[i % WINDOW] = head[h];
+            head[h] = (i + 1) as u32;
+        }
+    };
+
+    let best_match = |head: &[u32], prev: &[u32], data: &[u8], i: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > data.len() {
+            return None;
+        }
+        let h = hash3(data, i);
+        let mut cand = head[h] as usize;
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0;
+        let max_len = MAX_MATCH.min(data.len() - i);
+        let mut chain = 128; // bounded chain walk
+        while cand > 0 && chain > 0 {
+            let j = cand - 1;
+            if i <= j || i - j > WINDOW {
+                break;
+            }
+            chain -= 1;
+            let mut l = 0;
+            while l < max_len && data[j + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - j;
+                if l == max_len {
+                    break;
+                }
+            }
+            cand = prev[j % WINDOW] as usize;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    };
+
+    let mut i = 0;
+    while i < n {
+        let cur = best_match(&head, &prev, data, i);
+        match cur {
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                insert(&mut head, &mut prev, data, i);
+                i += 1;
+            }
+            Some((len, dist)) => {
+                // lazy: if the next position has a strictly longer match,
+                // emit a literal and defer
+                insert(&mut head, &mut prev, data, i);
+                let next = if i + 1 < n {
+                    best_match(&head, &prev, data, i + 1)
+                } else {
+                    None
+                };
+                if let Some((nlen, _)) = next {
+                    if nlen > len {
+                        tokens.push(Token::Literal(data[i]));
+                        i += 1;
+                        continue;
+                    }
+                }
+                tokens.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
+                for k in 1..len {
+                    insert(&mut head, &mut prev, data, i + k);
+                }
+                i += len;
+            }
+        }
+    }
+    tokens
+}
+
+/// Reconstructs the byte stream from tokens (the LZ77 inverse; used by
+/// the round-trip tests).
+#[cfg_attr(not(test), allow(dead_code))]
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn literal_only_input() {
+        let tokens = tokenize(b"ab");
+        assert_eq!(tokens, vec![Token::Literal(b'a'), Token::Literal(b'b')]);
+    }
+
+    #[test]
+    fn finds_repeats() {
+        let tokens = tokenize(b"abcabcabcabc");
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(detokenize(&tokens), b"abcabcabcabc");
+    }
+
+    #[test]
+    fn run_of_one_byte_uses_overlapping_match() {
+        let data = vec![b'x'; 1000];
+        let tokens = tokenize(&data);
+        // should be roughly: literal 'x' + a few long matches
+        assert!(tokens.len() < 20, "got {} tokens", tokens.len());
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn match_length_capped_at_258() {
+        let data = vec![7u8; 4096];
+        for t in tokenize(&data) {
+            if let Token::Match { len, .. } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize(b"").is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_round_trip(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let tokens = tokenize(&data);
+            prop_assert_eq!(detokenize(&tokens), data);
+        }
+
+        #[test]
+        fn prop_round_trip_low_entropy(data in proptest::collection::vec(0u8..4, 0..3000)) {
+            let tokens = tokenize(&data);
+            prop_assert_eq!(detokenize(&tokens), &data[..]);
+            // low-entropy data must actually compress into matches
+            if data.len() > 100 {
+                prop_assert!(tokens.len() < data.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! GF(2) linear algebra substrate.
+//!
+//! Everything in a Hamming code — data words, codewords, generator and
+//! check matrices — lives in the two-element finite field GF(2), where
+//! addition is XOR and multiplication is AND. This crate provides the
+//! packed bit-vector and bit-matrix types the rest of the workspace is
+//! built on, plus GF(2) polynomials (used by the CRC-32 in `fec-flate`).
+//!
+//! Representation: bits are packed 64 per `u64` word, least-significant
+//! bit first, so bit `i` of a [`BitVec`] lives at word `i / 64`, bit
+//! `i % 64`. All row operations on [`BitMatrix`] are word-parallel.
+//!
+//! # Example
+//!
+//! ```
+//! use fec_gf2::{BitMatrix, BitVec};
+//!
+//! // The coefficient matrix P of the classic Hamming (7,4) code.
+//! let p = BitMatrix::from_rows(&[
+//!     &[true, false, true],
+//!     &[true, true, false],
+//!     &[true, true, true],
+//!     &[false, true, true],
+//! ]);
+//! let g = BitMatrix::identity(4).hstack(&p);
+//! let d = BitVec::from_bools(&[false, false, true, true]);
+//! let w = g.vec_mul(&d);
+//! assert_eq!(w.to_bools(), [false, false, true, true, true, false, false]);
+//! ```
+
+mod bitvec;
+mod matrix;
+mod poly;
+
+pub use bitvec::BitVec;
+pub use matrix::BitMatrix;
+pub use poly::Gf2Poly;
+
+/// Parity (XOR-fold) of a `u64`: `true` when an odd number of bits are set.
+///
+/// This is GF(2) summation of the 64 bits and the inner loop of every
+/// encode/check kernel in the workspace.
+#[inline]
+pub fn parity64(x: u64) -> bool {
+    x.count_ones() & 1 == 1
+}
+
+/// Parity of a slice of words, i.e. XOR-fold over all bits.
+#[inline]
+pub fn parity_words(words: &[u64]) -> bool {
+    let mut acc = 0u64;
+    for &w in words {
+        acc ^= w;
+    }
+    parity64(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity64_basics() {
+        assert!(!parity64(0));
+        assert!(parity64(1));
+        assert!(!parity64(0b11));
+        assert!(parity64(0b111));
+        assert!(!parity64(u64::MAX));
+    }
+
+    #[test]
+    fn parity_words_folds_across_words() {
+        assert!(parity_words(&[1, 0, 0]));
+        assert!(!parity_words(&[1, 1]));
+        assert!(parity_words(&[u64::MAX, u64::MAX, 1]));
+    }
+}

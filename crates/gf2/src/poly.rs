@@ -1,0 +1,211 @@
+//! Polynomials over GF(2), used for CRC computation in `fec-flate` and
+//! as a convenience for constructing cyclic-code experiments.
+
+use std::fmt;
+
+/// A polynomial over GF(2) with degree < 128, stored as a bitmask:
+/// bit `i` of `coeffs` is the coefficient of `x^i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gf2Poly {
+    coeffs: u128,
+}
+
+impl Gf2Poly {
+    /// The zero polynomial.
+    pub const ZERO: Gf2Poly = Gf2Poly { coeffs: 0 };
+    /// The constant polynomial 1.
+    pub const ONE: Gf2Poly = Gf2Poly { coeffs: 1 };
+
+    /// Builds from a coefficient bitmask (bit `i` = coefficient of `x^i`).
+    pub const fn from_bits(coeffs: u128) -> Self {
+        Gf2Poly { coeffs }
+    }
+
+    /// The monomial `x^d`.
+    ///
+    /// # Panics
+    /// Panics if `d >= 128`.
+    pub fn monomial(d: u32) -> Self {
+        assert!(d < 128, "degree out of range");
+        Gf2Poly { coeffs: 1 << d }
+    }
+
+    /// Coefficient bitmask.
+    pub const fn bits(&self) -> u128 {
+        self.coeffs
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<u32> {
+        if self.coeffs == 0 {
+            None
+        } else {
+            Some(127 - self.coeffs.leading_zeros())
+        }
+    }
+
+    /// Polynomial addition (XOR).
+    pub fn add(self, other: Gf2Poly) -> Gf2Poly {
+        Gf2Poly {
+            coeffs: self.coeffs ^ other.coeffs,
+        }
+    }
+
+    /// Polynomial multiplication (carry-less), truncated to degree < 128.
+    ///
+    /// # Panics
+    /// Panics if the true product would overflow 128 coefficient bits.
+    pub fn mul(self, other: Gf2Poly) -> Gf2Poly {
+        if let (Some(da), Some(db)) = (self.degree(), other.degree()) {
+            assert!(da + db < 128, "product degree overflows");
+        }
+        let mut acc = 0u128;
+        let mut a = self.coeffs;
+        let mut shift = 0;
+        while a != 0 {
+            let tz = a.trailing_zeros();
+            a >>= tz;
+            shift += tz;
+            acc ^= other.coeffs << shift;
+            a &= !1;
+        }
+        Gf2Poly { coeffs: acc }
+    }
+
+    /// Remainder of `self` modulo `modulus`.
+    ///
+    /// # Panics
+    /// Panics if `modulus` is zero.
+    pub fn rem(self, modulus: Gf2Poly) -> Gf2Poly {
+        let md = modulus.degree().expect("division by zero polynomial");
+        let mut r = self.coeffs;
+        while let Some(rd) = Gf2Poly::from_bits(r).degree() {
+            if rd < md {
+                break;
+            }
+            r ^= modulus.coeffs << (rd - md);
+        }
+        Gf2Poly { coeffs: r }
+    }
+
+    /// `true` when the polynomial has no non-trivial factors.
+    ///
+    /// Brute-force trial division — fine for the small degrees (< 32)
+    /// used in experiments.
+    pub fn is_irreducible(&self) -> bool {
+        let Some(d) = self.degree() else { return false };
+        if d == 0 {
+            return false;
+        }
+        let mut f = 2u128; // x
+        while Gf2Poly::from_bits(f).degree().unwrap() * 2 <= d {
+            if self.rem(Gf2Poly::from_bits(f)).coeffs == 0 {
+                return false;
+            }
+            f += 1;
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Poly({self})")
+    }
+}
+
+impl fmt::Display for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs == 0 {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for i in (0..128).rev() {
+            if (self.coeffs >> i) & 1 == 1 {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                match i {
+                    0 => write!(f, "1")?,
+                    1 => write!(f, "x")?,
+                    _ => write!(f, "x^{i}")?,
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degree_of_basics() {
+        assert_eq!(Gf2Poly::ZERO.degree(), None);
+        assert_eq!(Gf2Poly::ONE.degree(), Some(0));
+        assert_eq!(Gf2Poly::monomial(5).degree(), Some(5));
+    }
+
+    #[test]
+    fn mul_by_x_shifts() {
+        let p = Gf2Poly::from_bits(0b1011); // x^3 + x + 1
+        let q = p.mul(Gf2Poly::monomial(1));
+        assert_eq!(q.bits(), 0b10110);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Gf2Poly::from_bits(0b1011)), "x^3 + x + 1");
+        assert_eq!(format!("{}", Gf2Poly::ZERO), "0");
+    }
+
+    #[test]
+    fn rem_examples() {
+        // (x^3 + x + 1) mod (x + 1): substitute x=1 -> 1+1+1 = 1
+        let p = Gf2Poly::from_bits(0b1011);
+        let m = Gf2Poly::from_bits(0b11);
+        assert_eq!(p.rem(m).bits(), 1);
+        // exact division: x^2+1 = (x+1)^2 over GF(2)
+        let sq = Gf2Poly::from_bits(0b101);
+        assert_eq!(sq.rem(m).bits(), 0);
+    }
+
+    #[test]
+    fn irreducibility_of_known_polys() {
+        // x^3 + x + 1 is the classic GF(8) generator
+        assert!(Gf2Poly::from_bits(0b1011).is_irreducible());
+        // x^2 + 1 = (x+1)^2 is reducible
+        assert!(!Gf2Poly::from_bits(0b101).is_irreducible());
+        // the IEEE CRC-32 polynomial is primitive, hence irreducible
+        assert!(Gf2Poly::from_bits(0x104C11DB7).is_irreducible());
+        assert!(!Gf2Poly::ZERO.is_irreducible());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutes(a in any::<u32>(), b in any::<u32>()) {
+            let pa = Gf2Poly::from_bits(a as u128);
+            let pb = Gf2Poly::from_bits(b as u128);
+            prop_assert_eq!(pa.mul(pb), pb.mul(pa));
+        }
+
+        #[test]
+        fn prop_rem_smaller_than_modulus(a in any::<u64>(), m in 2u32..u32::MAX) {
+            let pa = Gf2Poly::from_bits(a as u128);
+            let pm = Gf2Poly::from_bits(m as u128);
+            let r = pa.rem(pm);
+            prop_assert!(r.degree().map_or(0, |d| d + 1) <= pm.degree().unwrap());
+        }
+
+        #[test]
+        fn prop_mul_distributes_over_add(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
+            let (pa, pb, pc) = (Gf2Poly::from_bits(a as u128),
+                                Gf2Poly::from_bits(b as u128),
+                                Gf2Poly::from_bits(c as u128));
+            prop_assert_eq!(pa.add(pb).mul(pc), pa.mul(pc).add(pb.mul(pc)));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimum-distance computation.
+//!
+//! The minimum distance `md(G)` of a linear code is the minimum Hamming
+//! weight of a non-zero codeword — equivalently, the size of the
+//! smallest linearly dependent set of columns of `H` (§2.2). Three
+//! procedures are provided, trading generality for speed:
+//!
+//! - [`min_distance_exhaustive`]: exact, enumerates all `2^k - 1`
+//!   non-zero data words; use for `k ≲ 24`.
+//! - [`has_min_distance_at_least`]: exact for thresholds `d ≤ 4` by
+//!   column analysis of `H` — O(n²·c) — usable for the (128,120) code.
+//! - [`min_distance`]: picks whichever is feasible.
+//!
+//! The SAT-based verification path (what the paper's *verifier* solver
+//! does) lives in `fec-synth::verify` and is cross-checked against
+//! these in its tests.
+
+use crate::Generator;
+use fec_gf2::BitVec;
+use std::collections::HashSet;
+
+/// Exact minimum distance by exhausting all non-zero data words.
+///
+/// # Panics
+/// Panics if `k > 28` (the enumeration would be infeasible).
+pub fn min_distance_exhaustive(g: &Generator) -> usize {
+    let k = g.data_len();
+    assert!(k <= 28, "exhaustive distance needs k ≤ 28, got {k}");
+    let mut best = usize::MAX;
+    for d in 1u128..(1u128 << k) {
+        let data = BitVec::from_u128(d, k);
+        // weight(data | data·P) = weight(data) + weight(data·P)
+        let w = data.count_ones() + g.coefficients().vec_mul(&data).count_ones();
+        best = best.min(w);
+        if best == 1 {
+            break;
+        }
+    }
+    best
+}
+
+/// Exact test of `md(G) ≥ d` for `d ≤ 4`, by checking that no ≤ d-1
+/// columns of `H` are linearly dependent:
+///
+/// - `d ≥ 2` ⇔ no zero column,
+/// - `d ≥ 3` ⇔ additionally, all columns distinct,
+/// - `d ≥ 4` ⇔ additionally, no column equals the XOR of two others.
+///
+/// # Panics
+/// Panics if `d > 4` or `d == 0`.
+pub fn has_min_distance_at_least(g: &Generator, d: usize) -> bool {
+    assert!((1..=4).contains(&d), "column analysis supports d in 1..=4");
+    if d == 1 {
+        return true;
+    }
+    let h = g.check_matrix();
+    let n = h.cols();
+    let cols: Vec<u128> = (0..n).map(|j| h.col(j).to_u128()).collect();
+    // d ≥ 2: no zero column
+    if cols.iter().any(|&c| c == 0) {
+        return false;
+    }
+    if d == 2 {
+        return true;
+    }
+    // d ≥ 3: all columns distinct
+    let set: HashSet<u128> = cols.iter().copied().collect();
+    if set.len() != n {
+        return false;
+    }
+    if d == 3 {
+        return true;
+    }
+    // d ≥ 4: no triple of columns sums to zero, i.e. no pairwise XOR
+    // equals a third column
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let x = cols[i] ^ cols[j];
+            if set.contains(&x) && x != cols[i] && x != cols[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exact minimum distance: exhaustive for small `k`, column analysis
+/// (bounded answer 1..=4, with 4 meaning "≥ 4") for large codes.
+///
+/// Returns `(distance, exact)`: `exact` is false only when the column
+/// analysis hit its `≥ 4` ceiling.
+pub fn min_distance(g: &Generator) -> (usize, bool) {
+    if g.data_len() <= 20 {
+        (min_distance_exhaustive(g), true)
+    } else {
+        for d in (1..=4).rev() {
+            if has_min_distance_at_least(g, d) {
+                return (d, d < 4);
+            }
+        }
+        unreachable!("d = 1 always passes")
+    }
+}
+
+/// The weight distribution `A_w` for small codes: `result[w]` counts the
+/// codewords of Hamming weight `w`. Useful for exact `P_u` computation.
+///
+/// # Panics
+/// Panics if `k > 24`.
+pub fn weight_distribution(g: &Generator) -> Vec<u64> {
+    let k = g.data_len();
+    assert!(k <= 24, "weight distribution needs k ≤ 24");
+    let mut hist = vec![0u64; g.codeword_len() + 1];
+    for d in 0u128..(1u128 << k) {
+        let data = BitVec::from_u128(d, k);
+        let w = data.count_ones() + g.coefficients().vec_mul(&data).count_ones();
+        hist[w] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standards;
+
+    #[test]
+    fn hamming_7_4_has_distance_3() {
+        let g = standards::hamming_7_4();
+        assert_eq!(min_distance_exhaustive(&g), 3);
+        assert!(has_min_distance_at_least(&g, 3));
+        assert!(!has_min_distance_at_least(&g, 4));
+    }
+
+    #[test]
+    fn extended_8_4_has_distance_4() {
+        let g = standards::hamming_extended_8_4();
+        assert_eq!(min_distance_exhaustive(&g), 4);
+        assert!(has_min_distance_at_least(&g, 4));
+    }
+
+    #[test]
+    fn parity_code_has_distance_2() {
+        let g = standards::parity_code(16);
+        assert_eq!(min_distance_exhaustive(&g), 2);
+        assert!(has_min_distance_at_least(&g, 2));
+        assert!(!has_min_distance_at_least(&g, 3));
+    }
+
+    #[test]
+    fn column_analysis_matches_exhaustive_on_small_codes() {
+        for g in [
+            standards::hamming_7_4(),
+            standards::hamming_extended_8_4(),
+            standards::parity_code(8),
+            standards::hamming_code(3).unwrap(),
+            standards::hamming_code(4).unwrap(),
+        ] {
+            let exact = min_distance_exhaustive(&g);
+            for d in 1..=4 {
+                assert_eq!(
+                    has_min_distance_at_least(&g, d),
+                    exact >= d,
+                    "{g:?} d={d} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ieee_8023df_code_has_distance_exactly_3() {
+        let g = standards::ieee_8023df_128_120();
+        assert!(has_min_distance_at_least(&g, 3));
+        assert!(!has_min_distance_at_least(&g, 4));
+        assert_eq!(min_distance(&g), (3, true));
+    }
+
+    #[test]
+    fn min_distance_dispatch_small() {
+        assert_eq!(min_distance(&standards::hamming_7_4()), (3, true));
+    }
+
+    #[test]
+    fn weight_distribution_hamming_7_4() {
+        // classic: A_0=1, A_3=7, A_4=7, A_7=1
+        let hist = weight_distribution(&standards::hamming_7_4());
+        assert_eq!(hist, vec![1, 0, 0, 7, 7, 0, 0, 1]);
+        assert_eq!(hist.iter().sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn weight_distribution_parity_8() {
+        let hist = weight_distribution(&standards::parity_code(8));
+        // all codewords have even weight; total 2^8
+        assert_eq!(hist.iter().sum::<u64>(), 256);
+        for (w, &count) in hist.iter().enumerate() {
+            if w % 2 == 1 {
+                assert_eq!(count, 0, "odd weight {w} has codewords");
+            }
+        }
+    }
+}

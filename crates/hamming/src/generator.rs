@@ -1,0 +1,351 @@
+//! Systematic Hamming generators: encode, syndrome, correction.
+
+use fec_gf2::{BitMatrix, BitVec};
+use std::fmt;
+
+/// A systematic `(n, k)` generator `G = (I_k | P)` identified, as in the
+/// paper's notation `G_c^k`, by its data length `k` and its `k × c`
+/// coefficient matrix `P` (so `n = k + c`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Generator {
+    coeff: BitMatrix,
+}
+
+/// Result of checking a received codeword.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckOutcome {
+    /// Zero syndrome: the word is a valid codeword.
+    Valid,
+    /// Syndrome matched column `position` of `H`: assuming a single bit
+    /// error, flipping that codeword bit repairs the word.
+    SingleError { position: usize },
+    /// Non-zero syndrome matching no single column: at least two bit
+    /// errors (not correctable by a plain Hamming decoder).
+    MultiError,
+}
+
+impl Generator {
+    /// Builds a generator from its `k × c` coefficient matrix `P`.
+    ///
+    /// # Panics
+    /// Panics if `P` has zero rows or zero columns.
+    pub fn from_coefficients(coeff: BitMatrix) -> Generator {
+        assert!(coeff.rows() > 0, "generator needs at least 1 data bit");
+        assert!(coeff.cols() > 0, "generator needs at least 1 check bit");
+        Generator { coeff }
+    }
+
+    /// Parses a coefficient matrix from `0`/`1` row strings.
+    pub fn from_coeff_str(s: &str) -> Option<Generator> {
+        let m = BitMatrix::from_str_rows(s)?;
+        (m.rows() > 0 && m.cols() > 0).then(|| Generator::from_coefficients(m))
+    }
+
+    /// Data length `k`.
+    pub fn data_len(&self) -> usize {
+        self.coeff.rows()
+    }
+
+    /// Check length `c = n - k`.
+    pub fn check_len(&self) -> usize {
+        self.coeff.cols()
+    }
+
+    /// Codeword length `n = k + c`.
+    pub fn codeword_len(&self) -> usize {
+        self.data_len() + self.check_len()
+    }
+
+    /// The coefficient matrix `P`.
+    pub fn coefficients(&self) -> &BitMatrix {
+        &self.coeff
+    }
+
+    /// Number of set bits in `P` — the `len_1` measure the paper's §4.4
+    /// minimizes for encode/check performance and compressibility.
+    pub fn coefficient_ones(&self) -> usize {
+        self.coeff.count_ones()
+    }
+
+    /// The full `k × n` generator matrix `G = (I_k | P)`.
+    pub fn matrix(&self) -> BitMatrix {
+        BitMatrix::identity(self.data_len()).hstack(&self.coeff)
+    }
+
+    /// The `c × n` check matrix `H = (Pᵀ | I_c)`.
+    pub fn check_matrix(&self) -> BitMatrix {
+        self.coeff
+            .transpose()
+            .hstack(&BitMatrix::identity(self.check_len()))
+    }
+
+    /// Encodes a `k`-bit data word into an `n`-bit codeword
+    /// (`w = d·G`, i.e. the data followed by `d·P`).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != k`.
+    pub fn encode(&self, data: &BitVec) -> BitVec {
+        assert_eq!(data.len(), self.data_len(), "encode: wrong data length");
+        let checks = self.coeff.vec_mul(data);
+        data.concat(&checks)
+    }
+
+    /// The syndrome `b = (H·wᵀ)ᵀ` of a received `n`-bit word.
+    ///
+    /// # Panics
+    /// Panics if `word.len() != n`.
+    pub fn syndrome(&self, word: &BitVec) -> BitVec {
+        assert_eq!(
+            word.len(),
+            self.codeword_len(),
+            "syndrome: wrong codeword length"
+        );
+        // (Pᵀ|I)·wᵀ = Pᵀ·dᵀ ⊕ r where d = data part, r = received checks
+        let data = word.slice(0..self.data_len());
+        let mut s = self.coeff.vec_mul(&data);
+        let received = word.slice(self.data_len()..self.codeword_len());
+        s ^= &received;
+        s
+    }
+
+    /// `true` when `word` is a valid codeword.
+    pub fn is_valid(&self, word: &BitVec) -> bool {
+        self.syndrome(word).is_zero()
+    }
+
+    /// Classifies a received word (see [`CheckOutcome`]).
+    pub fn check(&self, word: &BitVec) -> CheckOutcome {
+        let s = self.syndrome(word);
+        if s.is_zero() {
+            return CheckOutcome::Valid;
+        }
+        // column j of H equals the syndrome ⇒ single error at position j.
+        // For j < k the column is row j of P (transposed); for j ≥ k it
+        // is the unit vector e_{j-k}.
+        if s.count_ones() == 1 {
+            let position = self.data_len() + s.iter_ones().next().unwrap();
+            return CheckOutcome::SingleError { position };
+        }
+        for j in 0..self.data_len() {
+            if *self.coeff.row(j) == s {
+                return CheckOutcome::SingleError { position: j };
+            }
+        }
+        CheckOutcome::MultiError
+    }
+
+    /// Attempts single-bit correction; returns the repaired codeword, or
+    /// `None` when the word is valid already or multiply corrupted.
+    pub fn correct(&self, word: &BitVec) -> Option<BitVec> {
+        match self.check(word) {
+            CheckOutcome::SingleError { position } => {
+                let mut fixed = word.clone();
+                fixed.flip(position);
+                Some(fixed)
+            }
+            _ => None,
+        }
+    }
+
+    /// Extracts the data part of a codeword.
+    pub fn extract_data(&self, word: &BitVec) -> BitVec {
+        word.slice(0..self.data_len())
+    }
+}
+
+impl fmt::Debug for Generator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Generator(k={}, c={})",
+            self.data_len(),
+            self.check_len()
+        )
+    }
+}
+
+impl fmt::Display for Generator {
+    /// Prints `G = (I | P)` rows with a `|` separator, as in the paper.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for y in 0..self.data_len() {
+            if y > 0 {
+                writeln!(f)?;
+            }
+            for x in 0..self.data_len() {
+                write!(f, "{}", u8::from(x == y))?;
+            }
+            write!(f, "|")?;
+            for x in 0..self.check_len() {
+                write!(f, "{}", u8::from(self.coeff.get(y, x)))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn g74() -> Generator {
+        Generator::from_coeff_str(
+            "101
+             110
+             111
+             011",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = g74();
+        assert_eq!(g.data_len(), 4);
+        assert_eq!(g.check_len(), 3);
+        assert_eq!(g.codeword_len(), 7);
+        assert_eq!(g.coefficient_ones(), 9);
+    }
+
+    #[test]
+    fn paper_fig2_encode_and_check() {
+        let g = g74();
+        let w = g.encode(&BitVec::from_bitstring("0011").unwrap());
+        assert_eq!(format!("{w}"), "0011100");
+        assert!(g.is_valid(&w));
+        assert_eq!(g.check(&w), CheckOutcome::Valid);
+    }
+
+    #[test]
+    fn full_matrices_match_definition() {
+        let g = g74();
+        let gm = g.matrix();
+        assert_eq!((gm.rows(), gm.cols()), (4, 7));
+        let h = g.check_matrix();
+        assert_eq!((h.rows(), h.cols()), (3, 7));
+        // H·Gᵀ = 0 (every generator row is a codeword)
+        for r in 0..4 {
+            assert!(h.mul_vec(gm.row(r)).is_zero());
+        }
+    }
+
+    #[test]
+    fn single_error_in_every_position_is_located() {
+        let g = g74();
+        let w = g.encode(&BitVec::from_bitstring("1010").unwrap());
+        for pos in 0..7 {
+            let mut bad = w.clone();
+            bad.flip(pos);
+            assert_eq!(
+                g.check(&bad),
+                CheckOutcome::SingleError { position: pos },
+                "position {pos}"
+            );
+            let fixed = g.correct(&bad).unwrap();
+            assert_eq!(fixed, w);
+        }
+    }
+
+    #[test]
+    fn double_error_reported_or_misclassified_consistently() {
+        // In a distance-3 code a double error is either MultiError or
+        // mis-decoded as SingleError at the *wrong* position — it is
+        // never reported Valid.
+        let g = g74();
+        let w = g.encode(&BitVec::from_bitstring("0110").unwrap());
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                let mut bad = w.clone();
+                bad.flip(i);
+                bad.flip(j);
+                assert_ne!(g.check(&bad), CheckOutcome::Valid, "flips {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn syndrome_equals_h_times_word() {
+        let g = g74();
+        let h = g.check_matrix();
+        let mut w = g.encode(&BitVec::from_bitstring("1111").unwrap());
+        w.flip(2);
+        w.flip(5);
+        assert_eq!(g.syndrome(&w), h.mul_vec(&w));
+    }
+
+    #[test]
+    fn extract_data_round_trips() {
+        let g = g74();
+        let d = BitVec::from_bitstring("1001").unwrap();
+        assert_eq!(g.extract_data(&g.encode(&d)), d);
+    }
+
+    #[test]
+    fn display_shows_identity_and_coefficients() {
+        let g = Generator::from_coeff_str("11\n01").unwrap();
+        assert_eq!(format!("{g}"), "10|11\n01|01");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong data length")]
+    fn encode_rejects_wrong_length() {
+        g74().encode(&BitVec::zeros(5));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_is_linear(d1 in 0u16..16, d2 in 0u16..16) {
+            let g = g74();
+            let a = BitVec::from_u128(d1 as u128, 4);
+            let b = BitVec::from_u128(d2 as u128, 4);
+            let mut ab = a.clone();
+            ab ^= &b;
+            let mut sum = g.encode(&a);
+            sum ^= &g.encode(&b);
+            prop_assert_eq!(g.encode(&ab), sum);
+        }
+
+        #[test]
+        fn prop_every_codeword_is_valid(d in 0u16..16) {
+            let g = g74();
+            let w = g.encode(&BitVec::from_u128(d as u128, 4));
+            prop_assert!(g.is_valid(&w));
+        }
+
+        #[test]
+        fn prop_random_coefficients_still_locate_single_errors(seed in any::<u64>(),
+                                                               k in 2usize..8, c in 4usize..7) {
+            // need enough distinct weight-≥2 c-bit rows: 2^c - 1 - c ≥ k
+            prop_assume!((1usize << c) - 1 - c >= k);
+            // correction works for ANY P whose rows are distinct, non-zero,
+            // and of weight ≥ 2 (so columns of H are distinct)
+            let mut p = fec_gf2::BitMatrix::zeros(k, c);
+            let mut used = std::collections::HashSet::new();
+            let mut state = seed | 1;
+            for r in 0..k {
+                let mut row;
+                loop {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    row = (state >> 33) as u128 & ((1 << c) - 1);
+                    let weight = row.count_ones();
+                    if weight >= 2 && used.insert(row) {
+                        break;
+                    }
+                }
+                for x in 0..c {
+                    if (row >> x) & 1 == 1 {
+                        p.set(r, x, true);
+                    }
+                }
+            }
+            let g = Generator::from_coefficients(p);
+            let data = BitVec::from_u128((seed as u128) & ((1 << k) - 1), k);
+            let w = g.encode(&data);
+            for pos in 0..g.codeword_len() {
+                let mut bad = w.clone();
+                bad.flip(pos);
+                prop_assert_eq!(g.check(&bad), CheckOutcome::SingleError { position: pos });
+            }
+        }
+    }
+}

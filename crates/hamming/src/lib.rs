@@ -1,0 +1,47 @@
+//! Hamming block codes over GF(2).
+//!
+//! An `(n, k)` Hamming code encodes a `k`-bit data word into an `n`-bit
+//! codeword via a systematic generator matrix `G = (I_k | P)`; the
+//! `c = n - k` check bits are recomputed at the receiver with the check
+//! matrix `H = (Pᵀ | I_c)`. A zero syndrome means "no error detected";
+//! a syndrome matching column `j` of `H` locates a single-bit error at
+//! position `j` (§2.1 of the paper).
+//!
+//! This crate provides:
+//! - [`Generator`]: the code itself — encode, syndrome, single-bit
+//!   correction;
+//! - [`distance`]: exact and structural minimum-distance computation;
+//! - [`standards`]: the classic (7,4) and (8,4) codes, parity codes,
+//!   general `2^r-1` Hamming codes, and a (128,120) code with the shape
+//!   of the 802.3df inner Hamming FEC;
+//! - [`CompositeCode`]: multiple generators covering one data word via a
+//!   bit→generator mapping (the paper's §4.3 float32-specific ensemble);
+//! - [`robustness`]: the undetected-error probability `P_u` and the
+//!   `chooseTimesPow` table from §2.2/§3.2;
+//! - [`pairsum`]: the §6 unique-pair-sum property for 2-bit-error
+//!   detection.
+//!
+//! # Example
+//!
+//! ```
+//! use fec_hamming::standards;
+//! use fec_gf2::BitVec;
+//!
+//! let g = standards::hamming_7_4();
+//! let data = BitVec::from_bitstring("0011").unwrap();
+//! let word = g.encode(&data);
+//! assert_eq!(format!("{word}"), "0011100"); // Fig. 2 of the paper
+//! assert!(g.syndrome(&word).is_zero());
+//! ```
+
+mod composite;
+pub mod crc;
+pub mod distance;
+mod generator;
+pub mod pairsum;
+pub mod robustness;
+pub mod soft;
+pub mod standards;
+
+pub use composite::{CompositeCode, Segment};
+pub use generator::{CheckOutcome, Generator};

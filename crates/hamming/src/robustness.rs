@@ -1,0 +1,181 @@
+//! Undetected-error probability (§2.2) and the `chooseTimesPow`
+//! approximation table used by the synthesizer's weighted objective
+//! (§3.2, constraint (6)).
+
+use crate::Generator;
+use crate::distance::weight_distribution;
+
+/// Binomial coefficient `C(n, k)` in `f64` (exact for the magnitudes
+/// used here: n ≤ 256).
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// The paper's `chooseTimesPow(n, m) = C(n, m) · p^m` — the first-term
+/// approximation of the undetected-error probability for an `n`-bit
+/// codeword with minimum distance `m` on a BSC with bit-error rate `p`.
+pub fn choose_times_pow(n: usize, m: usize, p: f64) -> f64 {
+    binomial(n as u64, m as u64) * p.powi(m as i32)
+}
+
+/// Exact tail form of `P_u` from §2.2:
+/// `Σ_{j=m}^{n} C(n,j) p^j (1-p)^(n-j)` — the probability that at least
+/// `m` of `n` bits flip. (An upper bound on undetected errors: every
+/// undetected error needs ≥ m flips.)
+pub fn p_at_least_m_flips(n: usize, m: usize, p: f64) -> f64 {
+    (m..=n)
+        .map(|j| binomial(n as u64, j as u64) * p.powi(j as i32) * (1.0 - p).powi((n - j) as i32))
+        .sum()
+}
+
+/// First-term approximation `P_u ≈ C(n, m) · p^m` (§2.2).
+pub fn p_undetected_approx(g: &Generator, min_distance: usize, p: f64) -> f64 {
+    choose_times_pow(g.codeword_len(), min_distance, p)
+}
+
+/// *Exact* undetected-error probability from the weight distribution:
+/// an error pattern goes undetected iff it is itself a non-zero
+/// codeword, so `P_u = Σ_w A_w · p^w · (1-p)^(n-w)` over w ≥ 1.
+///
+/// Only feasible for small codes (`k ≤ 24`).
+pub fn p_undetected_exact(g: &Generator, p: f64) -> f64 {
+    let n = g.codeword_len();
+    weight_distribution(g)
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(w, &count)| count as f64 * p.powi(w as i32) * (1.0 - p).powi((n - w) as i32))
+        .sum()
+}
+
+/// Pre-computed `chooseTimesPow` lookup over all `(n, m)` pairs up to
+/// given maxima — the table the paper's encoder asserts as constants.
+#[derive(Clone, Debug)]
+pub struct ChooseTimesPowTable {
+    p: f64,
+    max_n: usize,
+    values: Vec<f64>, // [n * (max_m+1) + m]
+    max_m: usize,
+}
+
+impl ChooseTimesPowTable {
+    /// Builds the table for codeword lengths `0..=max_n` and minimum
+    /// distances `0..=max_m` at bit-error rate `p`.
+    pub fn new(max_n: usize, max_m: usize, p: f64) -> Self {
+        let mut values = Vec::with_capacity((max_n + 1) * (max_m + 1));
+        for n in 0..=max_n {
+            for m in 0..=max_m {
+                values.push(choose_times_pow(n, m, p));
+            }
+        }
+        ChooseTimesPowTable {
+            p,
+            max_n,
+            max_m,
+            values,
+        }
+    }
+
+    /// Looks up `C(n, m)·p^m`.
+    ///
+    /// # Panics
+    /// Panics if `n` or `m` exceed the table maxima.
+    pub fn get(&self, n: usize, m: usize) -> f64 {
+        assert!(n <= self.max_n && m <= self.max_m, "table lookup ({n},{m}) out of range");
+        self.values[n * (self.max_m + 1) + m]
+    }
+
+    /// The bit-error probability the table was built for.
+    pub fn bit_error_rate(&self) -> f64 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standards;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(7, 0), 1.0);
+        assert_eq!(binomial(7, 7), 1.0);
+        assert_eq!(binomial(7, 3), 35.0);
+        assert_eq!(binomial(128, 1), 128.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        for n in 0..20u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+                if k > 0 && n > 0 {
+                    assert!(
+                        (binomial(n, k) - binomial(n - 1, k - 1) - binomial(n - 1, k)).abs()
+                            < 1e-6
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choose_times_pow_hamming74() {
+        // C(7,3)·0.1³ = 35·0.001 = 0.035
+        assert!((choose_times_pow(7, 3, 0.1) - 0.035).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_pu_below_tail_bound() {
+        // every undetected error has ≥ m flips, so exact P_u ≤ P(≥m flips)
+        let g = standards::hamming_7_4();
+        let exact = p_undetected_exact(&g, 0.1);
+        let tail = p_at_least_m_flips(7, 3, 0.1);
+        assert!(exact > 0.0);
+        assert!(exact <= tail, "exact {exact} > tail {tail}");
+    }
+
+    #[test]
+    fn exact_pu_hamming74_from_weight_distribution() {
+        // A_3=7, A_4=7, A_7=1 at p=0.1:
+        // 7·0.1³·0.9⁴ + 7·0.1⁴·0.9³ + 0.1⁷
+        let expect = 7.0 * 0.001 * 0.9f64.powi(4) + 7.0 * 0.0001 * 0.9f64.powi(3) + 0.1f64.powi(7);
+        let got = p_undetected_exact(&standards::hamming_7_4(), 0.1);
+        assert!((got - expect).abs() < 1e-15, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn table_matches_direct_computation() {
+        let t = ChooseTimesPowTable::new(32, 8, 0.1);
+        for n in 0..=32 {
+            for m in 0..=8 {
+                assert_eq!(t.get(n, m), choose_times_pow(n, m, 0.1));
+            }
+        }
+        assert_eq!(t.bit_error_rate(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn table_rejects_out_of_range() {
+        ChooseTimesPowTable::new(8, 4, 0.1).get(9, 0);
+    }
+
+    #[test]
+    fn approx_decreases_with_distance() {
+        // higher minimum distance ⇒ lower approximate P_u (for p << 1/2)
+        let g = standards::hamming_7_4();
+        let p3 = p_undetected_approx(&g, 3, 0.01);
+        let p4 = p_undetected_approx(&g, 4, 0.01);
+        assert!(p4 < p3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Soft-decision Chase decoding.
+//!
+//! The 802.3df (128,120) Hamming code was selected specifically for
+//! "lower power and lower latency *soft chase decoding*" (Bliss et
+//! al., the proposal the paper's §4.1 verifies). A Chase-II decoder
+//! uses per-bit reliabilities: it enumerates test patterns over the
+//! `t` least-reliable positions, hard-decodes each, and returns the
+//! candidate codeword with the smallest soft (correlation) distance to
+//! the received values. Against an AWGN-ish channel this buys roughly
+//! 1.5–2 dB over hard-decision decoding — the `soft_decoding`
+//! experiment in `fec-bench` measures exactly that gap.
+
+use crate::{CheckOutcome, Generator};
+use fec_gf2::BitVec;
+
+/// A received soft word: one value per codeword bit, where the *sign*
+/// is the hard decision (negative ⇒ bit 1, matching BPSK mapping
+/// `0 → +1, 1 → −1`) and the magnitude is the reliability.
+pub type SoftWord = Vec<f64>;
+
+/// Hard-decides a soft word.
+pub fn hard_decision(soft: &[f64]) -> BitVec {
+    let mut w = BitVec::zeros(soft.len());
+    for (i, &v) in soft.iter().enumerate() {
+        if v < 0.0 {
+            w.set(i, true);
+        }
+    }
+    w
+}
+
+/// Soft (negative correlation) metric between a candidate codeword and
+/// the received values: lower is better.
+pub fn soft_distance(word: &BitVec, soft: &[f64]) -> f64 {
+    debug_assert_eq!(word.len(), soft.len());
+    // distance = Σ over bits of (received − ideal)²-equivalent; the
+    // correlation form −Σ s_i·x_i with x ∈ {+1,−1} ranks identically
+    let mut acc = 0.0;
+    for (i, &s) in soft.iter().enumerate() {
+        let x = if word.get(i) { -1.0 } else { 1.0 };
+        acc -= s * x;
+    }
+    acc
+}
+
+/// Chase-II decoding of `soft` with test patterns over the `t`
+/// least-reliable positions (complexity `2^t` hard decodes).
+///
+/// Returns the best candidate codeword, or `None` when no test pattern
+/// hard-decodes to a valid codeword.
+///
+/// # Panics
+/// Panics if `soft.len() != g.codeword_len()` or `t > 16`.
+pub fn chase_decode(g: &Generator, soft: &[f64], t: usize) -> Option<BitVec> {
+    assert_eq!(soft.len(), g.codeword_len(), "chase: wrong word length");
+    assert!(t <= 16, "chase: 2^t patterns, keep t ≤ 16");
+    let hard = hard_decision(soft);
+    // indices of the t least-reliable bits
+    let mut order: Vec<usize> = (0..soft.len()).collect();
+    order.sort_by(|&a, &b| soft[a].abs().total_cmp(&soft[b].abs()));
+    let weak = &order[..t.min(order.len())];
+
+    let mut best: Option<(f64, BitVec)> = None;
+    for pattern in 0u32..(1 << weak.len()) {
+        let mut trial = hard.clone();
+        for (bit, &pos) in weak.iter().enumerate() {
+            if (pattern >> bit) & 1 == 1 {
+                trial.flip(pos);
+            }
+        }
+        // hard-decode the trial (single-bit correction)
+        let candidate = match g.check(&trial) {
+            CheckOutcome::Valid => trial,
+            CheckOutcome::SingleError { position } => {
+                trial.flip(position);
+                trial
+            }
+            CheckOutcome::MultiError => continue,
+        };
+        let d = soft_distance(&candidate, soft);
+        match &best {
+            Some((bd, _)) if *bd <= d => {}
+            _ => best = Some((d, candidate)),
+        }
+    }
+    best.map(|(_, w)| w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standards;
+
+    /// BPSK-modulates a codeword with unit confidence.
+    fn modulate(w: &BitVec) -> SoftWord {
+        (0..w.len())
+            .map(|i| if w.get(i) { -1.0 } else { 1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn hard_decision_inverts_modulation() {
+        let g = standards::hamming_7_4();
+        let w = g.encode(&BitVec::from_bitstring("1011").unwrap());
+        assert_eq!(hard_decision(&modulate(&w)), w);
+    }
+
+    #[test]
+    fn clean_word_decodes_to_itself() {
+        let g = standards::hamming_7_4();
+        let w = g.encode(&BitVec::from_bitstring("0110").unwrap());
+        assert_eq!(chase_decode(&g, &modulate(&w), 3), Some(w));
+    }
+
+    #[test]
+    fn soft_distance_prefers_the_transmitted_word() {
+        let g = standards::hamming_7_4();
+        let w = g.encode(&BitVec::from_bitstring("0110").unwrap());
+        let soft = modulate(&w);
+        let mut other = w.clone();
+        other.flip(0);
+        other.flip(3);
+        other.flip(5);
+        assert!(soft_distance(&w, &soft) < soft_distance(&other, &soft));
+    }
+
+    #[test]
+    fn corrects_two_weak_errors_where_hard_decoding_fails() {
+        // two flipped bits, both with LOW reliability: hard decoding of
+        // a distance-3 code mis-corrects, Chase-II recovers
+        let g = standards::hamming_7_4();
+        let w = g.encode(&BitVec::from_bitstring("1010").unwrap());
+        let mut soft = modulate(&w);
+        // bits 1 and 4 flipped with small magnitude (unreliable)
+        soft[1] = -soft[1] * 0.1;
+        soft[4] = -soft[4] * 0.1;
+        // hard decoding goes wrong (or at best detects):
+        let hard = hard_decision(&soft);
+        let hard_fixed = match g.check(&hard) {
+            CheckOutcome::SingleError { position } => {
+                let mut h = hard.clone();
+                h.flip(position);
+                h
+            }
+            _ => hard.clone(),
+        };
+        assert_ne!(hard_fixed, w, "hard decoding should fail here");
+        // chase with t = 3 recovers the transmitted word
+        assert_eq!(chase_decode(&g, &soft, 3), Some(w));
+    }
+
+    #[test]
+    fn strong_errors_still_defeat_chase() {
+        // flips with HIGH confidence are indistinguishable from data:
+        // chase returns a valid codeword, but the wrong one
+        let g = standards::hamming_7_4();
+        let w = g.encode(&BitVec::from_bitstring("1010").unwrap());
+        let mut soft = modulate(&w);
+        soft[1] = -soft[1] * 3.0;
+        soft[4] = -soft[4] * 3.0;
+        let got = chase_decode(&g, &soft, 2).expect("some codeword");
+        assert!(g.is_valid(&got));
+        assert_ne!(got, w);
+    }
+
+    #[test]
+    fn works_on_the_8023df_code() {
+        let g = standards::ieee_8023df_128_120();
+        let mut data = BitVec::zeros(120);
+        for i in (0..120).step_by(3) {
+            data.set(i, true);
+        }
+        let w = g.encode(&data);
+        let mut soft = modulate(&w);
+        // one confident error + one weak error
+        soft[7] = -soft[7] * 0.05;
+        soft[90] = -soft[90] * 0.08;
+        let got = chase_decode(&g, &soft, 4).expect("decodes");
+        assert_eq!(got, w);
+    }
+
+    #[test]
+    fn t_zero_is_plain_hard_decoding() {
+        let g = standards::hamming_7_4();
+        let w = g.encode(&BitVec::from_bitstring("0001").unwrap());
+        let mut soft = modulate(&w);
+        soft[2] = -soft[2]; // one hard error
+        assert_eq!(chase_decode(&g, &soft, 0), Some(w));
+    }
+}

@@ -1,0 +1,201 @@
+//! Well-known generator constructions.
+
+use crate::Generator;
+use fec_gf2::BitMatrix;
+
+/// The classic Hamming (7,4) code, with the coefficient matrix used in
+/// Fig. 2 of the paper.
+pub fn hamming_7_4() -> Generator {
+    Generator::from_coeff_str(
+        "101
+         110
+         111
+         011",
+    )
+    .expect("static matrix")
+}
+
+/// The extended Hamming (8,4) code: (7,4) plus an overall parity bit,
+/// minimum distance 4 (SECDED).
+pub fn hamming_extended_8_4() -> Generator {
+    Generator::from_coeff_str(
+        "1011
+         1101
+         1110
+         0111",
+    )
+    .expect("static matrix")
+}
+
+/// The single-parity-bit code `(k+1, k)`: one check bit equal to the
+/// XOR of all data bits; detects any odd number of errors (minimum
+/// distance 2). This is exactly the `G_1^16` the paper's synthesizer
+/// rediscovers in §4.3.
+pub fn parity_code(k: usize) -> Generator {
+    let mut p = BitMatrix::zeros(k, 1);
+    for r in 0..k {
+        p.set(r, 0, true);
+    }
+    Generator::from_coefficients(p)
+}
+
+/// The perfect Hamming code with `r` check bits:
+/// `(2^r - 1, 2^r - 1 - r)`, minimum distance 3.
+///
+/// Columns of `H` are all non-zero `r`-bit vectors; the weight ≥ 2
+/// vectors (in ascending numeric order) form `Pᵀ`, the unit vectors the
+/// identity part. Returns `None` for `r < 2` or `r > 16`.
+pub fn hamming_code(r: usize) -> Option<Generator> {
+    if !(2..=16).contains(&r) {
+        return None;
+    }
+    let k = (1usize << r) - 1 - r;
+    let mut p = BitMatrix::zeros(k, r);
+    let mut row = 0;
+    for v in 1u32..(1u32 << r) {
+        if v.count_ones() >= 2 {
+            for x in 0..r {
+                if (v >> x) & 1 == 1 {
+                    p.set(row, x, true);
+                }
+            }
+            row += 1;
+        }
+    }
+    debug_assert_eq!(row, k);
+    Some(Generator::from_coefficients(p))
+}
+
+/// A shortened Hamming code `(k + r, k)` with minimum distance 3:
+/// the first `k` weight-≥2 columns of the perfect code with `r` check
+/// bits, in ascending (weight, value) order.
+///
+/// Returns `None` when `k` exceeds `2^r - 1 - r` (not enough distinct
+/// columns) or `r` is out of range.
+pub fn shortened_hamming(k: usize, r: usize) -> Option<Generator> {
+    if !(2..=16).contains(&r) || k == 0 || k > (1usize << r) - 1 - r {
+        return None;
+    }
+    // ascending weight, then value — a deterministic, documented choice
+    let mut cols: Vec<u32> = (1u32..(1u32 << r)).filter(|v| v.count_ones() >= 2).collect();
+    cols.sort_by_key(|v| (v.count_ones(), *v));
+    let mut p = BitMatrix::zeros(k, r);
+    for (row, &v) in cols.iter().take(k).enumerate() {
+        for x in 0..r {
+            if (v >> x) & 1 == 1 {
+                p.set(row, x, true);
+            }
+        }
+    }
+    Some(Generator::from_coefficients(p))
+}
+
+/// A (128, 120) inner-FEC Hamming code with the shape adopted by IEEE
+/// 802.3df for 400/800G Ethernet: 120 data bits, 8 check bits, minimum
+/// distance 3.
+///
+/// The exact coefficient matrix of the Bliss et al. 802.3df proposal is
+/// not redistributable here; this constructor builds a (128,120) code
+/// from the first 120 distinct weight-≥2 8-bit columns (ascending
+/// weight then value). Any such choice yields distinct non-zero `H`
+/// columns and hence the same minimum distance 3 that §4.1 of the paper
+/// verifies (see DESIGN.md, substitution table).
+pub fn ieee_8023df_128_120() -> Generator {
+    shortened_hamming(120, 8).expect("120 ≤ 2^8 - 1 - 8 = 247")
+}
+
+/// The paper's §4.2 example result `G_5^4` (minimum distance 4,
+/// 5 check bits), reproduced verbatim from the paper text.
+pub fn paper_g4_5() -> Generator {
+    Generator::from_coeff_str(
+        "01111
+         10110
+         10101
+         11100",
+    )
+    .expect("static matrix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{has_min_distance_at_least, min_distance_exhaustive};
+    use fec_gf2::BitVec;
+
+    #[test]
+    fn hamming_code_sizes() {
+        for r in 2..=6 {
+            let g = hamming_code(r).unwrap();
+            assert_eq!(g.check_len(), r);
+            assert_eq!(g.data_len(), (1 << r) - 1 - r);
+        }
+        assert!(hamming_code(1).is_none());
+        assert!(hamming_code(17).is_none());
+    }
+
+    #[test]
+    fn hamming_code_r3_is_distance_3() {
+        assert_eq!(min_distance_exhaustive(&hamming_code(3).unwrap()), 3);
+        assert_eq!(min_distance_exhaustive(&hamming_code(4).unwrap()), 3);
+    }
+
+    #[test]
+    fn shortened_hamming_bounds() {
+        assert!(shortened_hamming(0, 8).is_none());
+        assert!(shortened_hamming(248, 8).is_none());
+        assert!(shortened_hamming(247, 8).is_some());
+        let g = shortened_hamming(10, 5).unwrap();
+        assert_eq!((g.data_len(), g.check_len()), (10, 5));
+        assert_eq!(min_distance_exhaustive(&g), 3);
+    }
+
+    #[test]
+    fn ieee_code_shape() {
+        let g = ieee_8023df_128_120();
+        assert_eq!(g.data_len(), 120);
+        assert_eq!(g.check_len(), 8);
+        assert_eq!(g.codeword_len(), 128);
+        assert!(has_min_distance_at_least(&g, 3));
+        assert!(!has_min_distance_at_least(&g, 4));
+    }
+
+    #[test]
+    fn ieee_code_rows_unique_and_weighty() {
+        let g = ieee_8023df_128_120();
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..120 {
+            let row = g.coefficients().row(r).to_u128();
+            assert!(row.count_ones() >= 2, "row {r} weight < 2");
+            assert!(seen.insert(row), "duplicate row {r}");
+        }
+    }
+
+    #[test]
+    fn paper_g4_5_has_min_distance_4() {
+        // §4.2: "for minimum distance 4, we synthesized ... G_5^4"
+        assert_eq!(min_distance_exhaustive(&paper_g4_5()), 4);
+    }
+
+    #[test]
+    fn parity_code_encodes_even_parity() {
+        let g = parity_code(16);
+        let d = BitVec::from_u128(0b1011_0000_1111_0001, 16);
+        let w = g.encode(&d);
+        assert_eq!(w.count_ones() % 2, 0, "codeword must have even weight");
+        assert!(g.is_valid(&w));
+    }
+
+    #[test]
+    fn extended_code_detects_all_double_errors() {
+        let g = hamming_extended_8_4();
+        let w = g.encode(&BitVec::from_bitstring("1010").unwrap());
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let mut bad = w.clone();
+                bad.flip(i);
+                bad.flip(j);
+                assert!(!g.is_valid(&bad), "double error {i},{j} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! GF(2^m) arithmetic via log/antilog tables.
+
+use fec_gf2::Gf2Poly;
+
+/// Default primitive polynomials per field size (coefficient masks,
+/// including the leading term), the conventional choices.
+const PRIMITIVE: [(u32, u32); 14] = [
+    (3, 0b1011),            // x^3+x+1
+    (4, 0b10011),           // x^4+x+1
+    (5, 0b100101),          // x^5+x^2+1
+    (6, 0b1000011),         // x^6+x+1
+    (7, 0b10001001),        // x^7+x^3+1
+    (8, 0b100011101),       // x^8+x^4+x^3+x^2+1
+    (9, 0b1000010001),      // x^9+x^4+1
+    (10, 0b10000001001),    // x^10+x^3+1
+    (11, 0b100000000101),   // x^11+x^2+1
+    (12, 0b1000001010011),  // x^12+x^6+x^4+x+1
+    (13, 0b10000000011011), // x^13+x^4+x^3+x+1
+    (14, 0b100010001000011),
+    (15, 0b1000000000000011),
+    (16, 0b10001000000001011),
+];
+
+/// Exp/log tables for GF(2^m), 3 ≤ m ≤ 16.
+#[derive(Clone)]
+pub struct GfTables {
+    bits: u32,
+    /// `exp[i] = α^i` for i in 0..2(q-1) (doubled to skip mod in mul).
+    exp: Vec<u16>,
+    /// `log[x]` for x in 1..q; `log[0]` is unused.
+    log: Vec<u16>,
+}
+
+impl GfTables {
+    /// Builds the field GF(2^m) over the conventional primitive
+    /// polynomial. Returns `None` for unsupported `m`.
+    pub fn new(m: u32) -> Option<GfTables> {
+        let &(_, poly) = PRIMITIVE.iter().find(|&&(b, _)| b == m)?;
+        debug_assert!(Gf2Poly::from_bits(poly as u128).is_irreducible());
+        let q = 1usize << m;
+        let mut exp = vec![0u16; 2 * (q - 1)];
+        let mut log = vec![0u16; q];
+        let mut x = 1u32;
+        for (i, slot) in exp.iter_mut().enumerate().take(q - 1) {
+            *slot = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        for i in (q - 1)..2 * (q - 1) {
+            exp[i] = exp[i - (q - 1)];
+        }
+        Some(GfTables { bits: m, exp, log })
+    }
+
+    /// Field width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of non-zero elements, `2^m - 1`.
+    pub fn order(&self) -> usize {
+        (1 << self.bits) - 1
+    }
+
+    /// `α^i` (exponentiation of the primitive element).
+    #[inline]
+    pub fn alpha_pow(&self, i: usize) -> u16 {
+        self.exp[i % self.order()]
+    }
+
+    /// Field addition (= XOR).
+    #[inline]
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[inline]
+    pub fn inv(&self, a: u16) -> u16 {
+        assert_ne!(a, 0, "zero has no inverse");
+        self.exp[self.order() - self.log[a as usize] as usize]
+    }
+
+    /// Field division `a / b`.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// `a^n` by log arithmetic.
+    pub fn pow(&self, a: u16, n: usize) -> u16 {
+        if a == 0 {
+            return u16::from(n == 0);
+        }
+        let e = (self.log[a as usize] as usize * n) % self.order();
+        self.exp[e]
+    }
+
+    /// Evaluates a polynomial (coefficients low-order first) at `x`.
+    pub fn poly_eval(&self, coeffs: &[u16], x: u16) -> u16 {
+        let mut acc = 0u16;
+        for &c in coeffs.iter().rev() {
+            acc = self.add(self.mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Product of two polynomials over the field.
+    pub fn poly_mul(&self, a: &[u16], b: &[u16]) -> Vec<u16> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u16; a.len() + b.len() - 1];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] ^= self.mul(ai, bj);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gf16_multiplication_table_spot_checks() {
+        let f = GfTables::new(4).unwrap();
+        // α = 2 in GF(16) with x^4+x+1: α^4 = α + 1 = 3
+        assert_eq!(f.mul(2, 2), 4);
+        assert_eq!(f.mul(4, 2), 8);
+        assert_eq!(f.mul(8, 2), 3); // wraps through the polynomial
+        assert_eq!(f.mul(0, 9), 0);
+        assert_eq!(f.mul(1, 9), 9);
+    }
+
+    #[test]
+    fn inverses_and_division() {
+        let f = GfTables::new(8).unwrap();
+        for a in 1..=255u16 {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "a = {a}");
+            assert_eq!(f.div(a, a), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        GfTables::new(4).unwrap().inv(0);
+    }
+
+    #[test]
+    fn alpha_generates_the_whole_group() {
+        for m in [3u32, 4, 8, 10] {
+            let f = GfTables::new(m).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..f.order() {
+                assert!(seen.insert(f.alpha_pow(i)), "α^{i} repeats in GF(2^{m})");
+            }
+            assert_eq!(seen.len(), f.order());
+            assert!(!seen.contains(&0));
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = GfTables::new(6).unwrap();
+        for a in [1u16, 2, 17, 63] {
+            let mut acc = 1u16;
+            for n in 0..10 {
+                assert_eq!(f.pow(a, n), acc, "a={a} n={n}");
+                acc = f.mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let f = GfTables::new(4).unwrap();
+        // p(x) = 3 + 5x + x^2 at x = 2: 3 ^ mul(5,2) ^ mul(1,4)
+        let expect = 3 ^ f.mul(5, 2) ^ f.mul(1, f.mul(2, 2));
+        assert_eq!(f.poly_eval(&[3, 5, 1], 2), expect);
+        assert_eq!(f.poly_eval(&[], 7), 0);
+    }
+
+    #[test]
+    fn unsupported_sizes() {
+        assert!(GfTables::new(2).is_none());
+        assert!(GfTables::new(17).is_none());
+        assert!(GfTables::new(10).is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms_gf256(a in 0u16..256, b in 0u16..256, c in 0u16..256) {
+            let f = GfTables::new(8).unwrap();
+            // commutativity and associativity of mul
+            prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+            prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+            // distributivity over add
+            prop_assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+        }
+
+        #[test]
+        fn prop_poly_mul_degree_and_eval(a in proptest::collection::vec(0u16..16, 1..6),
+                                         b in proptest::collection::vec(0u16..16, 1..6),
+                                         x in 0u16..16) {
+            let f = GfTables::new(4).unwrap();
+            let prod = f.poly_mul(&a, &b);
+            // evaluation homomorphism: (a·b)(x) = a(x)·b(x)
+            prop_assert_eq!(f.poly_eval(&prod, x), f.mul(f.poly_eval(&a, x), f.poly_eval(&b, x)));
+        }
+    }
+}

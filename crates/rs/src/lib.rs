@@ -1,0 +1,87 @@
+//! Reed-Solomon codes over GF(2^m).
+//!
+//! The 802.3df standard the paper builds on pairs its inner Hamming
+//! code with **KP4**, an RS(544, 514) code over GF(2^10), as the outer
+//! FEC. This crate implements that substrate from scratch: GF(2^m)
+//! arithmetic (log/antilog tables over a primitive polynomial),
+//! systematic RS encoding, and full hard-decision decoding
+//! (syndromes → Berlekamp–Massey → Chien search → Forney), so the
+//! workspace can simulate the complete concatenated 802.3df FEC chain
+//! (see `fec-bench`'s `concat_fec` binary).
+//!
+//! An RS(n, k) code over GF(2^m) corrects up to `t = (n-k)/2` symbol
+//! errors; since a symbol is m bits, a single symbol correction
+//! absorbs an m-bit burst — the reason RS is the outer code of choice
+//! after a burst-prone inner decoder.
+//!
+//! # Example
+//!
+//! ```
+//! use fec_rs::{GfTables, ReedSolomon};
+//!
+//! // RS(15, 11) over GF(2^4): corrects 2 symbol errors
+//! let field = GfTables::new(4).unwrap();
+//! let rs = ReedSolomon::new(&field, 15, 11).unwrap();
+//! let data: Vec<u16> = (1..=11).collect();
+//! let mut word = rs.encode(&data);
+//! word[2] ^= 0x9; // corrupt two symbols
+//! word[10] ^= 0x3;
+//! let fixed = rs.decode(&mut word).unwrap();
+//! assert_eq!(fixed, 2); // two corrections
+//! assert_eq!(&word[..11], &data[..]);
+//! ```
+
+mod field;
+mod rs;
+
+pub use field::GfTables;
+pub use rs::{DecodeError, ReedSolomon};
+
+/// The KP4 outer code of 802.3df: RS(544, 514) over GF(2^10),
+/// correcting up to 15 symbol errors.
+pub fn kp4() -> ReedSolomon {
+    let field = GfTables::new(10).expect("GF(2^10) exists");
+    ReedSolomon::new(&field, 544, 514).expect("544 ≤ 2^10 - 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kp4_shape() {
+        let rs = kp4();
+        assert_eq!(rs.field().bits(), 10);
+        assert_eq!(rs.codeword_len(), 544);
+        assert_eq!(rs.data_len(), 514);
+        assert_eq!(rs.correctable(), 15);
+    }
+
+    #[test]
+    fn kp4_corrects_fifteen_symbol_errors() {
+        let rs = kp4();
+        let data: Vec<u16> = (0..514).map(|i| (i * 37 + 5) as u16 & 0x3FF).collect();
+        let mut word = rs.encode(&data);
+        for e in 0..15 {
+            word[e * 36] ^= 0x155 ^ e as u16; // 15 distinct positions
+        }
+        assert_eq!(rs.decode(&mut word).unwrap(), 15);
+        assert_eq!(&word[..514], &data[..]);
+    }
+
+    #[test]
+    fn kp4_detects_overload() {
+        let rs = kp4();
+        let data: Vec<u16> = vec![0x2A5; 514];
+        let mut word = rs.encode(&data);
+        for e in 0..40 {
+            word[e * 13] ^= 0x3FF - e as u16;
+        }
+        // 40 > 15 errors: decoding must fail, not mis-correct silently
+        // into the transmitted word
+        match rs.decode(&mut word) {
+            Err(_) => {}
+            Ok(_) => assert_ne!(&word[..514], &data[..], "silent mis-decode to original"),
+        }
+    }
+}

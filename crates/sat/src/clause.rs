@@ -1,0 +1,52 @@
+//! Clause storage.
+
+use crate::types::Lit;
+
+/// Index of a clause in the solver's clause database.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+/// A disjunction of literals.
+///
+/// The first two literals are the *watched* pair; the solver maintains
+/// the invariant that, unless the clause is satisfied, neither watched
+/// literal is false (or the clause is unit/conflicting and on the
+/// propagation queue).
+#[derive(Debug)]
+pub(crate) struct Clause {
+    pub lits: Vec<Lit>,
+    /// Learnt clauses may be garbage-collected; problem clauses may not.
+    pub learnt: bool,
+    /// Bump-and-decay activity for learnt-clause retention.
+    pub activity: f64,
+    /// Literal-block distance at learning time (glue level).
+    pub lbd: u32,
+    /// Tombstone flag set by database reduction; skipped by all scans.
+    pub deleted: bool,
+}
+
+impl Clause {
+    pub fn new(lits: Vec<Lit>, learnt: bool, lbd: u32) -> Clause {
+        Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            lbd,
+            deleted: false,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+}
+
+/// A watcher entry: the clause plus a *blocker* literal from it.
+/// If the blocker is already true the clause is satisfied and the
+/// watcher scan can skip loading the clause at all.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Watcher {
+    pub cref: ClauseRef,
+    pub blocker: Lit,
+}

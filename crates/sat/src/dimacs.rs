@@ -1,0 +1,115 @@
+//! DIMACS CNF parsing and emission, for interoperability and test fixtures.
+
+use crate::types::{Lit, Var};
+
+/// A parsed CNF: number of variables and the clause list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    pub num_vars: usize,
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Parses DIMACS CNF text.
+///
+/// Accepts comment lines (`c ...`), an optional `p cnf V C` header, and
+/// zero-terminated clause lines. Returns an error string describing the
+/// first malformed token.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, String> {
+    let mut num_vars = 0usize;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(format!("line {}: malformed problem line", lineno + 1));
+            }
+            num_vars = parts[1]
+                .parse()
+                .map_err(|_| format!("line {}: bad variable count", lineno + 1))?;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad literal {tok:?}", lineno + 1))?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let idx = (n.unsigned_abs() - 1) as usize;
+                num_vars = num_vars.max(idx + 1);
+                current.push(Lit::with_sign(Var::from_index(idx), n > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Cnf { num_vars, clauses })
+}
+
+/// Emits DIMACS CNF text for a clause list over `num_vars` variables.
+pub fn to_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = format!("p cnf {} {}\n", num_vars, clauses.len());
+    for c in clauses {
+        for l in c {
+            out.push_str(&l.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveResult, Solver};
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0][1], Lit::neg(Var::from_index(1)));
+    }
+
+    #[test]
+    fn parse_without_header_infers_vars() {
+        let cnf = parse_dimacs("1 5 0\n-5 0").unwrap();
+        assert_eq!(cnf.num_vars, 5);
+        assert_eq!(cnf.clauses.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_dimacs("1 x 0").is_err());
+        assert!(parse_dimacs("p cnf oops 2").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 2 2\n1 -2 0\n-1 2 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(to_dimacs(cnf.num_vars, &cnf.clauses), text);
+    }
+
+    #[test]
+    fn parsed_instance_solves() {
+        let cnf = parse_dimacs("p cnf 2 3\n1 2 0\n-1 0\n-2 -1 0\n").unwrap();
+        let mut s = Solver::new();
+        for _ in 0..cnf.num_vars {
+            s.new_var();
+        }
+        for c in &cnf.clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(0)), Some(false));
+        assert_eq!(s.value(Var::from_index(1)), Some(true));
+    }
+}

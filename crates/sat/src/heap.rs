@@ -1,0 +1,158 @@
+//! Indexed max-heap ordered by variable activity (the VSIDS order).
+//!
+//! A plain `BinaryHeap` cannot efficiently update priorities or test
+//! membership, both of which the solver needs on every conflict, so this
+//! is the classic MiniSat indexed heap: positions are tracked per
+//! variable, and `sift_up` is invoked when an activity is bumped.
+
+use crate::types::Var;
+
+#[derive(Default)]
+pub(crate) struct ActivityHeap {
+    /// Heap of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `NONE`.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl ActivityHeap {
+    pub fn new() -> Self {
+        ActivityHeap::default()
+    }
+
+    /// Registers a new variable (initially in the heap).
+    pub fn push_new_var(&mut self, v: Var, act: &[f64]) {
+        debug_assert_eq!(v.index(), self.pos.len());
+        self.pos.push(NONE);
+        self.insert(v, act);
+    }
+
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != NONE
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v.0);
+        self.pos[v.index()] = i as u32;
+        self.sift_up(i, act);
+    }
+
+    /// Removes and returns the variable with highest activity.
+    pub fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(Var(top))
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, act: &[f64]) {
+        if let Some(i) = self.position(v) {
+            self.sift_up(i, act);
+        }
+    }
+
+    fn position(&self, v: Var) -> Option<usize> {
+        let p = self.pos[v.index()];
+        (p != NONE).then_some(p as usize)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for i in 0..5 {
+            h.push_new_var(Var::from_index(i), &act);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&act).map(Var::index)).collect();
+        assert_eq!(order, [1, 3, 2, 4, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let act = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.push_new_var(Var::from_index(0), &act);
+        h.push_new_var(Var::from_index(1), &act);
+        let v = h.pop_max(&act).unwrap();
+        assert_eq!(v.index(), 1);
+        assert!(!h.contains(v));
+        h.insert(v, &act);
+        assert!(h.contains(v));
+        assert_eq!(h.pop_max(&act).unwrap().index(), 1);
+    }
+
+    #[test]
+    fn bump_resorts() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for i in 0..3 {
+            h.push_new_var(Var::from_index(i), &act);
+        }
+        act[0] = 10.0;
+        h.update(Var::from_index(0), &act);
+        assert_eq!(h.pop_max(&act).unwrap().index(), 0);
+    }
+}

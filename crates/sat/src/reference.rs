@@ -1,0 +1,194 @@
+//! A deliberately simple DPLL solver used as a *test oracle*.
+//!
+//! The CDCL engine in [`crate::Solver`] is intricate enough that its own
+//! tests can't be trusted to cover every interaction of watches,
+//! learning, and backjumping. This module provides a slow but obviously
+//! correct solver; property tests cross-validate the two on random
+//! instances (see `tests/` in this crate and in `fec-smt`).
+
+use crate::types::{Lit, Var};
+
+/// Result of the reference solver: a model, or `None` for UNSAT.
+pub fn solve(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; num_vars];
+    if dpll(clauses, &mut assignment) {
+        Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// `true` iff `model` satisfies every clause.
+pub fn check_model(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+    clauses.iter().all(|c| {
+        c.iter()
+            .any(|l| model.get(l.var().index()).copied() == Some(l.is_pos()))
+    })
+}
+
+fn dpll(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
+    // unit propagation to fixpoint
+    let mut trail: Vec<Var> = Vec::new();
+    loop {
+        let mut unit: Option<Lit> = None;
+        for c in clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in c {
+                match assignment[l.var().index()] {
+                    None => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    Some(v) if v == l.is_pos() => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => {
+                    // conflict: undo propagation and fail
+                    for v in trail {
+                        assignment[v.index()] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some(l) => {
+                assignment[l.var().index()] = Some(l.is_pos());
+                trail.push(l.var());
+            }
+            None => break,
+        }
+    }
+    // pick a branch variable
+    let branch = assignment.iter().position(|a| a.is_none());
+    let Some(v) = branch else {
+        return true; // fully assigned, no conflict
+    };
+    for value in [true, false] {
+        assignment[v] = Some(value);
+        if dpll(clauses, assignment) {
+            return true;
+        }
+        assignment[v] = None;
+    }
+    // undo propagation done at this node before returning
+    for var in trail {
+        assignment[var.index()] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveResult, Solver};
+    use proptest::prelude::*;
+
+    fn l(x: i32) -> Lit {
+        Lit::with_sign(Var::from_index((x.unsigned_abs() - 1) as usize), x > 0)
+    }
+
+    #[test]
+    fn reference_sat_and_unsat() {
+        assert!(solve(2, &[vec![l(1), l(2)], vec![l(-1)]]).is_some());
+        assert!(solve(1, &[vec![l(1)], vec![l(-1)]]).is_none());
+    }
+
+    #[test]
+    fn reference_model_checks_out() {
+        let clauses = vec![vec![l(1), l(2)], vec![l(-1), l(3)], vec![l(-3), l(-2)]];
+        let m = solve(3, &clauses).unwrap();
+        assert!(check_model(&clauses, &m));
+    }
+
+    /// Random 3-SAT instances: CDCL and DPLL must agree, and SAT models
+    /// must actually satisfy the clauses.
+    fn random_instance(seed: u64, nv: usize, nc: usize) -> Vec<Vec<Lit>> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..nc)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        let v = (next() as usize) % nv;
+                        Lit::with_sign(Var::from_index(v), next() % 2 == 0)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_cdcl_agrees_with_reference(seed in any::<u64>(), nv in 3usize..10, nc in 1usize..40) {
+            let clauses = random_instance(seed, nv, nc);
+            let reference = solve(nv, &clauses);
+            let mut s = Solver::new();
+            for _ in 0..nv {
+                s.new_var();
+            }
+            let mut ok = true;
+            for c in &clauses {
+                ok = s.add_clause(c);
+                if !ok {
+                    break;
+                }
+            }
+            let cdcl = if ok { s.solve(&[]) } else { SolveResult::Unsat };
+            match (reference, cdcl) {
+                (Some(_), SolveResult::Sat) => {
+                    let model: Vec<bool> = (0..nv)
+                        .map(|i| s.value(Var::from_index(i)).unwrap_or(false))
+                        .collect();
+                    prop_assert!(check_model(&clauses, &model), "CDCL model invalid");
+                }
+                (None, SolveResult::Unsat) => {}
+                (r, c) => prop_assert!(false, "disagreement: reference={:?} cdcl={:?}", r.is_some(), c),
+            }
+        }
+
+        #[test]
+        fn prop_cdcl_agrees_under_assumptions(seed in any::<u64>(), nv in 3usize..8, nc in 1usize..25) {
+            let clauses = random_instance(seed, nv, nc);
+            // assumption: first var true
+            let assumption = Lit::pos(Var::from_index(0));
+            let mut with_assumption = clauses.clone();
+            with_assumption.push(vec![assumption]);
+            let reference = solve(nv, &with_assumption);
+            let mut s = Solver::new();
+            for _ in 0..nv {
+                s.new_var();
+            }
+            let mut ok = true;
+            for c in &clauses {
+                ok = s.add_clause(c);
+                if !ok {
+                    break;
+                }
+            }
+            let cdcl = if ok { s.solve(&[assumption]) } else { SolveResult::Unsat };
+            prop_assert_eq!(reference.is_some(), cdcl == SolveResult::Sat);
+        }
+    }
+}

@@ -1,0 +1,942 @@
+//! The CDCL search engine.
+
+use crate::clause::{Clause, ClauseRef, Watcher};
+use crate::heap::ActivityHeap;
+use crate::types::{LBool, Lit, Var};
+use std::time::{Duration, Instant};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The clauses (under the given assumptions) are unsatisfiable.
+    Unsat,
+    /// A budget (conflicts or wall clock) ran out before a verdict.
+    Unknown,
+}
+
+/// Resource limits for one `solve` call.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum number of conflicts, or `u64::MAX` for unlimited.
+    pub max_conflicts: u64,
+    /// Wall-clock deadline, or `None` for unlimited.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_conflicts: u64::MAX,
+            timeout: None,
+        }
+    }
+}
+
+impl Budget {
+    /// Unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Wall-clock limit only.
+    pub fn with_timeout(t: Duration) -> Self {
+        Budget {
+            max_conflicts: u64::MAX,
+            timeout: Some(t),
+        }
+    }
+}
+
+/// Aggregate search statistics, cumulative across `solve` calls.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    pub conflicts: u64,
+    pub decisions: u64,
+    pub propagations: u64,
+    pub restarts: u64,
+    pub learnt_clauses: u64,
+    pub deleted_clauses: u64,
+    pub solve_calls: u64,
+}
+
+const INVALID_CLAUSE: ClauseRef = ClauseRef(u32::MAX);
+
+/// A CDCL SAT solver (see crate docs for the feature list).
+pub struct Solver {
+    // clause database
+    clauses: Vec<Clause>,
+    // watches[lit.index()] = watchers of clauses that contain ¬lit
+    watches: Vec<Vec<Watcher>>,
+    // assignment trail
+    assigns: Vec<LBool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // reason[v] = clause that propagated v, INVALID for decisions
+    reason: Vec<ClauseRef>,
+    level: Vec<u32>,
+    // branching
+    activity: Vec<f64>,
+    heap: ActivityHeap,
+    var_inc: f64,
+    saved_phase: Vec<bool>,
+    // clause activity
+    cla_inc: f64,
+    // analyze scratch
+    seen: Vec<bool>,
+    // status
+    ok: bool,
+    stats: SolverStats,
+    // learnt DB reduction schedule
+    max_learnts: f64,
+    // model snapshot from the last Sat answer
+    model: Vec<LBool>,
+    // failed assumptions from the last assumption-Unsat answer
+    conflict_assumptions: Vec<Lit>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            reason: Vec::new(),
+            level: Vec::new(),
+            activity: Vec::new(),
+            heap: ActivityHeap::new(),
+            var_inc: 1.0,
+            saved_phase: Vec::new(),
+            cla_inc: 1.0,
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            max_learnts: 4000.0,
+            model: Vec::new(),
+            conflict_assumptions: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.reason.push(INVALID_CLAUSE);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push_new_var(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live problem + learnt clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// `false` once the clause set is known unsatisfiable outright
+    /// (independent of assumptions).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Adds a clause (a disjunction of `lits`). Returns `false` if the
+    /// solver is already in an unsatisfiable state afterwards.
+    ///
+    /// An empty clause (after simplification) makes the instance
+    /// trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        // normalize: sort, dedup, drop tautologies and false-at-level-0 lits
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        let mut out: Vec<Lit> = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: contains both l and ¬l
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.uncheck_enqueue(out[0], INVALID_CLAUSE);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(Clause::new(out, false, 0));
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, clause: Clause) -> ClauseRef {
+        debug_assert!(clause.len() >= 2);
+        let cref = ClauseRef(u32::try_from(self.clauses.len()).expect("clause count overflow"));
+        let (w0, w1) = (clause.lits[0], clause.lits[1]);
+        // a watcher fires when its literal's negation becomes true,
+        // so the entry for watching w lives in watches[(!w).index()]
+        self.watches[(!w0).index()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).index()].push(Watcher { cref, blocker: w0 });
+        self.clauses.push(clause);
+        cref
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.is_pos()),
+            LBool::False => LBool::from_bool(!l.is_pos()),
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying model.
+    /// `None` before any `Sat` answer, or if `v` did not exist then.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.model.get(v.index())? {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// After an `Unsat` answer under assumptions: the subset of
+    /// assumption literals used to derive the contradiction.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_assumptions
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn uncheck_enqueue(&mut self, l: Lit, from: ClauseRef) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_pos());
+        self.reason[v] = from;
+        self.level[v] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Boolean constraint propagation from the current queue head.
+    /// Returns a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while conflict.is_none() && self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // fast path: blocker already true means clause satisfied
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.clauses[cref.0 as usize].deleted {
+                    continue; // lazily drop watcher of a tombstoned clause
+                }
+                // ensure the falsified literal sits at lits[1]
+                let false_lit = !p;
+                {
+                    let clause = &mut self.clauses[cref.0 as usize];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], false_lit);
+                }
+                let first = self.clauses[cref.0 as usize].lits[0];
+                let new_watcher = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = new_watcher;
+                    j += 1;
+                    continue;
+                }
+                // search for an unfalsified replacement watch
+                let len = self.clauses[cref.0 as usize].len();
+                for k in 2..len {
+                    let lk = self.clauses[cref.0 as usize].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[cref.0 as usize].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(new_watcher);
+                        continue 'watchers;
+                    }
+                }
+                // clause is unit or conflicting
+                ws[j] = new_watcher;
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(cref);
+                    // copy back the rest of the watcher list untouched
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.uncheck_enqueue(first, cref);
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.index()] = ws;
+        }
+        if conflict.is_some() {
+            // unpropagated tail entries are above the conflict's decision
+            // level and will be truncated by the imminent backtrack
+            self.qhead = self.trail.len();
+        }
+        conflict
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause with the
+    /// asserting literal in slot 0 (and the watch partner, the highest-
+    /// level remaining literal, in slot 1) plus the backjump level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut counter = 0usize;
+        let mut resolving_on: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            if self.clauses[conflict.0 as usize].learnt {
+                self.bump_clause(conflict);
+            }
+            // skip lits[0] of a reason clause: it is the propagated literal
+            let start = usize::from(resolving_on.is_some());
+            let clause_lits: Vec<Lit> = self.clauses[conflict.0 as usize].lits[start..].to_vec();
+            for q in clause_lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // next current-level literal on the trail to resolve on
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            resolving_on = Some(pl);
+            conflict = self.reason[pl.var().index()];
+            debug_assert_ne!(conflict, INVALID_CLAUSE, "resolving on a decision");
+        }
+
+        // clause minimization: drop literals whose reason is subsumed
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(
+            learnt[1..]
+                .iter()
+                .copied()
+                .filter(|&l| !self.literal_redundant(l, &learnt)),
+        );
+
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        let bt = if minimized.len() == 1 {
+            0
+        } else {
+            // put the highest-level non-asserting literal in slot 1 so the
+            // watch pair is (asserting, backjump-level) as CDCL requires
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, bt)
+    }
+
+    /// Local redundancy test (MiniSat's basic minimization): `l` can be
+    /// dropped when every other literal of its reason clause is either
+    /// already in the learnt clause or fixed at level 0.
+    fn literal_redundant(&self, l: Lit, learnt: &[Lit]) -> bool {
+        let r = self.reason[l.var().index()];
+        if r == INVALID_CLAUSE {
+            return false;
+        }
+        self.clauses[r.0 as usize]
+            .lits
+            .iter()
+            .all(|&q| q == !l || self.level[q.var().index()] == 0 || learnt.contains(&q))
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, c: ClauseRef) {
+        let cl = &mut self.clauses[c.0 as usize];
+        cl.activity += self.cla_inc;
+        if cl.activity > 1e20 {
+            for cl in self.clauses.iter_mut().filter(|c| c.learnt) {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Undoes all assignments above `level`.
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let keep = self.trail_lim[level as usize];
+        for i in (keep..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.saved_phase[v.index()] = l.is_pos();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = INVALID_CLAUSE;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    /// Literal-block distance: number of distinct decision levels.
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Tombstones the worst half of the removable learnt clauses.
+    fn reduce_db(&mut self) {
+        let mut learnts: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learnt && !c.deleted && c.len() > 2 && c.lbd > 2 && !self.is_reason(i)
+            })
+            .collect();
+        // worst first: high LBD, then low activity
+        learnts.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.total_cmp(&cb.activity))
+        });
+        let n = learnts.len() / 2;
+        for &i in learnts.iter().take(n) {
+            self.clauses[i].deleted = true;
+            self.stats.deleted_clauses += 1;
+        }
+    }
+
+    fn is_reason(&self, clause_idx: usize) -> bool {
+        let c = &self.clauses[clause_idx];
+        let l = c.lits[0];
+        self.lit_value(l) == LBool::True
+            && self.reason[l.var().index()] == ClauseRef(clause_idx as u32)
+    }
+
+    /// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    fn luby(mut i: u64) -> u64 {
+        // size of the smallest complete subsequence containing index i
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i + 1 {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i + 1 {
+                return 1u64 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Solves under `assumptions` with an unlimited budget.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_with_budget(assumptions, Budget::unlimited())
+    }
+
+    /// Solves the clause set under the given assumption literals and
+    /// resource budget. The solver remains usable afterwards regardless
+    /// of the outcome (state is backtracked to level 0).
+    pub fn solve_with_budget(&mut self, assumptions: &[Lit], budget: Budget) -> SolveResult {
+        self.stats.solve_calls += 1;
+        self.conflict_assumptions.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let start = Instant::now();
+        let conflict_budget = self.stats.conflicts.saturating_add(budget.max_conflicts);
+        let mut restart_idx = 0u64;
+        let result = loop {
+            let limit = 100 * Self::luby(restart_idx);
+            restart_idx += 1;
+            match self.search(assumptions, limit, conflict_budget, start, budget.timeout) {
+                SearchOutcome::Sat => {
+                    self.model = self.assigns.clone();
+                    break SolveResult::Sat;
+                }
+                SearchOutcome::Unsat => break SolveResult::Unsat,
+                SearchOutcome::Restart => {
+                    self.stats.restarts += 1;
+                    continue;
+                }
+                SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
+            }
+        };
+        self.backtrack(0);
+        result
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        restart_limit: u64,
+        conflict_budget: u64,
+        start: Instant,
+        timeout: Option<Duration>,
+    ) -> SearchOutcome {
+        self.backtrack(0);
+        let mut conflicts_this_restart = 0u64;
+        loop {
+            if let Some(conf) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // contradiction within the assumption prefix
+                    self.analyze_final_clause(conf, assumptions);
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(conf);
+                self.backtrack(bt_level);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.backtrack(0);
+                    match self.lit_value(asserting) {
+                        LBool::Undef => self.uncheck_enqueue(asserting, INVALID_CLAUSE),
+                        LBool::False => {
+                            self.ok = false;
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::True => {}
+                    }
+                } else {
+                    let lbd = self.compute_lbd(&learnt);
+                    let cref = self.attach_clause(Clause::new(learnt, true, lbd));
+                    self.stats.learnt_clauses += 1;
+                    self.uncheck_enqueue(asserting, cref);
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if self
+                    .stats
+                    .learnt_clauses
+                    .saturating_sub(self.stats.deleted_clauses) as f64
+                    > self.max_learnts
+                {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+                if self.stats.conflicts >= conflict_budget {
+                    return SearchOutcome::BudgetExhausted;
+                }
+                if conflicts_this_restart >= restart_limit {
+                    return SearchOutcome::Restart;
+                }
+                if self.stats.conflicts % 64 == 0 {
+                    if let Some(t) = timeout {
+                        if start.elapsed() >= t {
+                            return SearchOutcome::BudgetExhausted;
+                        }
+                    }
+                }
+            } else {
+                // no conflict: establish assumptions first, then decide
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // already implied: open an empty decision level
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.analyze_final_lit(a, assumptions);
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.uncheck_enqueue(a, INVALID_CLAUSE);
+                        }
+                    }
+                    continue;
+                }
+                let next = loop {
+                    match self.heap.pop_max(&self.activity) {
+                        None => return SearchOutcome::Sat, // everything assigned
+                        Some(v) if self.assigns[v.index()] == LBool::Undef => break v,
+                        Some(_) => continue,
+                    }
+                };
+                self.stats.decisions += 1;
+                if self.stats.decisions % 1024 == 0 {
+                    if let Some(t) = timeout {
+                        if start.elapsed() >= t {
+                            return SearchOutcome::BudgetExhausted;
+                        }
+                    }
+                }
+                self.trail_lim.push(self.trail.len());
+                let phase = self.saved_phase[next.index()];
+                self.uncheck_enqueue(Lit::with_sign(next, phase), INVALID_CLAUSE);
+            }
+        }
+    }
+
+    /// Traces a conflict clause back to the assumptions that caused it.
+    fn analyze_final_clause(&mut self, conf: ClauseRef, assumptions: &[Lit]) {
+        let seed: Vec<Lit> = self.clauses[conf.0 as usize].lits.clone();
+        self.trace_to_assumptions(seed, assumptions, None);
+    }
+
+    /// Handles the case where assumption `failed` is already falsified.
+    fn analyze_final_lit(&mut self, failed: Lit, assumptions: &[Lit]) {
+        self.trace_to_assumptions(vec![!failed], assumptions, Some(failed));
+    }
+
+    fn trace_to_assumptions(&mut self, seed: Vec<Lit>, assumptions: &[Lit], extra: Option<Lit>) {
+        let set: std::collections::HashSet<Lit> = assumptions.iter().copied().collect();
+        let mut out: Vec<Lit> = extra.into_iter().collect();
+        let mut seen = vec![false; self.num_vars()];
+        let mut stack = seed;
+        while let Some(l) = stack.pop() {
+            let v = l.var();
+            if seen[v.index()] || self.level[v.index()] == 0 {
+                continue;
+            }
+            seen[v.index()] = true;
+            if set.contains(&!l) {
+                if !out.contains(&!l) {
+                    out.push(!l);
+                }
+            } else if self.reason[v.index()] != INVALID_CLAUSE {
+                let r = self.reason[v.index()];
+                stack.extend(self.clauses[r.0 as usize].lits.iter().copied());
+            }
+        }
+        self.conflict_assumptions = out;
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(xs: &[i32], s: &mut Solver) -> Vec<Lit> {
+        xs.iter()
+            .map(|&x| {
+                let v = Var::from_index((x.unsigned_abs() - 1) as usize);
+                while s.num_vars() <= v.index() {
+                    s.new_var();
+                }
+                Lit::with_sign(v, x > 0)
+            })
+            .collect()
+    }
+
+    fn add(s: &mut Solver, xs: &[i32]) {
+        let c = lits(xs, s);
+        s.add_clause(&c);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        add(&mut s, &[1]);
+        add(&mut s, &[-1]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        add(&mut s, &[1]);
+        add(&mut s, &[-1, 2]);
+        add(&mut s, &[-2, 3]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(2)), Some(true));
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        let a = Lit::neg(Var::from_index(0));
+        let b = Lit::neg(Var::from_index(1));
+        assert_eq!(s.solve(&[a]), SolveResult::Sat);
+        assert_eq!(s.solve(&[a, b]), SolveResult::Unsat);
+        // solver still usable and SAT without assumptions
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn failed_assumptions_nonempty() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        let a = Lit::neg(Var::from_index(0));
+        let b = Lit::neg(Var::from_index(1));
+        assert_eq!(s.solve(&[a, b]), SolveResult::Unsat);
+        assert!(!s.failed_assumptions().is_empty());
+    }
+
+    fn pigeonhole(np: usize, nh: usize) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..np * nh {
+            s.new_var();
+        }
+        let v = |p: usize, h: usize| Lit::pos(Var::from_index(p * nh + h));
+        for p in 0..np {
+            let c: Vec<Lit> = (0..nh).map(|h| v(p, h)).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..nh {
+            for p1 in 0..np {
+                for p2 in (p1 + 1)..np {
+                    s.add_clause(&[!v(p1, h), !v(p2, h)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        assert_eq!(pigeonhole(3, 2).solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let mut s = pigeonhole(5, 4);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_4_sat() {
+        let mut s = pigeonhole(4, 4);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn xor_triangle_unsat() {
+        // x1^x2=1, x2^x3=1, x1^x3=1 is unsat
+        let mut s = Solver::new();
+        for _ in 0..3 {
+            s.new_var();
+        }
+        let x = Var::from_index;
+        let xor1 = |s: &mut Solver, a: Var, b: Var| {
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        };
+        xor1(&mut s, x(0), x(1));
+        xor1(&mut s, x(1), x(2));
+        xor1(&mut s, x(0), x(2));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown_then_recovers() {
+        let mut s = pigeonhole(7, 6);
+        let r = s.solve_with_budget(
+            &[],
+            Budget {
+                max_conflicts: 1,
+                timeout: None,
+            },
+        );
+        assert_eq!(r, SolveResult::Unknown);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(Solver::luby).collect();
+        assert_eq!(got, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::pos(a), Lit::pos(b)]));
+        assert!(s.add_clause(&[Lit::pos(a), Lit::neg(a)])); // tautology: dropped
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(!s.is_ok());
+    }
+
+    #[test]
+    fn incremental_clause_addition_between_solves() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[Lit::pos(vars[0]), Lit::pos(vars[1])]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause(&[Lit::neg(vars[0])]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(vars[1]), Some(true));
+        s.add_clause(&[Lit::neg(vars[1])]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_respects_all_clauses_graph_coloring() {
+        // triangle graph, 3 colors: vars node*3+color
+        let mut s = Solver::new();
+        for _ in 0..9 {
+            s.new_var();
+        }
+        let v = |n: usize, c: usize| Lit::pos(Var::from_index(n * 3 + c));
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for n in 0..3 {
+            clauses.push((0..3).map(|c| v(n, c)).collect());
+            for c1 in 0..3 {
+                for c2 in (c1 + 1)..3 {
+                    clauses.push(vec![!v(n, c1), !v(n, c2)]);
+                }
+            }
+        }
+        for (n1, n2) in [(0, 1), (1, 2), (0, 2)] {
+            for c in 0..3 {
+                clauses.push(vec![!v(n1, c), !v(n2, c)]);
+            }
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| s.value(l.var()) == Some(l.is_pos())),
+                "model violates clause {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn many_solves_with_rotating_assumptions() {
+        // blocking-clause style enumeration: count models of a 3-var free space
+        let mut s = Solver::new();
+        let vs: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        let mut count = 0;
+        while s.solve(&[]) == SolveResult::Sat {
+            count += 1;
+            let block: Vec<Lit> = vs
+                .iter()
+                .map(|&v| Lit::with_sign(v, s.value(v) != Some(true)))
+                .collect();
+            s.add_clause(&block);
+            assert!(count <= 8, "enumerated too many models");
+        }
+        assert_eq!(count, 8);
+    }
+}

@@ -1,0 +1,336 @@
+//! Cardinality constraints: `Σ xᵢ ⋈ k`.
+//!
+//! Two encodings are provided:
+//!
+//! - **Totalizer** (Bailleux–Boufkhad): builds a balanced tree of unary
+//!   "counting registers"; output literal `out[j]` means *at least j+1
+//!   inputs are true*. Arc-consistent, O(n log n) clauses for a bound.
+//! - **Sequential counter** (Sinz): a linear chain of partial-sum
+//!   registers. Simpler, O(n·k) clauses.
+//!
+//! The default is the totalizer; the choice is an ablation axis
+//! benchmarked in `fec-bench` (`card_ablation`).
+
+use crate::solver::SmtSolver;
+use fec_sat::Lit;
+
+/// Which cardinality encoding to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CardEncoding {
+    /// Bailleux–Boufkhad totalizer (default).
+    #[default]
+    Totalizer,
+    /// Sinz sequential counter.
+    Sequential,
+}
+
+impl SmtSolver {
+    /// Builds a unary counting register for `lits`: the returned vector
+    /// `out` has `out[j]` true iff at least `j+1` of the inputs are true,
+    /// with monotonicity (`out[j+1] → out[j]`) enforced.
+    pub fn counting_register(&mut self, lits: &[Lit], enc: CardEncoding) -> Vec<Lit> {
+        match enc {
+            CardEncoding::Totalizer => self.totalizer(lits),
+            CardEncoding::Sequential => self.sequential_register(lits),
+        }
+    }
+
+    /// Asserts `Σ lits ≤ k` (default encoding).
+    pub fn at_most_k(&mut self, lits: &[Lit], k: usize) {
+        self.at_most_k_with(lits, k, CardEncoding::Totalizer);
+    }
+
+    /// Asserts `Σ lits ≥ k` (default encoding).
+    pub fn at_least_k(&mut self, lits: &[Lit], k: usize) {
+        self.at_least_k_with(lits, k, CardEncoding::Totalizer);
+    }
+
+    /// Asserts `Σ lits = k` (default encoding).
+    pub fn exactly_k(&mut self, lits: &[Lit], k: usize) {
+        let reg = self.counting_register(lits, CardEncoding::Totalizer);
+        self.constrain_register_at_most(&reg, k);
+        self.constrain_register_at_least(&reg, k);
+    }
+
+    /// Asserts `Σ lits ≤ k` with an explicit encoding.
+    pub fn at_most_k_with(&mut self, lits: &[Lit], k: usize, enc: CardEncoding) {
+        if k >= lits.len() {
+            return; // vacuous
+        }
+        if k == 0 {
+            for &l in lits {
+                self.add_clause(&[!l]);
+            }
+            return;
+        }
+        let reg = self.counting_register(lits, enc);
+        self.constrain_register_at_most(&reg, k);
+    }
+
+    /// Asserts `Σ lits ≥ k` with an explicit encoding.
+    pub fn at_least_k_with(&mut self, lits: &[Lit], k: usize, enc: CardEncoding) {
+        if k == 0 {
+            return; // vacuous
+        }
+        assert!(
+            k <= lits.len(),
+            "at_least_k: bound {k} exceeds {} inputs",
+            lits.len()
+        );
+        if k == lits.len() {
+            for &l in lits {
+                self.add_clause(&[l]);
+            }
+            return;
+        }
+        let reg = self.counting_register(lits, enc);
+        self.constrain_register_at_least(&reg, k);
+    }
+
+    /// Given a unary register, asserts the counted value is ≤ k.
+    pub fn constrain_register_at_most(&mut self, reg: &[Lit], k: usize) {
+        if k < reg.len() {
+            self.add_clause(&[!reg[k]]);
+        }
+    }
+
+    /// Given a unary register, asserts the counted value is ≥ k.
+    pub fn constrain_register_at_least(&mut self, reg: &[Lit], k: usize) {
+        if k > 0 {
+            assert!(k <= reg.len(), "register too short for ≥ {k}");
+            self.add_clause(&[reg[k - 1]]);
+        }
+    }
+
+    /// Pairwise at-most-one (efficient for small n, used for selector
+    /// variables like the paper's `map(j)` assignment).
+    pub fn at_most_one_pairwise(&mut self, lits: &[Lit]) {
+        for i in 0..lits.len() {
+            for j in (i + 1)..lits.len() {
+                self.add_clause(&[!lits[i], !lits[j]]);
+            }
+        }
+    }
+
+    /// Exactly-one via pairwise AMO plus the covering clause.
+    pub fn exactly_one(&mut self, lits: &[Lit]) {
+        assert!(!lits.is_empty(), "exactly_one of nothing");
+        self.add_clause(lits);
+        self.at_most_one_pairwise(lits);
+    }
+
+    // --- totalizer ------------------------------------------------------
+
+    fn totalizer(&mut self, lits: &[Lit]) -> Vec<Lit> {
+        match lits.len() {
+            0 => Vec::new(),
+            1 => vec![lits[0]],
+            _ => {
+                let mid = lits.len() / 2;
+                let left = self.totalizer(&lits[..mid]);
+                let right = self.totalizer(&lits[mid..]);
+                self.totalizer_merge(&left, &right)
+            }
+        }
+    }
+
+    /// Merges two unary registers into one counting their sum.
+    fn totalizer_merge(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let n = a.len() + b.len();
+        let out: Vec<Lit> = (0..n).map(|_| self.fresh_lit()).collect();
+        // out[k] true if alpha of a and beta of b with alpha+beta = k+1
+        // clauses: a[i-1] ∧ b[j-1] → out[i+j-1]   (sum ≥ i+j)
+        // and the converse direction for arc-consistency of ≤ bounds:
+        // ¬a[i] ∧ ¬b[j] → ¬out[i+j]  (sum < i+1 + j+1 - 1)
+        for i in 0..=a.len() {
+            for j in 0..=b.len() {
+                if i + j >= 1 && i + j <= n {
+                    // (a≥i ∧ b≥j) → out ≥ i+j
+                    let mut c = Vec::with_capacity(3);
+                    if i > 0 {
+                        c.push(!a[i - 1]);
+                    }
+                    if j > 0 {
+                        c.push(!b[j - 1]);
+                    }
+                    c.push(out[i + j - 1]);
+                    self.add_clause(&c);
+                }
+                if i + j < n {
+                    // (a<i+1 ∧ b<j+1) → out < i+j+1, i.e. ¬a[i]∧¬b[j]→¬out[i+j]
+                    let mut c = Vec::with_capacity(3);
+                    if i < a.len() {
+                        c.push(a[i]);
+                    }
+                    if j < b.len() {
+                        c.push(b[j]);
+                    }
+                    c.push(!out[i + j]);
+                    self.add_clause(&c);
+                }
+            }
+        }
+        out
+    }
+
+    // --- sequential counter ----------------------------------------------
+
+    fn sequential_register(&mut self, lits: &[Lit]) -> Vec<Lit> {
+        if lits.is_empty() {
+            return Vec::new();
+        }
+        // prev[j]: among the inputs seen so far, at least j+1 are true
+        let mut prev: Vec<Lit> = vec![lits[0]];
+        for &x in &lits[1..] {
+            let width = prev.len() + 1;
+            let cur: Vec<Lit> = (0..width).map(|_| self.fresh_lit()).collect();
+            // cur[0] ↔ prev[0] ∨ x
+            self.add_clause(&[!x, cur[0]]);
+            self.add_clause(&[!prev[0], cur[0]]);
+            self.add_clause(&[prev[0], x, !cur[0]]);
+            for j in 1..width {
+                if j < prev.len() {
+                    // cur[j] ↔ prev[j] ∨ (prev[j-1] ∧ x)
+                    self.add_clause(&[!prev[j], cur[j]]);
+                    self.add_clause(&[!prev[j - 1], !x, cur[j]]);
+                    self.add_clause(&[!cur[j], prev[j], prev[j - 1]]);
+                    self.add_clause(&[!cur[j], prev[j], x]);
+                } else {
+                    // top cell: cur[j] ↔ prev[j-1] ∧ x
+                    self.add_clause(&[!prev[j - 1], !x, cur[j]]);
+                    self.add_clause(&[!cur[j], prev[j - 1]]);
+                    self.add_clause(&[!cur[j], x]);
+                }
+            }
+            prev = cur;
+        }
+        prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SmtResult;
+
+    /// Exhaustively verifies that an assertion about Σxᵢ matches the
+    /// arithmetic truth for every input pattern.
+    fn check_card(
+        n: usize,
+        k: usize,
+        assert_fn: impl Fn(&mut SmtSolver, &[Lit], usize),
+        spec: impl Fn(usize, usize) -> bool,
+    ) {
+        for pattern in 0..(1u32 << n) {
+            let mut s = SmtSolver::new();
+            let xs: Vec<Lit> = (0..n).map(|_| s.fresh_lit()).collect();
+            assert_fn(&mut s, &xs, k);
+            let mut count = 0;
+            for (i, &x) in xs.iter().enumerate() {
+                let v = (pattern >> i) & 1 == 1;
+                count += usize::from(v);
+                s.add_clause(&[if v { x } else { !x }]);
+            }
+            let expect = spec(count, k);
+            let got = s.solve(&[]) == SmtResult::Sat;
+            assert_eq!(got, expect, "n={n} k={k} pattern={pattern:b} count={count}");
+        }
+    }
+
+    #[test]
+    fn at_most_k_totalizer_exhaustive() {
+        for n in 1..=5 {
+            for k in 0..=n {
+                check_card(
+                    n,
+                    k,
+                    |s, xs, k| s.at_most_k_with(xs, k, CardEncoding::Totalizer),
+                    |count, k| count <= k,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_k_sequential_exhaustive() {
+        for n in 1..=5 {
+            for k in 0..=n {
+                check_card(
+                    n,
+                    k,
+                    |s, xs, k| s.at_most_k_with(xs, k, CardEncoding::Sequential),
+                    |count, k| count <= k,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_k_both_encodings_exhaustive() {
+        for enc in [CardEncoding::Totalizer, CardEncoding::Sequential] {
+            for n in 1..=5 {
+                for k in 0..=n {
+                    check_card(
+                        n,
+                        k,
+                        |s, xs, k| s.at_least_k_with(xs, k, enc),
+                        |count, k| count >= k,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_k_exhaustive() {
+        for n in 1..=5 {
+            for k in 0..=n {
+                check_card(n, k, |s, xs, k| s.exactly_k(xs, k), |count, k| count == k);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_exhaustive() {
+        check_card(
+            4,
+            0,
+            |s, xs, _| s.exactly_one(xs),
+            |count, _| count == 1,
+        );
+    }
+
+    #[test]
+    fn counting_register_reads_exact_value() {
+        for enc in [CardEncoding::Totalizer, CardEncoding::Sequential] {
+            let mut s = SmtSolver::new();
+            let xs: Vec<Lit> = (0..6).map(|_| s.fresh_lit()).collect();
+            let reg = s.counting_register(&xs, enc);
+            // force exactly bits 1, 3, 4 true
+            for (i, &x) in xs.iter().enumerate() {
+                let v = matches!(i, 1 | 3 | 4);
+                s.add_clause(&[if v { x } else { !x }]);
+            }
+            assert_eq!(s.solve(&[]), SmtResult::Sat);
+            let value = reg.iter().take_while(|&&r| s.model_lit(r)).count();
+            assert_eq!(value, 3, "encoding {enc:?}");
+            // monotone: after the first false, all false
+            let vals: Vec<bool> = reg.iter().map(|&r| s.model_lit(r)).collect();
+            assert!(vals.windows(2).all(|w| w[0] || !w[1]), "register not unary: {vals:?}");
+        }
+    }
+
+    #[test]
+    fn scoped_cardinality_pops_cleanly() {
+        let mut s = SmtSolver::new();
+        let xs: Vec<Lit> = (0..4).map(|_| s.fresh_lit()).collect();
+        for &x in &xs {
+            s.add_clause(&[x]);
+        }
+        s.push();
+        s.at_most_k(&xs, 2);
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+    }
+}

@@ -1,0 +1,225 @@
+//! Tseitin-encoded boolean gadgets.
+//!
+//! Each gadget introduces a fresh definition literal constrained (in the
+//! current scope) to equal the described function of its inputs. The
+//! XOR chains built here are the heart of the GF(2) matrix-product
+//! encodings in `fec-synth`: an encode bit is an XOR over AND terms.
+
+use crate::solver::SmtSolver;
+use fec_sat::Lit;
+
+impl SmtSolver {
+    /// A literal equal to `a ∧ b`.
+    pub fn and2(&mut self, a: Lit, b: Lit) -> Lit {
+        let o = self.fresh_lit();
+        self.add_clause(&[!o, a]);
+        self.add_clause(&[!o, b]);
+        self.add_clause(&[o, !a, !b]);
+        o
+    }
+
+    /// A literal equal to the conjunction of `lits` (true for empty).
+    pub fn and_all(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.lit_true(),
+            [l] => *l,
+            _ => {
+                let o = self.fresh_lit();
+                let mut long = Vec::with_capacity(lits.len() + 1);
+                long.push(o);
+                for &l in lits {
+                    self.add_clause(&[!o, l]);
+                    long.push(!l);
+                }
+                self.add_clause(&long);
+                o
+            }
+        }
+    }
+
+    /// A literal equal to `a ∨ b`.
+    pub fn or2(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and2(!a, !b)
+    }
+
+    /// A literal equal to the disjunction of `lits` (false for empty).
+    pub fn or_all(&mut self, lits: &[Lit]) -> Lit {
+        let negs: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.and_all(&negs)
+    }
+
+    /// A literal equal to `a ⊕ b`.
+    pub fn xor2(&mut self, a: Lit, b: Lit) -> Lit {
+        let o = self.fresh_lit();
+        self.add_clause(&[!o, a, b]);
+        self.add_clause(&[!o, !a, !b]);
+        self.add_clause(&[o, !a, b]);
+        self.add_clause(&[o, a, !b]);
+        o
+    }
+
+    /// A literal equal to the XOR (GF(2) sum) of `lits` (false for empty).
+    ///
+    /// Built as a balanced tree so definition depth is logarithmic.
+    pub fn xor_all(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.lit_false(),
+            [l] => *l,
+            _ => {
+                let mut layer: Vec<Lit> = lits.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(match pair {
+                            [a, b] => self.xor2(*a, *b),
+                            [a] => *a,
+                            _ => unreachable!(),
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// A literal equal to `if c { t } else { e }`.
+    pub fn ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        let o = self.fresh_lit();
+        self.add_clause(&[!c, !t, o]);
+        self.add_clause(&[!c, t, !o]);
+        self.add_clause(&[c, !e, o]);
+        self.add_clause(&[c, e, !o]);
+        o
+    }
+
+    /// A literal equal to `a ↔ b`.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor2(a, b)
+    }
+
+    /// Asserts `a → b` in the current scope.
+    pub fn assert_implies(&mut self, a: Lit, b: Lit) {
+        self.add_clause(&[!a, b]);
+    }
+
+    /// Asserts `a ↔ b` in the current scope.
+    pub fn assert_iff(&mut self, a: Lit, b: Lit) {
+        self.add_clause(&[!a, b]);
+        self.add_clause(&[a, !b]);
+    }
+
+    /// Asserts that `o` equals the XOR of `lits` in the current scope.
+    pub fn assert_xor_equals(&mut self, lits: &[Lit], o: Lit) {
+        let x = self.xor_all(lits);
+        self.assert_iff(x, o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SmtResult;
+
+    /// Exhaustively checks a gadget against a boolean function.
+    fn check_gadget<const N: usize>(
+        build: impl Fn(&mut SmtSolver, [Lit; N]) -> Lit,
+        spec: impl Fn([bool; N]) -> bool,
+    ) {
+        for input_bits in 0..(1u32 << N) {
+            let mut s = SmtSolver::new();
+            let ins: [Lit; N] = std::array::from_fn(|_| s.fresh_lit());
+            let out = build(&mut s, ins);
+            let mut vals = [false; N];
+            for i in 0..N {
+                vals[i] = (input_bits >> i) & 1 == 1;
+                s.add_clause(&[if vals[i] { ins[i] } else { !ins[i] }]);
+            }
+            assert_eq!(s.solve(&[]), SmtResult::Sat);
+            assert_eq!(
+                s.model_lit(out),
+                spec(vals),
+                "gadget mismatch on input {vals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn and2_truth_table() {
+        check_gadget(|s, [a, b]| s.and2(a, b), |[a, b]| a && b);
+    }
+
+    #[test]
+    fn or2_truth_table() {
+        check_gadget(|s, [a, b]| s.or2(a, b), |[a, b]| a || b);
+    }
+
+    #[test]
+    fn xor2_truth_table() {
+        check_gadget(|s, [a, b]| s.xor2(a, b), |[a, b]| a ^ b);
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        check_gadget(
+            |s, [c, t, e]| s.ite(c, t, e),
+            |[c, t, e]| if c { t } else { e },
+        );
+    }
+
+    #[test]
+    fn iff_truth_table() {
+        check_gadget(|s, [a, b]| s.iff(a, b), |[a, b]| a == b);
+    }
+
+    #[test]
+    fn and_all_truth_table() {
+        check_gadget(
+            |s, ins: [Lit; 4]| s.and_all(&ins),
+            |vals| vals.iter().all(|&v| v),
+        );
+    }
+
+    #[test]
+    fn or_all_truth_table() {
+        check_gadget(
+            |s, ins: [Lit; 4]| s.or_all(&ins),
+            |vals| vals.iter().any(|&v| v),
+        );
+    }
+
+    #[test]
+    fn xor_all_truth_table() {
+        check_gadget(
+            |s, ins: [Lit; 5]| s.xor_all(&ins),
+            |vals| vals.iter().filter(|&&v| v).count() % 2 == 1,
+        );
+    }
+
+    #[test]
+    fn empty_gadgets() {
+        let mut s = SmtSolver::new();
+        let t = s.and_all(&[]);
+        let f = s.or_all(&[]);
+        let x = s.xor_all(&[]);
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert!(s.model_lit(t));
+        assert!(!s.model_lit(f));
+        assert!(!s.model_lit(x));
+    }
+
+    #[test]
+    fn gadgets_respect_scopes() {
+        // a gadget defined inside a popped scope must not constrain later
+        let mut s = SmtSolver::new();
+        let a = s.fresh_lit();
+        let b = s.fresh_lit();
+        s.push();
+        let o = s.and2(a, b);
+        s.add_clause(&[o]);
+        s.add_clause(&[!a]);
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[!a]), SmtResult::Sat);
+    }
+}

@@ -1,0 +1,228 @@
+//! Weighted pseudo-boolean constraints: `Σ cᵢ·xᵢ ≤ K` over integer
+//! weights.
+//!
+//! The paper's weighted-robustness objective (§3.2, constraint (6)) is
+//! `sum_w = Σ_j w(j) · chooseTimesPow(...) ≤ bound`, a weighted sum of
+//! selector variables with *pre-computed constant* coefficients. The
+//! real-valued weights are scaled to integers by the caller
+//! (`fec-synth::weights`), so an integer PB bound is all that is needed.
+//!
+//! Encoding: a BDD-style dynamic program over items. Node `(i, r)` means
+//! "the suffix `i..` must sum to at most `r`". Identical residual states
+//! are merged, so the number of nodes is bounded by the number of
+//! distinct reachable residuals — small for the few distinct
+//! coefficients the synthesizer produces.
+
+use crate::solver::SmtSolver;
+use fec_sat::Lit;
+use std::collections::HashMap;
+
+impl SmtSolver {
+    /// Asserts `Σ weights[i]·lits[i] ≤ bound` in the current scope.
+    ///
+    /// Weights must be non-negative. Zero-weight terms are ignored.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != lits.len()`.
+    pub fn weighted_le(&mut self, lits: &[Lit], weights: &[u64], bound: u64) {
+        assert_eq!(lits.len(), weights.len(), "weighted_le: length mismatch");
+        let items: Vec<(Lit, u64)> = lits
+            .iter()
+            .copied()
+            .zip(weights.iter().copied())
+            .filter(|&(_, w)| w > 0)
+            .collect();
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        if total <= bound {
+            return; // vacuous
+        }
+        let mut memo: HashMap<(usize, u64), Lit> = HashMap::new();
+        let root = self.pb_node(&items, 0, bound, &mut memo);
+        self.add_clause(&[root]);
+    }
+
+    /// Returns a literal that *implies* `Σ weights[i]·lits[i] ≤ bound`
+    /// (one-directional reification — sufficient for guarded bounds:
+    /// assert `guard → lit`).
+    ///
+    /// Returns the true literal when the bound is vacuous.
+    pub fn weighted_le_reified(&mut self, lits: &[Lit], weights: &[u64], bound: u64) -> Lit {
+        assert_eq!(lits.len(), weights.len(), "weighted_le_reified: length mismatch");
+        let items: Vec<(Lit, u64)> = lits
+            .iter()
+            .copied()
+            .zip(weights.iter().copied())
+            .filter(|&(_, w)| w > 0)
+            .collect();
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        if total <= bound {
+            return self.lit_true();
+        }
+        let mut memo = HashMap::new();
+        self.pb_node(&items, 0, bound, &mut memo)
+    }
+
+    /// Asserts `Σ weights[i]·lits[i] ≥ bound` (via the complement sum).
+    pub fn weighted_ge(&mut self, lits: &[Lit], weights: &[u64], bound: u64) {
+        // Σ w·x ≥ b  ⟺  Σ w·(¬x) ≤ total - b
+        let total: u64 = weights.iter().sum();
+        if bound == 0 {
+            return;
+        }
+        assert!(bound <= total, "weighted_ge: bound exceeds total weight");
+        let negs: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        self.weighted_le(&negs, weights, total - bound);
+    }
+
+    /// Literal meaning "the suffix starting at `i` sums to ≤ residual".
+    fn pb_node(
+        &mut self,
+        items: &[(Lit, u64)],
+        i: usize,
+        residual: u64,
+        memo: &mut HashMap<(usize, u64), Lit>,
+    ) -> Lit {
+        // trivially true: remaining total fits
+        let remaining: u64 = items[i..].iter().map(|&(_, w)| w).sum();
+        if remaining <= residual {
+            return self.lit_true();
+        }
+        // trivially false: even picking nothing can't help — never happens
+        // since picking nothing sums to 0 ≤ residual; falsity only arises
+        // per-branch below.
+        if let Some(&l) = memo.get(&(i, residual)) {
+            return l;
+        }
+        let (x, w) = items[i];
+        // high branch: x true consumes w
+        let hi = if w > residual {
+            self.lit_false()
+        } else {
+            self.pb_node(items, i + 1, residual - w, memo)
+        };
+        // low branch: x false
+        let lo = self.pb_node(items, i + 1, residual, memo);
+        let node = self.ite(x, hi, lo);
+        memo.insert((i, residual), node);
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SmtResult;
+
+    fn check_pb(
+        weights: &[u64],
+        bound: u64,
+        assert_fn: impl Fn(&mut SmtSolver, &[Lit], &[u64], u64),
+        spec: impl Fn(u64, u64) -> bool,
+    ) {
+        let n = weights.len();
+        for pattern in 0..(1u32 << n) {
+            let mut s = SmtSolver::new();
+            let xs: Vec<Lit> = (0..n).map(|_| s.fresh_lit()).collect();
+            assert_fn(&mut s, &xs, weights, bound);
+            let mut sum = 0u64;
+            for (i, &x) in xs.iter().enumerate() {
+                let v = (pattern >> i) & 1 == 1;
+                if v {
+                    sum += weights[i];
+                }
+                s.add_clause(&[if v { x } else { !x }]);
+            }
+            assert_eq!(
+                s.solve(&[]) == SmtResult::Sat,
+                spec(sum, bound),
+                "weights={weights:?} bound={bound} pattern={pattern:b} sum={sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_le_exhaustive() {
+        for bound in [0, 3, 5, 7, 10, 14] {
+            check_pb(
+                &[3, 5, 2, 4],
+                bound,
+                |s, xs, ws, b| s.weighted_le(xs, ws, b),
+                |sum, b| sum <= b,
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_le_with_duplicated_weights() {
+        check_pb(
+            &[2, 2, 2, 2, 2],
+            6,
+            |s, xs, ws, b| s.weighted_le(xs, ws, b),
+            |sum, b| sum <= b,
+        );
+    }
+
+    #[test]
+    fn weighted_le_with_zero_weights() {
+        check_pb(
+            &[0, 4, 0, 3],
+            4,
+            |s, xs, ws, b| s.weighted_le(xs, ws, b),
+            |sum, b| sum <= b,
+        );
+    }
+
+    #[test]
+    fn weighted_ge_exhaustive() {
+        for bound in [1, 4, 8, 14] {
+            check_pb(
+                &[3, 5, 2, 4],
+                bound,
+                |s, xs, ws, b| s.weighted_ge(xs, ws, b),
+                |sum, b| sum >= b,
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_le_vacuous_bound() {
+        // bound ≥ total: everything allowed
+        check_pb(
+            &[1, 2, 3],
+            6,
+            |s, xs, ws, b| s.weighted_le(xs, ws, b),
+            |_, _| true,
+        );
+    }
+
+    #[test]
+    fn large_weights_do_not_blow_up() {
+        // the DP must merge states, not enumerate the numeric range
+        let mut s = SmtSolver::new();
+        let weights: Vec<u64> = (0..16).map(|i| 1_000_000 + (i % 3) as u64).collect();
+        let xs: Vec<Lit> = weights.iter().map(|_| s.fresh_lit()).collect();
+        s.weighted_le(&xs, &weights, 8_000_010);
+        assert!(s.num_vars() < 2_000, "PB encoding exploded: {}", s.num_vars());
+        // 8 items of ~1M fit, 9 do not
+        for x in xs.iter().take(8) {
+            s.add_clause(&[*x]);
+        }
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        s.add_clause(&[xs[8]]);
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn scoped_pb_pops_cleanly() {
+        let mut s = SmtSolver::new();
+        let xs: Vec<Lit> = (0..3).map(|_| s.fresh_lit()).collect();
+        for &x in &xs {
+            s.add_clause(&[x]);
+        }
+        s.push();
+        s.weighted_le(&xs, &[5, 5, 5], 10);
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+    }
+}

@@ -1,0 +1,248 @@
+//! The incremental solver shell: scopes, fresh variables, budgets.
+
+use fec_sat::{Budget, Lit, SolveResult, Solver};
+
+/// Outcome of an [`SmtSolver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SmtResult {
+    /// Satisfiable; read the model with [`SmtSolver::model_lit`] etc.
+    Sat,
+    /// Unsatisfiable under the active scopes and assumptions.
+    Unsat,
+    /// Budget exhausted before a verdict.
+    Unknown,
+}
+
+/// An incremental finite-domain solver with `push`/`pop` scopes.
+///
+/// Scopes are implemented with *activation literals*: each `push`
+/// allocates a guard `g`; clauses added inside the scope become
+/// `¬g ∨ clause`, and `solve` assumes every live guard. `pop` asserts
+/// the unit `¬g`, permanently disabling the scope's clauses. Because
+/// learnt clauses carry the guards they were derived from, they remain
+/// sound across pops — this is the standard MiniSat-style incremental
+/// construction and exactly what Algorithm 1's `push`/`pop` calls need.
+pub struct SmtSolver {
+    sat: Solver,
+    guards: Vec<Lit>,
+    true_lit: Option<Lit>,
+}
+
+impl Default for SmtSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SmtSolver {
+    /// An empty solver.
+    pub fn new() -> SmtSolver {
+        SmtSolver {
+            sat: Solver::new(),
+            guards: Vec::new(),
+            true_lit: None,
+        }
+    }
+
+    /// A fresh boolean variable, returned as its positive literal.
+    pub fn fresh_lit(&mut self) -> Lit {
+        Lit::pos(self.sat.new_var())
+    }
+
+    /// A literal constrained to be true (lazily created).
+    pub fn lit_true(&mut self) -> Lit {
+        match self.true_lit {
+            Some(t) => t,
+            None => {
+                let t = self.fresh_lit();
+                self.sat.add_clause(&[t]);
+                self.true_lit = Some(t);
+                t
+            }
+        }
+    }
+
+    /// A literal constrained to be false.
+    pub fn lit_false(&mut self) -> Lit {
+        !self.lit_true()
+    }
+
+    /// Converts a constant to a literal.
+    pub fn lit_const(&mut self, b: bool) -> Lit {
+        if b {
+            self.lit_true()
+        } else {
+            self.lit_false()
+        }
+    }
+
+    /// Adds a clause in the current scope. With no open scope, the
+    /// clause is permanent.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        match self.guards.last() {
+            None => {
+                self.sat.add_clause(lits);
+            }
+            Some(&g) => {
+                let mut c = Vec::with_capacity(lits.len() + 1);
+                c.push(!g);
+                c.extend_from_slice(lits);
+                self.sat.add_clause(&c);
+            }
+        }
+    }
+
+    /// Adds a clause to the *root* scope (permanent), regardless of the
+    /// currently open scopes.
+    pub fn add_clause_permanent(&mut self, lits: &[Lit]) {
+        self.sat.add_clause(lits);
+    }
+
+    /// Runs `f` with the scope stack temporarily emptied, so every
+    /// clause it adds (including gadget definitions) is permanent.
+    /// Used for facts that are sound regardless of scope, e.g. CEGIS
+    /// counterexamples derived inside an optimization bound.
+    pub fn at_root<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let saved = std::mem::take(&mut self.guards);
+        let r = f(self);
+        self.guards = saved;
+        r
+    }
+
+    /// Opens a new scope.
+    pub fn push(&mut self) {
+        let g = self.fresh_lit();
+        self.guards.push(g);
+    }
+
+    /// Closes the innermost scope, discarding its clauses.
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let g = self.guards.pop().expect("pop without matching push");
+        self.sat.add_clause(&[!g]);
+    }
+
+    /// Number of open scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// Solves under the active scopes plus `extra` assumption literals,
+    /// with no resource limit.
+    pub fn solve(&mut self, extra: &[Lit]) -> SmtResult {
+        self.solve_with_budget(extra, Budget::unlimited())
+    }
+
+    /// Budgeted solve (the paper's per-query 120 s timeout maps here).
+    pub fn solve_with_budget(&mut self, extra: &[Lit], budget: Budget) -> SmtResult {
+        let mut assumptions = self.guards.clone();
+        assumptions.extend_from_slice(extra);
+        match self.sat.solve_with_budget(&assumptions, budget) {
+            SolveResult::Sat => SmtResult::Sat,
+            SolveResult::Unsat => SmtResult::Unsat,
+            SolveResult::Unknown => SmtResult::Unknown,
+        }
+    }
+
+    /// Model value of a literal after a `Sat` answer. Unconstrained
+    /// variables read as `false`.
+    pub fn model_lit(&self, l: Lit) -> bool {
+        let v = self.sat.value(l.var()).unwrap_or(false);
+        if l.is_pos() {
+            v
+        } else {
+            !v
+        }
+    }
+
+    /// Underlying SAT statistics.
+    pub fn stats(&self) -> fec_sat::SolverStats {
+        self.sat.stats()
+    }
+
+    /// Number of SAT variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.sat.num_vars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let mut s = SmtSolver::new();
+        let x = s.fresh_lit();
+        s.add_clause(&[x]);
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        s.push();
+        s.add_clause(&[!x]);
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert!(s.model_lit(x));
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let mut s = SmtSolver::new();
+        let (x, y) = (s.fresh_lit(), s.fresh_lit());
+        s.push();
+        s.add_clause(&[x]);
+        s.push();
+        s.add_clause(&[!x, y]);
+        s.add_clause(&[!y]);
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert!(s.model_lit(x));
+        s.pop();
+        assert_eq!(s.scope_depth(), 0);
+    }
+
+    #[test]
+    fn permanent_clause_survives_pop() {
+        let mut s = SmtSolver::new();
+        let x = s.fresh_lit();
+        s.push();
+        s.add_clause_permanent(&[x]);
+        s.pop();
+        s.push();
+        s.add_clause(&[!x]);
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+    }
+
+    #[test]
+    fn assumptions_compose_with_scopes() {
+        let mut s = SmtSolver::new();
+        let (x, y) = (s.fresh_lit(), s.fresh_lit());
+        s.push();
+        s.add_clause(&[x, y]);
+        assert_eq!(s.solve(&[!x]), SmtResult::Sat);
+        assert!(s.model_lit(y));
+        assert_eq!(s.solve(&[!x, !y]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[!x, !y]), SmtResult::Sat);
+    }
+
+    #[test]
+    fn const_lits() {
+        let mut s = SmtSolver::new();
+        let t = s.lit_true();
+        let f = s.lit_false();
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert!(s.model_lit(t));
+        assert!(!s.model_lit(f));
+        assert_eq!(s.lit_const(true), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn pop_without_push_panics() {
+        SmtSolver::new().pop();
+    }
+}

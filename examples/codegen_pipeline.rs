@@ -1,0 +1,66 @@
+//! Synthesis → optimization → code generation, end to end (§4.4).
+//!
+//! Synthesizes a (24,16) md-3 code while minimizing the number of set
+//! coefficient bits, then emits a specialized C encoder, and drives
+//! the runtime mask kernel at line rate.
+//!
+//! ```text
+//! cargo run --release --example codegen_pipeline
+//! ```
+
+use fec_workbench::codegen::{emit_c, emit_rust, MaskKernel, SparseKernel};
+use fec_workbench::synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_workbench::synth::spec::parse_property;
+use std::time::Instant;
+
+fn main() {
+    // synthesize with the len_1-minimization objective
+    let prop = parse_property(
+        "len_d(G0) = 16 && len_c(G0) = 8 && md(G0) = 3 && minimal(len_1(G0))",
+    )
+    .unwrap();
+    let result = Synthesizer::new(SynthesisConfig::default())
+        .run(&prop)
+        .expect("synthesis");
+    let g = &result.generators[0];
+    println!(
+        "optimized generator: ({}, {}) code with {} coefficient ones \
+         ({} intermediate optima along the way)",
+        g.codeword_len(),
+        g.data_len(),
+        g.coefficient_ones(),
+        result.intermediates.len()
+    );
+    // md-3 needs ≥ 2 ones per row: the optimizer must reach the floor
+    assert_eq!(g.coefficient_ones(), 2 * g.data_len());
+
+    // emit sources
+    println!("\n--- generated C (excerpt) ---");
+    let c_src = emit_c(g, false);
+    for line in c_src.lines().take(10) {
+        println!("{line}");
+    }
+    println!("… ({} lines total)", c_src.lines().count());
+    println!("\n--- generated Rust (excerpt) ---");
+    for line in emit_rust(g).lines().take(6) {
+        println!("{line}");
+    }
+
+    // drive the runtime kernels
+    let mask = MaskKernel::new(g);
+    let sparse = SparseKernel::new(g);
+    let words = 2_000_000u64;
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for d in 0..words {
+        acc = acc.wrapping_add(mask.encode_checks(d & 0xFFFF));
+    }
+    let dt = t.elapsed();
+    std::hint::black_box(acc);
+    println!(
+        "\nmask kernel: {words} encodes in {dt:?} \
+         ({:.1} M words/s); sparse kernel computes identically: {}",
+        words as f64 / dt.as_secs_f64() / 1e6,
+        (0..1000u64).all(|d| mask.encode_checks(d) == sparse.encode_checks(d))
+    );
+}

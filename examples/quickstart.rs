@@ -1,0 +1,55 @@
+//! Quickstart: specify a code, synthesize it, use it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fec_workbench::gf2::BitVec;
+use fec_workbench::hamming::CheckOutcome;
+use fec_workbench::synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_workbench::synth::spec::parse_property;
+
+fn main() {
+    // 1. Describe the code you want in the paper's property language:
+    //    4 data bits, at most 4 check bits, minimum distance 3, and as
+    //    few check bits as possible (§3.1's running example).
+    let spec = "len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4 \
+                && md(G0) = 3 && minimal(len_c(G0))";
+    let prop = parse_property(spec).expect("valid property");
+
+    // 2. Run the CEGIS synthesizer (Algorithm 1).
+    let result = Synthesizer::new(SynthesisConfig::default())
+        .run(&prop)
+        .expect("a (7,4)-shaped code exists");
+    let code = &result.generators[0];
+    println!(
+        "synthesized a ({}, {}) code in {} iterations ({:?}):\n{}\n",
+        code.codeword_len(),
+        code.data_len(),
+        result.iterations,
+        result.elapsed,
+        code
+    );
+
+    // 3. Encode a data word.
+    let data = BitVec::from_bitstring("1011").unwrap();
+    let word = code.encode(&data);
+    println!("data {data}  →  codeword {word}");
+
+    // 4. Corrupt one bit in transit …
+    let mut received = word.clone();
+    received.flip(5);
+    println!("received (bit 5 flipped): {received}");
+
+    // 5. … and the receiver detects and repairs it.
+    match code.check(&received) {
+        CheckOutcome::SingleError { position } => {
+            println!("single-bit error located at position {position}");
+            let repaired = code.correct(&received).unwrap();
+            assert_eq!(repaired, word);
+            assert_eq!(code.extract_data(&repaired), data);
+            println!("repaired: {repaired} ✓");
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}

@@ -1,0 +1,72 @@
+//! Verify and exercise the 802.3df-shape (128,120) inner FEC code.
+//!
+//! The scenario from the paper's introduction: 400/800G Ethernet
+//! attaches an 8-bit Hamming check to every 120-bit block. This
+//! example (a) formally verifies the code's minimum distance with the
+//! SAT-backed verifier — the §4.1 experiment — and (b) pushes a frame
+//! through block encoding, single-bit corruption, and repair.
+//!
+//! ```text
+//! cargo run --release --example verify_ethernet
+//! ```
+
+use fec_workbench::gf2::BitVec;
+use fec_workbench::hamming::{standards, CheckOutcome};
+use fec_workbench::smt::Budget;
+use fec_workbench::synth::verify::{verify_min_distance_exact, VerifyOutcome};
+
+fn main() {
+    let code = standards::ieee_8023df_128_120();
+
+    // (a) formal verification, as in §4.1
+    let (outcome, stats) = verify_min_distance_exact(&code, 3, Budget::unlimited());
+    assert_eq!(outcome, VerifyOutcome::Holds);
+    println!(
+        "verified: the (128,120) code has minimum distance exactly 3 \
+         ({:.2} s, {} conflicts)",
+        stats.elapsed.as_secs_f64(),
+        stats.conflicts
+    );
+
+    // (b) frame pipeline: chop a payload into 120-bit blocks
+    let payload: Vec<u8> = (0u8..60).map(|i| i.wrapping_mul(37) ^ 0x5A).collect();
+    let mut bits = BitVec::zeros(payload.len() * 8);
+    for (i, &b) in payload.iter().enumerate() {
+        for j in 0..8 {
+            bits.set(i * 8 + j, (b >> j) & 1 == 1);
+        }
+    }
+    let blocks: Vec<BitVec> = (0..bits.len() / 120)
+        .map(|i| bits.slice(i * 120..(i + 1) * 120))
+        .collect();
+    println!("frame: {} bytes → {} blocks of 120 bits", payload.len(), blocks.len());
+
+    let mut repaired_blocks = Vec::new();
+    for (i, block) in blocks.iter().enumerate() {
+        let mut word = code.encode(block);
+        // corrupt one deterministic bit per block
+        let victim = (i * 37) % word.len();
+        word.flip(victim);
+        match code.check(&word) {
+            CheckOutcome::SingleError { position } => {
+                assert_eq!(position, victim);
+                word.flip(position);
+                repaired_blocks.push(code.extract_data(&word));
+            }
+            other => panic!("block {i}: unexpected {other:?}"),
+        }
+    }
+    assert_eq!(repaired_blocks, blocks);
+    println!(
+        "all {} blocks corrupted by one bit each and repaired ✓",
+        blocks.len()
+    );
+
+    // overhead accounting: 8 check bits per 120 data bits
+    println!(
+        "FEC overhead: {:.2}% ({} check bits per {}-bit block)",
+        100.0 * code.check_len() as f64 / code.data_len() as f64,
+        code.check_len(),
+        code.data_len()
+    );
+}

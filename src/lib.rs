@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the FEC synthesis workspace.
+pub use fec_channel as channel;
+pub use fec_codegen as codegen;
+pub use fec_flate as flate;
+pub use fec_gf2 as gf2;
+pub use fec_hamming as hamming;
+pub use fec_sat as sat;
+pub use fec_smt as smt;
+pub use fec_synth as synth;
