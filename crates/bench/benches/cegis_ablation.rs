@@ -6,7 +6,7 @@
 //! counterexamples vs. whole-candidate blocking.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_synth::encode::CexMode;
 use fec_synth::spec::parse_property;
 use std::time::Duration;

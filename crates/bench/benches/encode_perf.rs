@@ -50,27 +50,39 @@ fn bench_kernels(c: &mut Criterion) {
         let mask = MaskKernel::new(g);
         let sparse = SparseKernel::new(g);
         let naive = NaiveKernel::new(g);
-        group.bench_with_input(BenchmarkId::new("mask", format!("{name}_{ones}ones")), &(), |b, ()| {
-            let mut d = 0u64;
-            b.iter(|| {
-                d = d.wrapping_add(0x9E37_79B9);
-                mask.encode_checks(d & 0xFFFF_FFFF)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("sparse", format!("{name}_{ones}ones")), &(), |b, ()| {
-            let mut d = 0u64;
-            b.iter(|| {
-                d = d.wrapping_add(0x9E37_79B9);
-                sparse.encode_checks(d & 0xFFFF_FFFF)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("naive", format!("{name}_{ones}ones")), &(), |b, ()| {
-            let mut d = 0u64;
-            b.iter(|| {
-                d = d.wrapping_add(0x9E37_79B9);
-                naive.encode_checks(d & 0xFFFF_FFFF)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mask", format!("{name}_{ones}ones")),
+            &(),
+            |b, ()| {
+                let mut d = 0u64;
+                b.iter(|| {
+                    d = d.wrapping_add(0x9E37_79B9);
+                    mask.encode_checks(d & 0xFFFF_FFFF)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse", format!("{name}_{ones}ones")),
+            &(),
+            |b, ()| {
+                let mut d = 0u64;
+                b.iter(|| {
+                    d = d.wrapping_add(0x9E37_79B9);
+                    sparse.encode_checks(d & 0xFFFF_FFFF)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{name}_{ones}ones")),
+            &(),
+            |b, ()| {
+                let mut d = 0u64;
+                b.iter(|| {
+                    d = d.wrapping_add(0x9E37_79B9);
+                    naive.encode_checks(d & 0xFFFF_FFFF)
+                })
+            },
+        );
     }
     group.finish();
 }

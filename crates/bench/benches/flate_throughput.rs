@@ -10,7 +10,13 @@ fn corpus(kind: &str, len: usize) -> Vec<u8> {
             .map(|i| if i % 13 == 0 { b'1' } else { b'0' })
             .collect(),
         "dense_ascii_bits" => (0..len)
-            .map(|i| if (i * 2654435761usize) & 1 == 0 { b'1' } else { b'0' })
+            .map(|i| {
+                if (i * 2654435761usize) & 1 == 0 {
+                    b'1'
+                } else {
+                    b'0'
+                }
+            })
             .collect(),
         "noise" => {
             let mut x = 0x9E37_79B9_7F4A_7C15u64;

@@ -1,12 +1,18 @@
 //! SAT-core throughput: pigeonhole (UNSAT, resolution-hard) and
 //! satisfiable graph coloring — tracks regressions in the CDCL engine
-//! that every other component sits on.
+//! that every other component sits on. The `proof_logging` group
+//! measures the DRAT instrumentation overhead: `off` must match the
+//! plain solver (the `ProofLogger` hook is a no-op when absent) and
+//! `on` must stay within ~15% of it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fec_sat::{Lit, SolveResult, Solver, Var};
+use fec_sat::{Lit, MemoryProofLogger, SolveResult, Solver, Var};
 
 fn pigeonhole(np: usize, nh: usize) -> Solver {
-    let mut s = Solver::new();
+    pigeonhole_in(Solver::new(), np, nh)
+}
+
+fn pigeonhole_in(mut s: Solver, np: usize, nh: usize) -> Solver {
     for _ in 0..np * nh {
         s.new_var();
     }
@@ -63,6 +69,29 @@ fn bench_sat(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // DRAT instrumentation overhead on the same resolution-hard
+    // instance: `off` is the plain solver, `on` logs every input,
+    // learned clause, and deletion to the in-memory sink.
+    let mut group = c.benchmark_group("proof_logging");
+    let n = 7usize;
+    group.bench_with_input(BenchmarkId::new("pigeonhole_off", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut s = pigeonhole_in(Solver::new(), n, n - 1);
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("pigeonhole_on", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut empty = Solver::new();
+            let log = MemoryProofLogger::new();
+            empty.set_proof_logger(Box::new(log.clone()));
+            let mut s = pigeonhole_in(empty, n, n - 1);
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            assert!(!log.is_empty());
+        })
+    });
     group.finish();
 }
 

@@ -27,9 +27,7 @@ fn main() {
     let rs = ReedSolomon::new(&field, 15, 11).unwrap(); // 60 bits, corrects 2 symbols
     let ldpc = LdpcCode::gallager(96, 3, 6, 7).unwrap(); // ~rate 1/2, iterative
 
-    println!(
-        "Block-code families on the BSC ({trials} words per point; residual word error rate)"
-    );
+    println!("Block-code families on the BSC ({trials} words per point; residual word error rate)");
     println!(
         "  Hamming (63,57) rate {:.2} | RS(15,11)/GF(16) rate {:.2} | LDPC (96,{}) rate {:.2}",
         57.0 / 63.0,

@@ -145,7 +145,16 @@ fn main() {
     println!("Concatenated 802.3df-style FEC: frame error rate over {frames} frames per point");
     println!("\n--- independent errors (BSC) ---");
     let widths = [9, 10, 15, 11, 14];
-    print_header(&["BER", "no FEC", "inner Hamming", "outer KP4", "concatenated"], &widths);
+    print_header(
+        &[
+            "BER",
+            "no FEC",
+            "inner Hamming",
+            "outer KP4",
+            "concatenated",
+        ],
+        &widths,
+    );
     for ber in [1e-4, 3e-4, 1e-3, 3e-3] {
         let mut cells = vec![format!("{ber:.0e}")];
         for (_, mode) in &modes {
@@ -161,9 +170,20 @@ fn main() {
         print_row(&cells, &widths);
     }
 
-    println!("\n--- bursty channel (Gilbert–Elliott, avg BER ≈ {:.1e}) ---",
-        GilbertElliott::bursty().average_ber());
-    print_header(&["profile", "no FEC", "inner Hamming", "outer KP4", "concatenated"], &widths);
+    println!(
+        "\n--- bursty channel (Gilbert–Elliott, avg BER ≈ {:.1e}) ---",
+        GilbertElliott::bursty().average_ber()
+    );
+    print_header(
+        &[
+            "profile",
+            "no FEC",
+            "inner Hamming",
+            "outer KP4",
+            "concatenated",
+        ],
+        &widths,
+    );
     let mut cells = vec!["bursty".to_string()];
     for (_, mode) in &modes {
         let ge = GilbertElliott::bursty();
@@ -171,8 +191,7 @@ fn main() {
         let mut state = GeState::Good;
         let mut errs = 0u64;
         for _ in 0..frames {
-            let mut ch =
-                |rng: &mut SmallRng, w: &mut BitVec| ge.transmit(rng, &mut state, w);
+            let mut ch = |rng: &mut SmallRng, w: &mut BitVec| ge.transmit(rng, &mut state, w);
             errs += u64::from(chain.frame_error(&mut rng, mode, &mut ch));
         }
         cells.push(format!("{:.3}", errs as f64 / frames as f64));

@@ -17,7 +17,7 @@ use fec_bench::{arg_u64, print_header, print_row, synth_timeout};
 use fec_channel::experiment::robustness_trial;
 use fec_hamming::crc::{best_crc_polynomial, crc_generator};
 use fec_hamming::distance::min_distance_exhaustive;
-use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_synth::spec::parse_property;
 
 fn main() {
@@ -27,12 +27,18 @@ fn main() {
         timeout: synth_timeout(),
         ..Default::default()
     };
-    println!(
-        "CRC polynomial search vs. CEGIS synthesis ({trials} channel trials at p = 0.05)"
-    );
+    println!("CRC polynomial search vs. CEGIS synthesis ({trials} channel trials at p = 0.05)");
     let widths = [8, 8, 12, 8, 14, 10, 14];
     print_header(
-        &["k", "checks", "best poly", "md CRC", "undet. CRC", "md synth", "undet. synth"],
+        &[
+            "k",
+            "checks",
+            "best poly",
+            "md CRC",
+            "undet. CRC",
+            "md synth",
+            "undet. synth",
+        ],
         &widths,
     );
     for (k, c) in [(4usize, 3usize), (8, 4), (8, 5), (12, 5), (16, 6)] {

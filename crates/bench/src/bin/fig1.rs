@@ -11,7 +11,7 @@ use fec_channel::floatbits::bit_error_profile;
 fn main() {
     let samples = arg_u64("samples", 1_000_000);
     eprintln!("Fig. 1: per-bit error magnitude ({samples} float samples per bit)");
-    let profile = bit_error_profile(samples, 0xF16_1);
+    let profile = bit_error_profile(samples, 0xF161);
     let widths = [4, 12, 12];
     print_header(&["bit", "int32", "float32"], &widths);
     for bit in (0..32).rev() {

@@ -10,7 +10,7 @@
 use fec_bench::{print_header, print_row, synth_timeout, thread_count, trial_count};
 use fec_channel::experiment::{robustness_trial, RobustnessReport};
 use fec_hamming::distance;
-use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_synth::spec::parse_property;
 
 fn main() {
@@ -23,7 +23,13 @@ fn main() {
     println!("Fig. 4: robustness of synthesized k=4 generators ({trials} trials, p = 0.1)");
     let widths = [8, 9, 16, 16, 12];
     print_header(
-        &["min_dist", "check_len", ">=md flips", "theory", "undetected"],
+        &[
+            "min_dist",
+            "check_len",
+            ">=md flips",
+            "theory",
+            "undetected",
+        ],
         &widths,
     );
     for m in (2..=8).rev() {
@@ -36,7 +42,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("synthesis for md={m} failed: {e}"));
         let g = r.generators[0].clone();
         let md = distance::min_distance_exhaustive(&g);
-        let report = robustness_trial(&g, md, 0.1, trials, 0xF1_64 + m as u64, threads);
+        let report = robustness_trial(&g, md, 0.1, trials, 0xF164 + m as u64, threads);
         let theory = RobustnessReport::theoretical_at_least_md(g.codeword_len(), md, 0.1, trials);
         print_row(
             &[

@@ -19,7 +19,7 @@
 use fec_bench::{arg_flag, arg_u64, print_header, print_row, synth_timeout};
 use fec_codegen::{emit_c_bench, SparseKernel};
 use fec_hamming::Generator;
-use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_synth::spec::parse_property;
 use std::path::Path;
 use std::time::Instant;
@@ -30,7 +30,11 @@ fn main() {
         ..Default::default()
     };
     // paper: stride 21 → 204,522,253 words
-    let stride = if arg_flag("full") { 21u64 } else { arg_u64("stride", 401) };
+    let stride = if arg_flag("full") {
+        21u64
+    } else {
+        arg_u64("stride", 401)
+    };
     let points = arg_u64("points", 12) as usize;
     let runs = arg_u64("runs", if arg_flag("full") { 5 } else { 2 }) as u32;
     let cc = find_cc();
@@ -59,7 +63,11 @@ fn main() {
     let words = (0x1_0000_0000u64).div_ceil(stride);
     println!(
         "\nFig. 5: encode/check of {words} words (stride {stride}, avg of {runs} runs){}",
-        if cc.is_some() { "" } else { " — no C compiler, Rust sparse kernel only" }
+        if cc.is_some() {
+            ""
+        } else {
+            " — no C compiler, Rust sparse kernel only"
+        }
     );
     let widths = [6, 11, 11, 13];
     print_header(&["ones", "C -O0 (s)", "C -O3 (s)", "sparse (s)"], &widths);
@@ -113,7 +121,9 @@ fn compile_and_time(cc: &str, c_path: &Path, opt: &str, runs: u32) -> f64 {
     assert!(status.success(), "compilation failed at {opt}");
     avg(runs, || {
         let start = Instant::now();
-        let out = std::process::Command::new(&bin).output().expect("run binary");
+        let out = std::process::Command::new(&bin)
+            .output()
+            .expect("run binary");
         assert!(out.status.success());
         start.elapsed().as_secs_f64()
     })

@@ -19,7 +19,7 @@
 use fec_bench::{arg_u64, print_header, print_row, synth_timeout};
 use fec_flate::{gzip_compress, gzip_decompress};
 use fec_hamming::Generator;
-use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_synth::spec::parse_property;
 
 fn main() {

@@ -18,7 +18,10 @@ use fec_synth::verify::sat_min_distance;
 
 fn main() {
     let g74 = standards::hamming_7_4();
-    println!("plain (7,4): pair-sum status = {:?}", classify_pair_sums(&g74));
+    println!(
+        "plain (7,4): pair-sum status = {:?}",
+        classify_pair_sums(&g74)
+    );
 
     // the paper's worked example: flip codeword bits 1 and 4 of
     // (0011|100); the syndrome equals another single column's value
@@ -76,5 +79,8 @@ fn main() {
         g
     );
     let (md, _) = sat_min_distance(g, Budget::unlimited());
-    println!("SAT-verified minimum distance: {md:?} (corr = {})", (md.unwrap() - 1) / 2);
+    println!(
+        "SAT-verified minimum distance: {md:?} (corr = {})",
+        (md.unwrap() - 1) / 2
+    );
 }

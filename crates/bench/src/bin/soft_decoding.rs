@@ -29,7 +29,10 @@ fn main() {
          {trials} blocks per point"
     );
     let widths = [10, 10, 12, 12, 9];
-    print_header(&["Eb/N0 dB", "BSC-equiv", "hard BLER", "chase BLER", "gain"], &widths);
+    print_header(
+        &["Eb/N0 dB", "BSC-equiv", "hard BLER", "chase BLER", "gain"],
+        &widths,
+    );
     for ebn0 in [4.0, 5.0, 6.0, 7.0] {
         let ch = Awgn::from_ebn0_db(ebn0, rate);
         let mut rng = SmallRng::seed_from_u64(0x50F7 ^ ebn0.to_bits());

@@ -12,7 +12,7 @@
 
 use fec_bench::{arg_flag, print_header, print_row, synth_timeout};
 use fec_hamming::distance;
-use fec_synth::cegis::{Synthesizer, SynthesisConfig, SynthError};
+use fec_synth::cegis::{SynthError, SynthesisConfig, Synthesizer};
 use fec_synth::encode::CexMode;
 use fec_synth::spec::parse_property;
 
@@ -31,7 +31,13 @@ fn main() {
     );
     let widths = [8, 9, 10, 9, 24];
     print_header(
-        &["min_dist", "check_len", "iterations", "time (s)", "paper (check_len/iters)"],
+        &[
+            "min_dist",
+            "check_len",
+            "iterations",
+            "time (s)",
+            "paper (check_len/iters)",
+        ],
         &widths,
     );
     let paper: [(usize, &str); 7] = [

@@ -19,7 +19,7 @@ use fec_bench::{print_header, print_row, synth_timeout, thread_count, trial_coun
 use fec_channel::experiment::float32_trial;
 use fec_channel::floatbits::PAPER_FLOAT32_UPPER_WEIGHTS_MSB_FIRST;
 use fec_hamming::{CompositeCode, Generator};
-use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_synth::spec::parse_property;
 use fec_synth::weights::{synthesize_weighted, WeightedGenSpec, WeightedProblem};
 
@@ -72,11 +72,7 @@ fn main() {
         &config,
     )
     .expect("weighted synthesis");
-    let split = weighted
-        .map
-        .iter()
-        .filter(|&&g| g == 0)
-        .count();
+    let split = weighted.map.iter().filter(|&&g| g == 0).count();
     eprintln!(
         "weighted optimizer: {}-bit strong / {}-bit parity split, sum_w = {:.2} ({} iterations)",
         split,
@@ -100,7 +96,10 @@ fn main() {
 
     println!("\nTable 2: float32-specific robustness ({trials} numeric float trials, p = 0.1)");
     let widths = [22, 6, 11, 13, 9];
-    print_header(&["generators", "check", "undetect.", "avg. err.", "non-num."], &widths);
+    print_header(
+        &["generators", "check", "undetect.", "avg. err.", "non-num."],
+        &widths,
+    );
     for (name, code) in &ensembles {
         let r = float32_trial(code, 0.1, trials, 0x7AB1E2, threads);
         print_row(

@@ -6,23 +6,37 @@
 //! hardware; the verdicts are what is reproduced.
 //!
 //! ```text
-//! cargo run -p fec-bench --release --bin verify_8023df
+//! cargo run -p fec-bench --release --bin verify_8023df [-- --check-proofs]
 //! ```
+//!
+//! With `--check-proofs`, every UNSAT answer is certified by the
+//! independent `fec-drat` RUP checker and every SAT model is replayed
+//! against the input clauses; the run aborts on any discrepancy.
 
 use fec_hamming::standards;
 use fec_smt::Budget;
-use fec_synth::verify::{verify_min_distance_exact, VerifyOutcome};
+use fec_synth::verify::{verify_min_distance_exact_with, VerifyOptions, VerifyOutcome};
 
 fn main() {
+    let check_proofs = std::env::args().any(|a| a == "--check-proofs");
+    let opts = VerifyOptions {
+        budget: Budget::unlimited(),
+        check_certificates: check_proofs,
+    };
     let g = standards::ieee_8023df_128_120();
     println!(
-        "verifying the (128,120) inner Hamming code (k={}, c={}, {} coefficient ones)",
+        "verifying the (128,120) inner Hamming code (k={}, c={}, {} coefficient ones){}",
         g.data_len(),
         g.check_len(),
-        g.coefficient_ones()
+        g.coefficient_ones(),
+        if check_proofs {
+            " with proof checking"
+        } else {
+            ""
+        }
     );
 
-    let (outcome, stats) = verify_min_distance_exact(&g, 3, Budget::unlimited());
+    let (outcome, stats) = verify_min_distance_exact_with(&g, 3, opts);
     println!(
         "md(G) = 3: {}  [{:.2} s, {} conflicts, {} solver calls]",
         verdict(&outcome),
@@ -30,9 +44,12 @@ fn main() {
         stats.conflicts,
         stats.solve_calls
     );
+    if check_proofs {
+        print_certificates(&stats);
+    }
     assert_eq!(outcome, VerifyOutcome::Holds, "the code must have md 3");
 
-    let (outcome, stats) = verify_min_distance_exact(&g, 4, Budget::unlimited());
+    let (outcome, stats) = verify_min_distance_exact_with(&g, 4, opts);
     println!(
         "md(G) = 4: {}  [{:.2} s, {} conflicts, {} solver calls]",
         verdict(&outcome),
@@ -40,6 +57,9 @@ fn main() {
         stats.conflicts,
         stats.solve_calls
     );
+    if check_proofs {
+        print_certificates(&stats);
+    }
     assert!(
         matches!(outcome, VerifyOutcome::Fails { .. }),
         "the negated property must fail"
@@ -52,7 +72,16 @@ fn main() {
             w.count_ones()
         );
     }
-    println!("paper: md=3 verified in 14.40 s; ¬(md=4) verified in 122.58 s (Z3 4.8.11, i9-10900K)");
+    println!(
+        "paper: md=3 verified in 14.40 s; ¬(md=4) verified in 122.58 s (Z3 4.8.11, i9-10900K)"
+    );
+}
+
+fn print_certificates(stats: &fec_synth::verify::VerifyStats) {
+    println!(
+        "  certificates: {} lemmas RUP-checked, {} models validated, {} UNSAT answers certified",
+        stats.lemmas_checked, stats.models_validated, stats.unsat_certified
+    );
 }
 
 fn verdict(o: &VerifyOutcome) -> &'static str {

@@ -25,7 +25,11 @@ pub fn arg_flag(name: &str) -> bool {
 /// The standard trial count: the paper's 10,000,000, or 1,000,000
 /// under `--quick`, overridable with `--trials=N`.
 pub fn trial_count() -> u64 {
-    let default = if arg_flag("quick") { 1_000_000 } else { 10_000_000 };
+    let default = if arg_flag("quick") {
+        1_000_000
+    } else {
+        10_000_000
+    };
     arg_u64("trials", default)
 }
 
@@ -56,7 +60,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a header row plus separator.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     println!("{}", "-".repeat(total));
 }

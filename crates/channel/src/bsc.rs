@@ -18,7 +18,10 @@ impl Bsc {
     /// # Panics
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f64) -> Bsc {
-        assert!((0.0..1.0).contains(&p), "bit-error probability {p} out of range");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "bit-error probability {p} out of range"
+        );
         Bsc {
             p,
             inv_log_q: if p > 0.0 { 1.0 / (1.0 - p).ln() } else { 0.0 },

@@ -64,7 +64,8 @@ pub fn robustness_trial(
                 } else {
                     chunk
                 };
-                let worker_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+                let worker_seed =
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
                 scope.spawn(move || robustness_worker(g, md, p, n, worker_seed))
             })
             .collect();
@@ -177,7 +178,8 @@ pub fn float32_trial(
                 } else {
                     chunk
                 };
-                let worker_seed = seed.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(t as u64 + 1));
+                let worker_seed =
+                    seed.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(t as u64 + 1));
                 scope.spawn(move || float32_worker(code, p, n, worker_seed))
             })
             .collect();
@@ -241,8 +243,12 @@ mod tests {
         let trials = 200_000;
         let rw = robustness_trial(&weak, 2, 0.1, trials, 1, 4);
         let rs = robustness_trial(&strong, 4, 0.1, trials, 1, 4);
-        assert!(rw.undetected > rs.undetected * 2,
-            "weak {} vs strong {}", rw.undetected, rs.undetected);
+        assert!(
+            rw.undetected > rs.undetected * 2,
+            "weak {} vs strong {}",
+            rw.undetected,
+            rs.undetected
+        );
     }
 
     #[test]
@@ -252,7 +258,11 @@ mod tests {
         let r = robustness_trial(&g, 3, 0.1, trials, 99, 4);
         let theory = RobustnessReport::theoretical_at_least_md(7, 3, 0.1, trials);
         let rel = (r.at_least_md_flips as f64 - theory).abs() / theory;
-        assert!(rel < 0.05, "observed {} vs theory {theory}", r.at_least_md_flips);
+        assert!(
+            rel < 0.05,
+            "observed {} vs theory {theory}",
+            r.at_least_md_flips
+        );
     }
 
     #[test]

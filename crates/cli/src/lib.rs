@@ -7,9 +7,9 @@
 use fec_gf2::BitVec;
 use fec_hamming::{distance, Generator};
 use fec_smt::Budget;
-use fec_synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_synth::spec::parse_property;
-use fec_synth::verify::{sat_min_distance, verify_props, VerifyOutcome};
+use fec_synth::verify::{sat_min_distance, verify_props_with, VerifyOptions, VerifyOutcome};
 use std::time::Duration;
 
 /// Usage text for `--help` and argument errors.
@@ -17,11 +17,17 @@ pub const USAGE: &str = "\
 fecsynth — synthesize, verify, and export Hamming FEC generators
 
 USAGE:
-    fecsynth synth  \"<property>\" [--timeout=SECS]
-    fecsynth verify \"<property>\" --coeff <rows>  (rows like 101/110/111/011)
+    fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs]
+    fecsynth verify \"<property>\" --coeff <rows> [--check-proofs]
+                    (rows like 101/110/111/011)
     fecsynth info   --coeff <rows>
     fecsynth emit   --coeff <rows> [--lang=c|rust]
     fecsynth encode --coeff <rows> --data <bits>
+
+    --check-proofs  certify every solver answer: learned clauses are
+                    re-checked as a DRAT proof by the independent
+                    fec-drat RUP checker and SAT models are replayed
+                    against the input clauses (aborts on discrepancy)
 
 PROPERTY LANGUAGE (paper Fig. 3 + corr extension):
     len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4
@@ -53,6 +59,11 @@ pub fn run(args: &[String]) -> (i32, String) {
         }
     };
     (code, out)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    let full = format!("--{name}");
+    args.iter().any(|a| a == &full)
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -91,6 +102,7 @@ fn cmd_synth(args: &[String], out: &mut String) -> i32 {
     };
     let config = SynthesisConfig {
         timeout: Duration::from_secs(timeout),
+        check_certificates: has_flag(args, "check-proofs"),
         ..Default::default()
     };
     match Synthesizer::new(config).run(&prop) {
@@ -103,10 +115,7 @@ fn cmd_synth(args: &[String], out: &mut String) -> i32 {
                     g.coefficient_ones(),
                     g
                 ));
-                out.push_str(&format!(
-                    "coeff (for --coeff): {}\n",
-                    coeff_arg(g)
-                ));
+                out.push_str(&format!("coeff (for --coeff): {}\n", coeff_arg(g)));
             }
             out.push_str(&format!(
                 "{} iterations, {:.2} s\n",
@@ -141,7 +150,17 @@ fn cmd_verify(args: &[String], out: &mut String) -> i32 {
             return 2;
         }
     };
-    let (outcome, stats) = verify_props(&[g], &prop, Budget::unlimited());
+    let opts = VerifyOptions {
+        budget: Budget::unlimited(),
+        check_certificates: has_flag(args, "check-proofs"),
+    };
+    let (outcome, stats) = verify_props_with(&[g], &prop, opts);
+    if opts.check_certificates {
+        out.push_str(&format!(
+            "certificates: {} lemmas RUP-checked, {} models validated, {} UNSAT answers certified\n",
+            stats.lemmas_checked, stats.models_validated, stats.unsat_certified
+        ));
+    }
     match outcome {
         VerifyOutcome::Holds => {
             out.push_str(&format!("HOLDS ({:.2} s)\n", stats.elapsed.as_secs_f64()));
@@ -300,6 +319,37 @@ mod tests {
         let (code, out) = run(&argv(&["verify", "md(G0) = 4", "--coeff", coeff]));
         assert_eq!(code, 1);
         assert!(out.contains("FAILS"));
+    }
+
+    #[test]
+    fn verify_with_proof_checking() {
+        let coeff = "101/110/111/011";
+        let (code, out) = run(&argv(&[
+            "verify",
+            "md(G0) = 3",
+            "--coeff",
+            coeff,
+            "--check-proofs",
+        ]));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("certificates:"), "{out}");
+        assert!(out.contains("UNSAT answers certified"), "{out}");
+        // without the flag no certificate line is printed
+        let (_, out) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
+        assert!(!out.contains("certificates:"), "{out}");
+    }
+
+    #[test]
+    fn synth_with_proof_checking() {
+        let (code, out) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
+            "--timeout=30",
+            "--check-proofs",
+        ]));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("(7, 4) code"), "{out}");
     }
 
     #[test]

@@ -17,15 +17,23 @@ use std::fmt::Write;
 /// # Panics
 /// Panics if `g.data_len() > 64` or `g.check_len() > 64`.
 pub fn emit_c(g: &Generator, with_main: bool) -> String {
-    assert!(g.data_len() <= 64 && g.check_len() <= 64, "emit_c supports ≤ 64 bits");
+    assert!(
+        g.data_len() <= 64 && g.check_len() <= 64,
+        "emit_c supports ≤ 64 bits"
+    );
     let mut out = String::new();
     out.push_str("#include <stdint.h>\n");
     if with_main {
         out.push_str("#include <stdio.h>\n");
     }
     out.push_str("\n/* generated encoder: ");
-    let _ = write!(out, "({}, {}) code, {} coefficient ones */\n",
-        g.codeword_len(), g.data_len(), g.coefficient_ones());
+    let _ = writeln!(
+        out,
+        "({}, {}) code, {} coefficient ones */",
+        g.codeword_len(),
+        g.data_len(),
+        g.coefficient_ones()
+    );
     out.push_str("uint64_t encode_checks(uint64_t d) {\n    uint64_t c = 0, b;\n");
     for j in 0..g.check_len() {
         let terms: Vec<String> = (0..g.data_len())
@@ -69,7 +77,10 @@ pub fn emit_c_bench(g: &Generator, stride: u64) -> String {
 
 /// Emits a Rust function pair with the same structure as [`emit_c`].
 pub fn emit_rust(g: &Generator) -> String {
-    assert!(g.data_len() <= 64 && g.check_len() <= 64, "emit_rust supports ≤ 64 bits");
+    assert!(
+        g.data_len() <= 64 && g.check_len() <= 64,
+        "emit_rust supports ≤ 64 bits"
+    );
     let mut out = String::new();
     let _ = writeln!(
         out,

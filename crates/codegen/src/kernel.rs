@@ -51,7 +51,10 @@ impl MaskKernel {
     /// is check bit `i`).
     #[inline]
     pub fn encode_checks(&self, data: u64) -> u64 {
-        debug_assert_eq!(data >> self.data_len.min(63) >> u32::from(self.data_len == 64), 0);
+        debug_assert_eq!(
+            data >> self.data_len.min(63) >> u32::from(self.data_len == 64),
+            0
+        );
         let mut out = 0u64;
         for (j, &m) in self.masks.iter().enumerate() {
             out |= (u64::from(parity64(data & m))) << j;
@@ -189,7 +192,9 @@ mod tests {
         assert_eq!(sparse.term_count(), g.coefficient_ones());
         let mut x = 0x1234_5678_9ABC_DEF0u64;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let d = x >> 32; // 32-bit data
             assert_eq!(mask.encode_checks(d), naive.encode_checks(d));
             assert_eq!(mask.encode_checks(d), sparse.encode_checks(d));

@@ -41,6 +41,13 @@ pub struct SynthesisConfig {
     /// modes; the paper re-derives them per bound — set `false` for
     /// paper-faithful behaviour).
     pub persist_counterexamples: bool,
+    /// Certify every solver verdict: learned clauses are re-validated
+    /// by the independent `fec-drat` RUP checker, models are replayed
+    /// against the input clauses, and each verifier UNSAT (the step
+    /// that declares a candidate correct) must come with a checkable
+    /// certificate. A disagreement panics — see
+    /// [`fec_smt::SmtSolver::new_certifying`].
+    pub check_certificates: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -51,6 +58,7 @@ impl Default for SynthesisConfig {
             card_encoding: CardEncoding::Totalizer,
             default_max_check: 14,
             persist_counterexamples: true,
+            check_certificates: false,
         }
     }
 }
@@ -262,7 +270,9 @@ impl ProblemShape {
                                     p.c_hi = Some(v);
                                 }
                                 (GenFn::LenC, CmpOp::Le) => set_min(&mut p.c_hi, v),
-                                (GenFn::LenC, CmpOp::Lt) => set_min(&mut p.c_hi, v.saturating_sub(1)),
+                                (GenFn::LenC, CmpOp::Lt) => {
+                                    set_min(&mut p.c_hi, v.saturating_sub(1))
+                                }
                                 (GenFn::LenC, CmpOp::Ge) => set_max(&mut p.c_lo, v),
                                 (GenFn::LenC, CmpOp::Gt) => set_max(&mut p.c_lo, v + 1),
                                 (GenFn::LenOnes, CmpOp::Eq) => {
@@ -395,10 +405,19 @@ impl Synthesizer {
         self.run_shape(&shape)
     }
 
+    /// A solver honoring the configured certification mode.
+    fn new_solver(&self) -> SmtSolver {
+        if self.config.check_certificates {
+            SmtSolver::new_certifying()
+        } else {
+            SmtSolver::new()
+        }
+    }
+
     /// Runs synthesis for pre-extracted structural constraints.
     pub fn run_shape(&mut self, shape: &ProblemShape) -> Result<SynthesisResult, SynthError> {
         let start = Instant::now();
-        let mut syn = SmtSolver::new();
+        let mut syn = self.new_solver();
         let mut syms = Vec::with_capacity(shape.gens.len());
         for gs in &shape.gens {
             let sym = SymbolicGenerator::new(&mut syn, gs.data_len, gs.check_hi, gs.min_distance);
@@ -428,7 +447,7 @@ impl Synthesizer {
             .iter()
             .map(|gs| {
                 (gs.min_distance >= 2).then(|| {
-                    let mut solver = SmtSolver::new();
+                    let mut solver = self.new_solver();
                     let sym = SymbolicGenerator::new(
                         &mut solver,
                         gs.data_len,
@@ -635,7 +654,11 @@ fn bound_feasible(shape: &ProblemShape, obj: Objective, bound: i64) -> bool {
         Objective::MaxCheckLen(i) => bound <= shape.gens[i].check_hi as i64,
         Objective::MinOnes(i) => bound >= shape.gens[i].ones_lo.unwrap_or(0) as i64,
         Objective::MaxOnes(i) => {
-            bound <= shape.gens[i].ones_hi.unwrap_or(shape.gens[i].data_len * shape.gens[i].check_hi) as i64
+            bound
+                <= shape.gens[i]
+                    .ones_hi
+                    .unwrap_or(shape.gens[i].data_len * shape.gens[i].check_hi)
+                    as i64
         }
     }
 }
@@ -669,7 +692,10 @@ mod tests {
         let shape = ProblemShape::from_prop(&p, &quick_config()).unwrap();
         assert_eq!(shape.gens.len(), 1);
         let g = &shape.gens[0];
-        assert_eq!((g.data_len, g.min_distance, g.check_lo, g.check_hi), (4, 3, 1, 4));
+        assert_eq!(
+            (g.data_len, g.min_distance, g.check_lo, g.check_hi),
+            (4, 3, 1, 4)
+        );
         assert_eq!(shape.objective, Some(Objective::MinCheckLen(0)));
     }
 
@@ -677,10 +703,10 @@ mod tests {
     fn shape_extraction_rejects_unsupported() {
         let cfg = quick_config();
         for src in [
-            "md(G0) = 3",                       // no len_d
-            "len_d(G0) = 4 && sum_w < 3",       // sum_w needs the weighted API
-            "len_d(G0) = 4 || md(G0) = 3",      // top-level disjunction
-            "len_d(G0) = 4 && len_d(G0) = 5",   // inconsistent
+            "md(G0) = 3",                           // no len_d
+            "len_d(G0) = 4 && sum_w < 3",           // sum_w needs the weighted API
+            "len_d(G0) = 4 || md(G0) = 3",          // top-level disjunction
+            "len_d(G0) = 4 && len_d(G0) = 5",       // inconsistent
             "len_d(G0) = 4 && 3 <= len_c(G0) <= 2", // empty bounds
         ] {
             let p = parse_property(src).unwrap();
@@ -704,6 +730,24 @@ mod tests {
         assert_eq!(g.check_len(), 3, "optimal Hamming (7,4) check length");
         assert_eq!(distance::min_distance_exhaustive(g), 3);
         assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn certified_synthesis_of_the_74_example() {
+        // the full CEGIS loop under --check-proofs: every synthesizer
+        // model validated and every verifier UNSAT (the step that
+        // declares a candidate correct) certified by fec-drat
+        let mut cfg = quick_config();
+        cfg.check_certificates = true;
+        let p = parse_property(
+            "len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4 && md(G0) = 3 \
+             && minimal(len_c(G0))",
+        )
+        .unwrap();
+        let r = Synthesizer::new(cfg).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert_eq!(g.check_len(), 3);
+        assert_eq!(distance::min_distance_exhaustive(g), 3);
     }
 
     #[test]
@@ -811,10 +855,9 @@ mod tests {
 
     #[test]
     fn maximal_objective_grows_ones() {
-        let p = parse_property(
-            "len_d(G0) = 3 && len_c(G0) = 3 && md(G0) = 2 && maximal(len_1(G0))",
-        )
-        .unwrap();
+        let p =
+            parse_property("len_d(G0) = 3 && len_c(G0) = 3 && md(G0) = 2 && maximal(len_1(G0))")
+                .unwrap();
         let r = Synthesizer::new(quick_config()).run(&p).unwrap();
         // all 9 coefficient bits set still has md ≥ 2 (rows weight 3)
         assert_eq!(r.generators[0].coefficient_ones(), 9);
@@ -823,10 +866,9 @@ mod tests {
     #[test]
     fn minimize_ones_reaches_structural_floor() {
         // md 3 requires every row of P to have weight ≥ 2 → floor is 2k
-        let p = parse_property(
-            "len_d(G0) = 4 && len_c(G0) = 4 && md(G0) = 3 && minimal(len_1(G0))",
-        )
-        .unwrap();
+        let p =
+            parse_property("len_d(G0) = 4 && len_c(G0) = 4 && md(G0) = 3 && minimal(len_1(G0))")
+                .unwrap();
         let r = Synthesizer::new(quick_config()).run(&p).unwrap();
         let g = &r.generators[0];
         assert_eq!(distance::min_distance_exhaustive(g), 3);

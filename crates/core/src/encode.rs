@@ -134,7 +134,11 @@ impl SymbolicGenerator {
         for y in 0..self.data_len {
             for x in 0..self.max_check {
                 let bit = x < c && g.coefficients().get(y, x);
-                out.push(if bit { self.cells[y][x] } else { !self.cells[y][x] });
+                out.push(if bit {
+                    self.cells[y][x]
+                } else {
+                    !self.cells[y][x]
+                });
             }
         }
         out
@@ -150,12 +154,7 @@ impl SymbolicGenerator {
     /// The generalized counterexample: for the witness data word `x`
     /// (non-zero), asserts that the codeword of `x` has weight ≥ the
     /// required minimum distance, over the symbolic cells.
-    pub fn add_dataword_counterexample(
-        &self,
-        s: &mut SmtSolver,
-        x: &BitVec,
-        enc: CardEncoding,
-    ) {
+    pub fn add_dataword_counterexample(&self, s: &mut SmtSolver, x: &BitVec, enc: CardEncoding) {
         assert_eq!(x.len(), self.data_len, "counterexample length mismatch");
         let dweight = x.count_ones();
         assert!(dweight > 0, "counterexample must be a non-zero data word");
@@ -263,7 +262,11 @@ mod tests {
         let x = BitVec::from_bools(&xs.iter().map(|&l| s.model_lit(l)).collect::<Vec<_>>());
         assert!(!x.is_zero());
         let w = bad.encode(&x);
-        assert!(w.count_ones() < 3, "witness {x} gives weight {}", w.count_ones());
+        assert!(
+            w.count_ones() < 3,
+            "witness {x} gives weight {}",
+            w.count_ones()
+        );
     }
 
     #[test]
@@ -310,8 +313,7 @@ mod tests {
                 found = Some(cand);
                 break;
             }
-            let x =
-                BitVec::from_bools(&xs.iter().map(|&l| ver.model_lit(l)).collect::<Vec<_>>());
+            let x = BitVec::from_bools(&xs.iter().map(|&l| ver.model_lit(l)).collect::<Vec<_>>());
             sym_s.add_dataword_counterexample(&mut syn, &x, CardEncoding::Totalizer);
         }
         let g = found.expect("no generator found in 200 iterations");

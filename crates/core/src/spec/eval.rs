@@ -29,7 +29,9 @@ impl Value {
     pub fn as_index(self) -> Result<usize, EvalError> {
         match self {
             Value::Int(n) if n >= 0 => Ok(n as usize),
-            other => Err(EvalError(format!("expected a non-negative integer, got {other:?}"))),
+            other => Err(EvalError(format!(
+                "expected a non-negative integer, got {other:?}"
+            ))),
         }
     }
 }
@@ -120,9 +122,7 @@ impl EvalContext {
                 let r = self.eval_expr(row)?.as_index()?;
                 let c = self.eval_expr(col)?.as_index()?;
                 if r >= g.data_len() || c >= g.codeword_len() {
-                    return Err(EvalError(format!(
-                        "cell ({r}, {c}) out of range for G{gi}"
-                    )));
+                    return Err(EvalError(format!("cell ({r}, {c}) out of range for G{gi}")));
                 }
                 let bit = if c < g.data_len() {
                     c == r
@@ -278,7 +278,9 @@ mod tests {
     #[test]
     fn out_of_range_errors() {
         let ctx = ctx74();
-        assert!(ctx.eval_prop(&parse_property("md(G1) = 3").unwrap()).is_err());
+        assert!(ctx
+            .eval_prop(&parse_property("md(G1) = 3").unwrap())
+            .is_err());
         assert!(ctx
             .eval_prop(&parse_property("G0(9, 0) = 1").unwrap())
             .is_err());

@@ -204,9 +204,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     "G" => Token::Gen(None),
                     _ => {
                         if let Some(num) = word.strip_prefix('G') {
-                            let idx: usize = num.parse().map_err(|_| {
-                                err(start, &format!("unknown identifier {word:?}"))
-                            })?;
+                            let idx: usize = num
+                                .parse()
+                                .map_err(|_| err(start, &format!("unknown identifier {word:?}")))?;
                             Token::Gen(Some(idx))
                         } else {
                             return Err(err(start, &format!("unknown identifier {word:?}")));
@@ -235,7 +235,7 @@ mod tests {
     fn lexes_the_paper_example() {
         let toks = lex("len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4 \
                         && md(G0) = 3 && minimal(len_c(G0))")
-            .unwrap();
+        .unwrap();
         assert!(toks.contains(&Token::LenG));
         assert!(toks.contains(&Token::Gen(Some(0))));
         assert!(toks.contains(&Token::Minimal));

@@ -288,10 +288,7 @@ impl Parser {
                 self.expect(Token::RParen)?;
                 Ok(Expr::Weight(Box::new(e)))
             }
-            Some(Token::LenD)
-            | Some(Token::LenC)
-            | Some(Token::LenOnes)
-            | Some(Token::Md)
+            Some(Token::LenD) | Some(Token::LenC) | Some(Token::LenOnes) | Some(Token::Md)
             | Some(Token::Corr) => {
                 let func = match self.bump() {
                     Some(Token::LenD) => GenFn::LenD,
@@ -408,7 +405,10 @@ mod tests {
     #[test]
     fn parses_unary_minus() {
         let p = parse_property("-1 < 0").unwrap();
-        assert_eq!(p, Prop::Cmp(CmpOp::Lt, Expr::Neg(Box::new(Expr::Int(1))), Expr::Int(0)));
+        assert_eq!(
+            p,
+            Prop::Cmp(CmpOp::Lt, Expr::Neg(Box::new(Expr::Int(1))), Expr::Int(0))
+        );
     }
 
     #[test]

@@ -27,13 +27,65 @@ pub enum VerifyOutcome {
 }
 
 /// Statistics for one verification run (the §4.1 table reports
-/// runtime and RAM; we report runtime and solver effort).
+/// runtime and RAM; we report runtime and solver effort). The last
+/// three fields stay zero unless certification is enabled via
+/// [`VerifyOptions::check_certificates`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct VerifyStats {
     pub elapsed: Duration,
     pub conflicts: u64,
     pub propagations: u64,
     pub solve_calls: u64,
+    /// Learned clauses accepted by the independent RUP checker.
+    pub lemmas_checked: u64,
+    /// SAT models replayed against all input clauses.
+    pub models_validated: u64,
+    /// Unsat verdicts certified (refutation or failed-assumption RUP).
+    pub unsat_certified: u64,
+}
+
+impl VerifyStats {
+    fn absorb(&mut self, other: &VerifyStats) {
+        self.elapsed += other.elapsed;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.solve_calls += other.solve_calls;
+        self.lemmas_checked += other.lemmas_checked;
+        self.models_validated += other.models_validated;
+        self.unsat_certified += other.unsat_certified;
+    }
+}
+
+/// Options for the verification entry points; the plain functions use
+/// the defaults (no certification).
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyOptions {
+    /// Per-query solver budget.
+    pub budget: Budget,
+    /// Certify every solver answer with the independent `fec-drat`
+    /// checker (RUP-check all learned clauses, replay SAT models,
+    /// certify UNSAT verdicts). Panics on any discrepancy — this is the
+    /// CLI's `--check-proofs` mode.
+    pub check_certificates: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            budget: Budget::unlimited(),
+            check_certificates: false,
+        }
+    }
+}
+
+impl VerifyOptions {
+    fn solver(&self) -> SmtSolver {
+        if self.check_certificates {
+            SmtSolver::new_certifying()
+        } else {
+            SmtSolver::new()
+        }
+    }
 }
 
 /// SAT query: does `g` have a non-zero codeword of weight ≤ `w`?
@@ -46,8 +98,24 @@ pub fn has_codeword_of_weight_at_most(
     w: usize,
     budget: Budget,
 ) -> (SmtResult, Option<BitVec>, VerifyStats) {
+    has_codeword_of_weight_at_most_with(
+        g,
+        w,
+        VerifyOptions {
+            budget,
+            ..VerifyOptions::default()
+        },
+    )
+}
+
+/// [`has_codeword_of_weight_at_most`] with full [`VerifyOptions`].
+pub fn has_codeword_of_weight_at_most_with(
+    g: &Generator,
+    w: usize,
+    opts: VerifyOptions,
+) -> (SmtResult, Option<BitVec>, VerifyStats) {
     let start = Instant::now();
-    let mut s = SmtSolver::new();
+    let mut s = opts.solver();
     let k = g.data_len();
     let xs: Vec<Lit> = (0..k).map(|_| s.fresh_lit()).collect();
     s.add_clause(&xs); // non-zero data word
@@ -61,15 +129,18 @@ pub fn has_codeword_of_weight_at_most(
         all.push(parity);
     }
     s.at_most_k_with(&all, w, CardEncoding::Totalizer);
-    let result = s.solve_with_budget(&[], budget);
-    let witness = (result == SmtResult::Sat).then(|| {
-        BitVec::from_bools(&xs.iter().map(|&l| s.model_lit(l)).collect::<Vec<_>>())
-    });
+    let result = s.solve_with_budget(&[], opts.budget);
+    let witness = (result == SmtResult::Sat)
+        .then(|| BitVec::from_bools(&xs.iter().map(|&l| s.model_lit(l)).collect::<Vec<_>>()));
+    let cert = s.certificate_stats().unwrap_or_default();
     let stats = VerifyStats {
         elapsed: start.elapsed(),
         conflicts: s.stats().conflicts,
         propagations: s.stats().propagations,
         solve_calls: s.stats().solve_calls,
+        lemmas_checked: cert.lemmas_checked,
+        models_validated: cert.models_validated,
+        unsat_certified: cert.unsat_certified,
     };
     (result, witness, stats)
 }
@@ -80,10 +151,26 @@ pub fn verify_min_distance_at_least(
     d: usize,
     budget: Budget,
 ) -> (VerifyOutcome, VerifyStats) {
+    verify_min_distance_at_least_with(
+        g,
+        d,
+        VerifyOptions {
+            budget,
+            ..VerifyOptions::default()
+        },
+    )
+}
+
+/// [`verify_min_distance_at_least`] with full [`VerifyOptions`].
+pub fn verify_min_distance_at_least_with(
+    g: &Generator,
+    d: usize,
+    opts: VerifyOptions,
+) -> (VerifyOutcome, VerifyStats) {
     if d <= 1 {
         return (VerifyOutcome::Holds, VerifyStats::default());
     }
-    let (r, witness, stats) = has_codeword_of_weight_at_most(g, d - 1, budget);
+    let (r, witness, stats) = has_codeword_of_weight_at_most_with(g, d - 1, opts);
     let outcome = match r {
         SmtResult::Unsat => VerifyOutcome::Holds,
         SmtResult::Sat => VerifyOutcome::Fails { witness },
@@ -99,15 +186,28 @@ pub fn verify_min_distance_exact(
     d: usize,
     budget: Budget,
 ) -> (VerifyOutcome, VerifyStats) {
-    let (lower, mut stats) = verify_min_distance_at_least(g, d, budget);
+    verify_min_distance_exact_with(
+        g,
+        d,
+        VerifyOptions {
+            budget,
+            ..VerifyOptions::default()
+        },
+    )
+}
+
+/// [`verify_min_distance_exact`] with full [`VerifyOptions`].
+pub fn verify_min_distance_exact_with(
+    g: &Generator,
+    d: usize,
+    opts: VerifyOptions,
+) -> (VerifyOutcome, VerifyStats) {
+    let (lower, mut stats) = verify_min_distance_at_least_with(g, d, opts);
     if lower != VerifyOutcome::Holds {
         return (lower, stats);
     }
-    let (r, witness, s2) = has_codeword_of_weight_at_most(g, d, budget);
-    stats.elapsed += s2.elapsed;
-    stats.conflicts += s2.conflicts;
-    stats.propagations += s2.propagations;
-    stats.solve_calls += s2.solve_calls;
+    let (r, witness, s2) = has_codeword_of_weight_at_most_with(g, d, opts);
+    stats.absorb(&s2);
     let outcome = match r {
         SmtResult::Sat => VerifyOutcome::Holds, // witness of weight d exists
         SmtResult::Unsat => VerifyOutcome::Fails { witness },
@@ -121,13 +221,21 @@ pub fn verify_min_distance_exact(
 ///
 /// Returns `None` if the budget is exhausted (per query).
 pub fn sat_min_distance(g: &Generator, budget: Budget) -> (Option<usize>, VerifyStats) {
+    sat_min_distance_with(
+        g,
+        VerifyOptions {
+            budget,
+            ..VerifyOptions::default()
+        },
+    )
+}
+
+/// [`sat_min_distance`] with full [`VerifyOptions`].
+pub fn sat_min_distance_with(g: &Generator, opts: VerifyOptions) -> (Option<usize>, VerifyStats) {
     let mut stats = VerifyStats::default();
     for w in 1..=g.codeword_len() {
-        let (r, _, s) = has_codeword_of_weight_at_most(g, w, budget);
-        stats.elapsed += s.elapsed;
-        stats.conflicts += s.conflicts;
-        stats.propagations += s.propagations;
-        stats.solve_calls += s.solve_calls;
+        let (r, _, s) = has_codeword_of_weight_at_most_with(g, w, opts);
+        stats.absorb(&s);
         match r {
             SmtResult::Sat => return (Some(w), stats),
             SmtResult::Unknown => return (None, stats),
@@ -148,6 +256,22 @@ pub fn verify_props(
     prop: &Prop,
     budget: Budget,
 ) -> (VerifyOutcome, VerifyStats) {
+    verify_props_with(
+        generators,
+        prop,
+        VerifyOptions {
+            budget,
+            ..VerifyOptions::default()
+        },
+    )
+}
+
+/// [`verify_props`] with full [`VerifyOptions`].
+pub fn verify_props_with(
+    generators: &[Generator],
+    prop: &Prop,
+    opts: VerifyOptions,
+) -> (VerifyOutcome, VerifyStats) {
     let mut stats = VerifyStats::default();
     // Resolve every generator's md up front if the property mentions md.
     let needs_md = format!("{prop}").contains("md(");
@@ -155,11 +279,8 @@ pub fn verify_props(
     if needs_md {
         let mut mds = Vec::with_capacity(generators.len());
         for g in generators {
-            let (md, s) = sat_min_distance(g, budget);
-            stats.elapsed += s.elapsed;
-            stats.conflicts += s.conflicts;
-            stats.propagations += s.propagations;
-            stats.solve_calls += s.solve_calls;
+            let (md, s) = sat_min_distance_with(g, opts);
+            stats.absorb(&s);
             match md {
                 Some(d) => mds.push(d),
                 None => return (VerifyOutcome::Unknown, stats),
@@ -227,10 +348,30 @@ mod tests {
     }
 
     #[test]
+    fn certified_verification_of_hamming74() {
+        // --check-proofs mode: every UNSAT answer certified by the
+        // independent RUP checker, every SAT model replayed
+        let g = standards::hamming_7_4();
+        let opts = VerifyOptions {
+            check_certificates: true,
+            ..VerifyOptions::default()
+        };
+        let (o, stats) = verify_min_distance_exact_with(&g, 3, opts);
+        assert_eq!(o, VerifyOutcome::Holds);
+        assert!(stats.unsat_certified >= 1, "{stats:?}");
+        assert!(stats.models_validated >= 1, "{stats:?}");
+
+        let p = parse_property("md(G0) = 3").unwrap();
+        let (o, stats) = verify_props_with(&[g], &p, opts);
+        assert_eq!(o, VerifyOutcome::Holds);
+        assert!(stats.unsat_certified >= 1, "{stats:?}");
+    }
+
+    #[test]
     fn verify_props_resolves_md_by_sat() {
         let g = standards::hamming_7_4();
         let p = parse_property("md(G0) = 3 && len_c(G0) = 3 && len_1(G0) = 9").unwrap();
-        let (o, _) = verify_props(&[g.clone()], &p, Budget::unlimited());
+        let (o, _) = verify_props(std::slice::from_ref(&g), &p, Budget::unlimited());
         assert_eq!(o, VerifyOutcome::Holds);
         let p = parse_property("md(G0) = 4").unwrap();
         let (o, _) = verify_props(&[g], &p, Budget::unlimited());

@@ -30,7 +30,7 @@
 //! Like the paper's evaluation, this supports `len_G = 2`; the map
 //! solver rejects larger ensembles.
 
-use crate::cegis::{GenShape, ProblemShape, Synthesizer, SynthesisConfig, SynthError};
+use crate::cegis::{GenShape, ProblemShape, SynthError, SynthesisConfig, Synthesizer};
 use fec_hamming::robustness::choose_times_pow;
 use fec_hamming::Generator;
 use fec_smt::{Budget, Lit, SmtResult, SmtSolver, UnaryInt};
@@ -97,7 +97,11 @@ pub fn synthesize_weighted(
     // f[i][t] = chooseTimesPow(t + c_i, md_i) for t bits mapped to i
     let f = |i: usize, t: usize| -> f64 {
         let spec = &problem.gens[i];
-        choose_times_pow(t + spec.check_len, spec.min_distance, problem.bit_error_rate)
+        choose_times_pow(
+            t + spec.check_len,
+            spec.min_distance,
+            problem.bit_error_rate,
+        )
     };
 
     let mut iterations = 0u64;

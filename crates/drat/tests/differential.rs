@@ -1,0 +1,178 @@
+//! Differential certification test: CDCL vs. the DPLL oracle on random
+//! CNFs, with every verdict independently certified.
+//!
+//! For each seeded instance:
+//! - the CDCL solver (with proof logging) and `fec_sat::reference` must
+//!   agree on SAT/UNSAT;
+//! - a SAT model must pass both the oracle's `check_model` and the
+//!   checker's `validate_model` over the logged input clauses;
+//! - an UNSAT proof stream must be accepted by the RUP checker and end
+//!   in a refutation.
+
+use fec_drat::Checker;
+use fec_sat::proof::MemoryProofLogger;
+use fec_sat::{reference, Lit, SolveResult, Solver, Var};
+
+/// Deterministic linear congruential generator (Numerical Recipes
+/// constants) — no external RNG dependency, stable across platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_cnf(rng: &mut Lcg) -> (usize, Vec<Vec<Lit>>) {
+    let nv = 3 + rng.below(6) as usize; // 3..=8 variables
+    let nc = 4 + rng.below(22) as usize; // 4..=25 clauses
+    let clauses = (0..nc)
+        .map(|_| {
+            let width = 1 + rng.below(3) as usize; // 1..=3 literals
+            (0..width)
+                .map(|_| {
+                    let v = Var::from_index(rng.below(nv as u64) as usize);
+                    Lit::with_sign(v, rng.below(2) == 0)
+                })
+                .collect()
+        })
+        .collect();
+    (nv, clauses)
+}
+
+#[test]
+fn five_hundred_random_instances_agree_and_certify() {
+    let mut rng = Lcg(0x5DEECE66D);
+    let (mut sat_seen, mut unsat_seen) = (0u32, 0u32);
+    for case in 0..500 {
+        let (nv, clauses) = random_cnf(&mut rng);
+        let oracle = reference::solve(nv, &clauses);
+
+        let log = MemoryProofLogger::new();
+        let mut s = Solver::new();
+        s.set_proof_logger(Box::new(log.clone()));
+        for _ in 0..nv {
+            s.new_var();
+        }
+        let mut ok = true;
+        for c in &clauses {
+            ok = s.add_clause(c);
+            if !ok {
+                break;
+            }
+        }
+        let cdcl = if ok { s.solve(&[]) } else { SolveResult::Unsat };
+
+        let steps = log.take_steps();
+        let mut checker = Checker::new();
+        match (oracle.is_some(), cdcl) {
+            (true, SolveResult::Sat) => {
+                sat_seen += 1;
+                let model: Vec<bool> = (0..nv)
+                    .map(|i| s.value(Var::from_index(i)).unwrap_or(false))
+                    .collect();
+                assert!(
+                    reference::check_model(&clauses, &model),
+                    "case {case}: CDCL model fails oracle check"
+                );
+                checker
+                    .process_all(&steps)
+                    .unwrap_or_else(|e| panic!("case {case}: lemma rejected on SAT run: {e}"));
+                checker
+                    .validate_model(|v| model.get(v.index()).copied(), &[])
+                    .unwrap_or_else(|e| panic!("case {case}: model rejected: {e}"));
+            }
+            (false, SolveResult::Unsat) => {
+                unsat_seen += 1;
+                checker
+                    .process_all(&steps)
+                    .unwrap_or_else(|e| panic!("case {case}: proof rejected: {e}"));
+                assert!(
+                    checker.is_refuted(),
+                    "case {case}: accepted proof does not refute the formula"
+                );
+                let core = checker.refutation_core().expect("refuted => core");
+                assert!(
+                    core.core_inputs > 0,
+                    "case {case}: refutation uses no input clause"
+                );
+            }
+            (oracle_sat, verdict) => panic!(
+                "case {case}: disagreement — oracle says {}, CDCL says {verdict:?}",
+                if oracle_sat { "SAT" } else { "UNSAT" }
+            ),
+        }
+    }
+    // the generator parameters straddle the phase transition; both
+    // verdicts must actually occur for the test to mean anything
+    assert!(sat_seen > 50, "only {sat_seen} SAT instances");
+    assert!(unsat_seen > 50, "only {unsat_seen} UNSAT instances");
+}
+
+#[test]
+fn incremental_stream_with_assumptions_certifies() {
+    // one solver, several solve calls with clause additions in between;
+    // a single chronological stream certifies all of them
+    let mut rng = Lcg(0xC0FFEE);
+    for case in 0..60 {
+        let (nv, clauses) = random_cnf(&mut rng);
+        let log = MemoryProofLogger::new();
+        let mut s = Solver::new();
+        s.set_proof_logger(Box::new(log.clone()));
+        for _ in 0..nv {
+            s.new_var();
+        }
+        let mut checker = Checker::new();
+        let mut ok = true;
+        let half = clauses.len() / 2;
+        for c in &clauses[..half] {
+            ok = s.add_clause(c);
+            if !ok {
+                break;
+            }
+        }
+        let assumption = Lit::pos(Var::from_index(0));
+        for round in 0..2 {
+            if ok && round == 1 {
+                for c in &clauses[half..] {
+                    ok = s.add_clause(c);
+                    if !ok {
+                        break;
+                    }
+                }
+            }
+            let verdict = if ok {
+                s.solve(&[assumption])
+            } else {
+                SolveResult::Unsat
+            };
+            checker
+                .process_all(&log.take_steps())
+                .unwrap_or_else(|e| panic!("case {case} round {round}: {e}"));
+            match verdict {
+                SolveResult::Sat => {
+                    checker
+                        .validate_model(|v| s.value(v), &[assumption])
+                        .unwrap_or_else(|e| panic!("case {case} round {round}: {e}"));
+                }
+                SolveResult::Unsat => {
+                    // certify the failed-assumption clause by transient RUP
+                    let negated: Vec<Lit> = s.failed_assumptions().iter().map(|&a| !a).collect();
+                    assert!(
+                        checker.is_refuted() || checker.is_rup(&negated),
+                        "case {case} round {round}: failed-assumption clause not RUP"
+                    );
+                }
+                SolveResult::Unknown => unreachable!("no budget set"),
+            }
+        }
+    }
+}

@@ -40,7 +40,7 @@ pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
         0x1F, 0x8B, // magic
         0x08, // CM = deflate
         0x00, // FLG: none
-        0, 0, 0, 0, // MTIME = 0
+        0, 0, 0, 0,    // MTIME = 0
         0x00, // XFL
         0xFF, // OS = unknown
     ]);

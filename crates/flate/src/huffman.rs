@@ -32,10 +32,7 @@ pub fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // min-heap via reverse; tie-break on id for determinism
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -84,10 +81,7 @@ pub fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
         }
         // Kraft sum in units of 2^-max_len
         let unit = |l: u32| 1u64 << (max_len - l);
-        let mut kraft: u64 = used
-            .iter()
-            .map(|&i| unit(lengths[i].min(max_len)))
-            .sum();
+        let mut kraft: u64 = used.iter().map(|&i| unit(lengths[i].min(max_len))).sum();
         let budget = 1u64 << max_len;
         // while over budget, deepen a symbol at the smallest length > ...
         // standard fix: repeatedly take a leaf at the largest length
@@ -275,7 +269,10 @@ mod tests {
         // RFC 1951 example: lengths (3,3,3,3,3,2,4,4) for A..H
         let lengths = [3, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! compressor path and to decode gzip members.
 
 use crate::bitio::BitReader;
-use crate::deflate::{
-    fixed_dist_lengths, fixed_lit_lengths, CLC_ORDER, DIST_TABLE, LENGTH_TABLE,
-};
+use crate::deflate::{fixed_dist_lengths, fixed_lit_lengths, CLC_ORDER, DIST_TABLE, LENGTH_TABLE};
 use crate::huffman::Decoder;
 use std::fmt;
 
@@ -91,21 +89,15 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), Infl
             16 => {
                 let &prev = lens.last().ok_or(InflateError::BadSymbol)?;
                 let n = 3 + r.read_bits(2).ok_or(InflateError::UnexpectedEof)?;
-                for _ in 0..n {
-                    lens.push(prev);
-                }
+                lens.resize(lens.len() + n as usize, prev);
             }
             17 => {
                 let n = 3 + r.read_bits(3).ok_or(InflateError::UnexpectedEof)?;
-                for _ in 0..n {
-                    lens.push(0);
-                }
+                lens.resize(lens.len() + n as usize, 0);
             }
             18 => {
                 let n = 11 + r.read_bits(7).ok_or(InflateError::UnexpectedEof)?;
-                for _ in 0..n {
-                    lens.push(0);
-                }
+                lens.resize(lens.len() + n as usize, 0);
             }
             _ => return Err(InflateError::BadSymbol),
         }
@@ -131,15 +123,17 @@ fn inflate_block(
             256 => return Ok(()),
             257..=285 => {
                 let (base, extra) = LENGTH_TABLE[(sym - 257) as usize];
-                let len =
-                    base as usize + r.read_bits(extra as u32).ok_or(InflateError::UnexpectedEof)? as usize;
+                let len = base as usize
+                    + r.read_bits(extra as u32)
+                        .ok_or(InflateError::UnexpectedEof)? as usize;
                 let dsym = dist.decode(r).ok_or(InflateError::UnexpectedEof)?;
                 if dsym >= 30 {
                     return Err(InflateError::BadSymbol);
                 }
                 let (dbase, dextra) = DIST_TABLE[dsym as usize];
                 let d = dbase as usize
-                    + r.read_bits(dextra as u32).ok_or(InflateError::UnexpectedEof)? as usize;
+                    + r.read_bits(dextra as u32)
+                        .ok_or(InflateError::UnexpectedEof)? as usize;
                 if d > out.len() {
                     return Err(InflateError::BadDistance);
                 }

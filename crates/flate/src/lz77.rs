@@ -43,37 +43,38 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
         }
     };
 
-    let best_match = |head: &[u32], prev: &[u32], data: &[u8], i: usize| -> Option<(usize, usize)> {
-        if i + MIN_MATCH > data.len() {
-            return None;
-        }
-        let h = hash3(data, i);
-        let mut cand = head[h] as usize;
-        let mut best_len = MIN_MATCH - 1;
-        let mut best_dist = 0;
-        let max_len = MAX_MATCH.min(data.len() - i);
-        let mut chain = 128; // bounded chain walk
-        while cand > 0 && chain > 0 {
-            let j = cand - 1;
-            if i <= j || i - j > WINDOW {
-                break;
+    let best_match =
+        |head: &[u32], prev: &[u32], data: &[u8], i: usize| -> Option<(usize, usize)> {
+            if i + MIN_MATCH > data.len() {
+                return None;
             }
-            chain -= 1;
-            let mut l = 0;
-            while l < max_len && data[j + l] == data[i + l] {
-                l += 1;
-            }
-            if l > best_len {
-                best_len = l;
-                best_dist = i - j;
-                if l == max_len {
+            let h = hash3(data, i);
+            let mut cand = head[h] as usize;
+            let mut best_len = MIN_MATCH - 1;
+            let mut best_dist = 0;
+            let max_len = MAX_MATCH.min(data.len() - i);
+            let mut chain = 128; // bounded chain walk
+            while cand > 0 && chain > 0 {
+                let j = cand - 1;
+                if i <= j || i - j > WINDOW {
                     break;
                 }
+                chain -= 1;
+                let mut l = 0;
+                while l < max_len && data[j + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - j;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                cand = prev[j % WINDOW] as usize;
             }
-            cand = prev[j % WINDOW] as usize;
-        }
-        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
-    };
+            (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+        };
 
     let mut i = 0;
     while i < n {

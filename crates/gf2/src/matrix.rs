@@ -69,10 +69,7 @@ impl BitMatrix {
                 continue;
             }
             let cleaned: String = line.chars().filter(|c| *c == '0' || *c == '1').collect();
-            if line
-                .chars()
-                .any(|c| !"01 |_\t".contains(c))
-            {
+            if line.chars().any(|c| !"01 |_\t".contains(c)) {
                 return None;
             }
             rows.push(BitVec::from_bitstring(&cleaned)?);
@@ -231,11 +228,7 @@ impl BitMatrix {
     /// Rank over GF(2), by Gaussian elimination on a copy.
     pub fn rank(&self) -> usize {
         let (reduced, _) = self.row_echelon();
-        reduced
-            .rows
-            .iter()
-            .filter(|r| !r.is_zero())
-            .count()
+        reduced.rows.iter().filter(|r| !r.is_zero()).count()
     }
 
     /// Reduced row-echelon form and the list of pivot columns.

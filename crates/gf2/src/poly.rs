@@ -44,18 +44,44 @@ impl Gf2Poly {
         }
     }
 
-    /// Polynomial addition (XOR).
-    pub fn add(self, other: Gf2Poly) -> Gf2Poly {
+    /// `true` when the polynomial has no non-trivial factors.
+    ///
+    /// Brute-force trial division — fine for the small degrees (< 32)
+    /// used in experiments.
+    pub fn is_irreducible(&self) -> bool {
+        let Some(d) = self.degree() else { return false };
+        if d == 0 {
+            return false;
+        }
+        let mut f = 2u128; // x
+        while Gf2Poly::from_bits(f).degree().unwrap() * 2 <= d {
+            if (*self % Gf2Poly::from_bits(f)).coeffs == 0 {
+                return false;
+            }
+            f += 1;
+        }
+        true
+    }
+}
+
+/// Polynomial addition (XOR — addition in GF(2) is exclusive-or).
+impl std::ops::Add for Gf2Poly {
+    type Output = Gf2Poly;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, other: Gf2Poly) -> Gf2Poly {
         Gf2Poly {
             coeffs: self.coeffs ^ other.coeffs,
         }
     }
+}
 
-    /// Polynomial multiplication (carry-less), truncated to degree < 128.
-    ///
-    /// # Panics
-    /// Panics if the true product would overflow 128 coefficient bits.
-    pub fn mul(self, other: Gf2Poly) -> Gf2Poly {
+/// Polynomial multiplication (carry-less), truncated to degree < 128.
+///
+/// # Panics
+/// Panics if the true product would overflow 128 coefficient bits.
+impl std::ops::Mul for Gf2Poly {
+    type Output = Gf2Poly;
+    fn mul(self, other: Gf2Poly) -> Gf2Poly {
         if let (Some(da), Some(db)) = (self.degree(), other.degree()) {
             assert!(da + db < 128, "product degree overflows");
         }
@@ -71,12 +97,15 @@ impl Gf2Poly {
         }
         Gf2Poly { coeffs: acc }
     }
+}
 
-    /// Remainder of `self` modulo `modulus`.
-    ///
-    /// # Panics
-    /// Panics if `modulus` is zero.
-    pub fn rem(self, modulus: Gf2Poly) -> Gf2Poly {
+/// Remainder of `self` modulo `modulus`.
+///
+/// # Panics
+/// Panics if `modulus` is zero.
+impl std::ops::Rem for Gf2Poly {
+    type Output = Gf2Poly;
+    fn rem(self, modulus: Gf2Poly) -> Gf2Poly {
         let md = modulus.degree().expect("division by zero polynomial");
         let mut r = self.coeffs;
         while let Some(rd) = Gf2Poly::from_bits(r).degree() {
@@ -86,25 +115,6 @@ impl Gf2Poly {
             r ^= modulus.coeffs << (rd - md);
         }
         Gf2Poly { coeffs: r }
-    }
-
-    /// `true` when the polynomial has no non-trivial factors.
-    ///
-    /// Brute-force trial division — fine for the small degrees (< 32)
-    /// used in experiments.
-    pub fn is_irreducible(&self) -> bool {
-        let Some(d) = self.degree() else { return false };
-        if d == 0 {
-            return false;
-        }
-        let mut f = 2u128; // x
-        while Gf2Poly::from_bits(f).degree().unwrap() * 2 <= d {
-            if self.rem(Gf2Poly::from_bits(f)).coeffs == 0 {
-                return false;
-            }
-            f += 1;
-        }
-        true
     }
 }
 
@@ -152,7 +162,7 @@ mod tests {
     #[test]
     fn mul_by_x_shifts() {
         let p = Gf2Poly::from_bits(0b1011); // x^3 + x + 1
-        let q = p.mul(Gf2Poly::monomial(1));
+        let q = p * Gf2Poly::monomial(1);
         assert_eq!(q.bits(), 0b10110);
     }
 
@@ -167,10 +177,10 @@ mod tests {
         // (x^3 + x + 1) mod (x + 1): substitute x=1 -> 1+1+1 = 1
         let p = Gf2Poly::from_bits(0b1011);
         let m = Gf2Poly::from_bits(0b11);
-        assert_eq!(p.rem(m).bits(), 1);
+        assert_eq!((p % m).bits(), 1);
         // exact division: x^2+1 = (x+1)^2 over GF(2)
         let sq = Gf2Poly::from_bits(0b101);
-        assert_eq!(sq.rem(m).bits(), 0);
+        assert_eq!((sq % m).bits(), 0);
     }
 
     #[test]
@@ -189,14 +199,14 @@ mod tests {
         fn prop_mul_commutes(a in any::<u32>(), b in any::<u32>()) {
             let pa = Gf2Poly::from_bits(a as u128);
             let pb = Gf2Poly::from_bits(b as u128);
-            prop_assert_eq!(pa.mul(pb), pb.mul(pa));
+            prop_assert_eq!(pa * pb, pb * pa);
         }
 
         #[test]
         fn prop_rem_smaller_than_modulus(a in any::<u64>(), m in 2u32..u32::MAX) {
             let pa = Gf2Poly::from_bits(a as u128);
             let pm = Gf2Poly::from_bits(m as u128);
-            let r = pa.rem(pm);
+            let r = pa % pm;
             prop_assert!(r.degree().map_or(0, |d| d + 1) <= pm.degree().unwrap());
         }
 
@@ -205,7 +215,7 @@ mod tests {
             let (pa, pb, pc) = (Gf2Poly::from_bits(a as u128),
                                 Gf2Poly::from_bits(b as u128),
                                 Gf2Poly::from_bits(c as u128));
-            prop_assert_eq!(pa.add(pb).mul(pc), pa.mul(pc).add(pb.mul(pc)));
+            prop_assert_eq!((pa + pb) * pc, pa * pc + pb * pc);
         }
     }
 }

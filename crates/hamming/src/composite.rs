@@ -138,7 +138,9 @@ impl CompositeCode {
 
     /// `true` when every segment's syndrome is zero.
     pub fn is_valid(&self, word: &BitVec) -> bool {
-        self.check_segments(word).iter().all(|o| *o == CheckOutcome::Valid)
+        self.check_segments(word)
+            .iter()
+            .all(|o| *o == CheckOutcome::Valid)
     }
 
     /// Per-segment check outcomes for a received word.

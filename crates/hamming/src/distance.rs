@@ -57,7 +57,7 @@ pub fn has_min_distance_at_least(g: &Generator, d: usize) -> bool {
     let n = h.cols();
     let cols: Vec<u128> = (0..n).map(|j| h.col(j).to_u128()).collect();
     // d ≥ 2: no zero column
-    if cols.iter().any(|&c| c == 0) {
+    if cols.contains(&0) {
         return false;
     }
     if d == 2 {

@@ -2,8 +2,8 @@
 //! approximation table used by the synthesizer's weighted objective
 //! (§3.2, constraint (6)).
 
-use crate::Generator;
 use crate::distance::weight_distribution;
+use crate::Generator;
 
 /// Binomial coefficient `C(n, k)` in `f64` (exact for the magnitudes
 /// used here: n ≤ 256).
@@ -89,7 +89,10 @@ impl ChooseTimesPowTable {
     /// # Panics
     /// Panics if `n` or `m` exceed the table maxima.
     pub fn get(&self, n: usize, m: usize) -> f64 {
-        assert!(n <= self.max_n && m <= self.max_m, "table lookup ({n},{m}) out of range");
+        assert!(
+            n <= self.max_n && m <= self.max_m,
+            "table lookup ({n},{m}) out of range"
+        );
         self.values[n * (self.max_m + 1) + m]
     }
 
@@ -120,8 +123,7 @@ mod tests {
                 assert_eq!(binomial(n, k), binomial(n, n - k));
                 if k > 0 && n > 0 {
                     assert!(
-                        (binomial(n, k) - binomial(n - 1, k - 1) - binomial(n - 1, k)).abs()
-                            < 1e-6
+                        (binomial(n, k) - binomial(n - 1, k - 1) - binomial(n - 1, k)).abs() < 1e-6
                     );
                 }
             }

@@ -77,7 +77,9 @@ pub fn shortened_hamming(k: usize, r: usize) -> Option<Generator> {
         return None;
     }
     // ascending weight, then value — a deterministic, documented choice
-    let mut cols: Vec<u32> = (1u32..(1u32 << r)).filter(|v| v.count_ones() >= 2).collect();
+    let mut cols: Vec<u32> = (1u32..(1u32 << r))
+        .filter(|v| v.count_ones() >= 2)
+        .collect();
     cols.sort_by_key(|v| (v.count_ones(), *v));
     let mut p = BitMatrix::zeros(k, r);
     for (row, &v) in cols.iter().take(k).enumerate() {

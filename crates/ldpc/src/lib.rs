@@ -56,7 +56,7 @@ impl LdpcCode {
     /// Returns `None` on inconsistent parameters or if the resulting
     /// matrix has zero code dimension.
     pub fn gallager(n: usize, wc: usize, wr: usize, seed: u64) -> Option<LdpcCode> {
-        if n == 0 || wc == 0 || wr == 0 || (n * wc) % wr != 0 || wr > n {
+        if n == 0 || wc == 0 || wr == 0 || !(n * wc).is_multiple_of(wr) || wr > n {
             return None;
         }
         let m = n * wc / wr;

@@ -93,7 +93,9 @@ impl ReedSolomon {
             let feedback = self.field.add(d, rem[p - 1]);
             // shift up and subtract feedback · g
             for j in (1..p).rev() {
-                rem[j] = self.field.add(rem[j - 1], self.field.mul(feedback, self.gen[j]));
+                rem[j] = self
+                    .field
+                    .add(rem[j - 1], self.field.mul(feedback, self.gen[j]));
             }
             rem[0] = self.field.mul(feedback, self.gen[0]);
         }
@@ -182,10 +184,7 @@ impl ReedSolomon {
             .iter()
             .enumerate()
             .skip(1)
-            .map(|(i, &c)| if i % 2 == 1 { c } else { 0 })
-            .collect::<Vec<_>>() // coefficient of x^{i-1}
-            .iter()
-            .copied()
+            .map(|(i, &c)| if i % 2 == 1 { c } else { 0 }) // coefficient of x^{i-1}
             .collect();
         for &j in &positions {
             let x_inv = f.alpha_pow(f.order() - (j % f.order()));
@@ -303,7 +302,7 @@ mod tests {
     fn zero_data_encodes_to_zero() {
         let f = GfTables::new(4).unwrap();
         let rs = rs15_11(&f);
-        assert_eq!(rs.encode(&vec![0; 11]), vec![0; 15]);
+        assert_eq!(rs.encode(&[0; 11]), vec![0; 15]);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! - LBD-based learnt-clause database reduction,
 //! - solving under assumptions (the substrate for push/pop scopes in
 //!   `fec-smt`), with failed-assumption extraction,
-//! - conflict and wall-clock budgets (the paper's 120 s solver timeout).
+//! - conflict and wall-clock budgets (the paper's 120 s solver timeout),
+//! - optional DRAT proof logging (see [`proof`]), checked independently
+//!   by the `fec-drat` crate.
 //!
 //! # Example
 //!
@@ -33,10 +35,12 @@
 mod clause;
 mod dimacs;
 mod heap;
+pub mod proof;
 pub mod reference;
 mod solver;
 mod types;
 
 pub use dimacs::{parse_dimacs, to_dimacs};
+pub use proof::{DratTextLogger, MemoryProofLogger, ProofLogger, ProofStep, TeeProofLogger};
 pub use solver::{Budget, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};

@@ -2,6 +2,7 @@
 
 use crate::clause::{Clause, ClauseRef, Watcher};
 use crate::heap::ActivityHeap;
+use crate::proof::ProofLogger;
 use crate::types::{LBool, Lit, Var};
 use std::time::{Duration, Instant};
 
@@ -95,6 +96,8 @@ pub struct Solver {
     model: Vec<LBool>,
     // failed assumptions from the last assumption-Unsat answer
     conflict_assumptions: Vec<Lit>,
+    // DRAT proof stream receiver; None = logging off (the default)
+    proof: Option<Box<dyn ProofLogger>>,
 }
 
 impl Default for Solver {
@@ -126,6 +129,37 @@ impl Solver {
             max_learnts: 4000.0,
             model: Vec::new(),
             conflict_assumptions: Vec::new(),
+            proof: None,
+        }
+    }
+
+    /// Installs a proof logger receiving the DRAT stream of this solver.
+    ///
+    /// Must be installed on a *fresh* solver (before any `add_clause`):
+    /// clauses added earlier would be missing from the input record and
+    /// an independent checker would reject lemmas derived from them.
+    pub fn set_proof_logger(&mut self, logger: Box<dyn ProofLogger>) {
+        assert!(
+            self.clauses.is_empty() && self.trail.is_empty() && self.ok,
+            "proof logger must be installed before any clause is added"
+        );
+        self.proof = Some(logger);
+    }
+
+    /// Removes and returns the installed proof logger, if any.
+    pub fn take_proof_logger(&mut self) -> Option<Box<dyn ProofLogger>> {
+        self.proof.take()
+    }
+
+    /// `true` when a proof logger is installed.
+    pub fn has_proof_logger(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    #[inline]
+    fn log_learn(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_deref_mut() {
+            p.learn(lits);
         }
     }
 
@@ -175,6 +209,11 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        // record the clause as given, before any simplification: the
+        // proof stream doubles as the checker's input formula
+        if let Some(p) = self.proof.as_deref_mut() {
+            p.input(lits);
+        }
         // normalize: sort, dedup, drop tautologies and false-at-level-0 lits
         let mut ls: Vec<Lit> = lits.to_vec();
         ls.sort_unstable();
@@ -192,12 +231,16 @@ impl Solver {
         }
         match out.len() {
             0 => {
+                // the clause was falsified outright by level-0 units:
+                // the empty clause has reverse unit propagation
+                self.log_learn(&[]);
                 self.ok = false;
                 false
             }
             1 => {
                 self.uncheck_enqueue(out[0], INVALID_CLAUSE);
                 if self.propagate().is_some() {
+                    self.log_learn(&[]);
                     self.ok = false;
                 }
                 self.ok
@@ -500,6 +543,9 @@ impl Solver {
         for &i in learnts.iter().take(n) {
             self.clauses[i].deleted = true;
             self.stats.deleted_clauses += 1;
+            if let Some(p) = self.proof.as_deref_mut() {
+                p.delete(&self.clauses[i].lits);
+            }
         }
     }
 
@@ -577,6 +623,8 @@ impl Solver {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
+                    // conflict by unit propagation alone: refutation
+                    self.log_learn(&[]);
                     self.ok = false;
                     return SearchOutcome::Unsat;
                 }
@@ -586,6 +634,9 @@ impl Solver {
                     return SearchOutcome::Unsat;
                 }
                 let (learnt, bt_level) = self.analyze(conf);
+                self.log_learn(&learnt);
+                #[cfg(debug_assertions)]
+                self.debug_check_after_conflict(&learnt);
                 self.backtrack(bt_level);
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
@@ -593,6 +644,7 @@ impl Solver {
                     match self.lit_value(asserting) {
                         LBool::Undef => self.uncheck_enqueue(asserting, INVALID_CLAUSE),
                         LBool::False => {
+                            self.log_learn(&[]);
                             self.ok = false;
                             return SearchOutcome::Unsat;
                         }
@@ -621,7 +673,7 @@ impl Solver {
                 if conflicts_this_restart >= restart_limit {
                     return SearchOutcome::Restart;
                 }
-                if self.stats.conflicts % 64 == 0 {
+                if self.stats.conflicts.is_multiple_of(64) {
                     if let Some(t) = timeout {
                         if start.elapsed() >= t {
                             return SearchOutcome::BudgetExhausted;
@@ -656,7 +708,7 @@ impl Solver {
                     }
                 };
                 self.stats.decisions += 1;
-                if self.stats.decisions % 1024 == 0 {
+                if self.stats.decisions.is_multiple_of(1024) {
                     if let Some(t) = timeout {
                         if start.elapsed() >= t {
                             return SearchOutcome::BudgetExhausted;
@@ -673,17 +725,33 @@ impl Solver {
     /// Traces a conflict clause back to the assumptions that caused it.
     fn analyze_final_clause(&mut self, conf: ClauseRef, assumptions: &[Lit]) {
         let seed: Vec<Lit> = self.clauses[conf.0 as usize].lits.clone();
-        self.trace_to_assumptions(seed, assumptions, None);
+        self.trace_to_assumptions(seed, assumptions, Vec::new());
     }
 
     /// Handles the case where assumption `failed` is already falsified.
     fn analyze_final_lit(&mut self, failed: Lit, assumptions: &[Lit]) {
-        self.trace_to_assumptions(vec![!failed], assumptions, Some(failed));
+        let v = failed.var().index();
+        let mut preset = vec![failed];
+        let seed = if self.level[v] == 0 {
+            // contradicted by level-0 facts alone: {failed} suffices
+            Vec::new()
+        } else if self.reason[v] != INVALID_CLAUSE {
+            // ¬failed was propagated: trace the falsified literals of
+            // its reason clause back to the assumptions that set them
+            let r = self.reason[v];
+            self.clauses[r.0 as usize].lits[1..].to_vec()
+        } else {
+            // ¬failed is itself an earlier assumption (directly
+            // contradictory assumption set)
+            preset.push(!failed);
+            Vec::new()
+        };
+        self.trace_to_assumptions(seed, assumptions, preset);
     }
 
-    fn trace_to_assumptions(&mut self, seed: Vec<Lit>, assumptions: &[Lit], extra: Option<Lit>) {
+    fn trace_to_assumptions(&mut self, seed: Vec<Lit>, assumptions: &[Lit], preset: Vec<Lit>) {
         let set: std::collections::HashSet<Lit> = assumptions.iter().copied().collect();
-        let mut out: Vec<Lit> = extra.into_iter().collect();
+        let mut out: Vec<Lit> = preset;
         let mut seen = vec![false; self.num_vars()];
         let mut stack = seed;
         while let Some(l) = stack.pop() {
@@ -702,6 +770,117 @@ impl Solver {
             }
         }
         self.conflict_assumptions = out;
+    }
+
+    /// Exhaustive internal consistency check; panics on the first
+    /// violation. Verifies:
+    ///
+    /// - trail/assignment agreement: exactly the trail literals are
+    ///   assigned, all true, at plausible levels, with well-formed
+    ///   reasons (a reason clause's slot 0 is the literal it implied);
+    /// - watched-literal integrity: every live clause of length ≥ 2 is
+    ///   watched on exactly its first two literals, each watcher's
+    ///   blocker is a literal of its clause, and no live clause has
+    ///   stray watcher entries.
+    ///
+    /// Runs in O(clauses + watchers); debug builds invoke it on a
+    /// sample of conflicts (see `debug_check_after_conflict`), tests
+    /// and external tools may call it at any point outside `propagate`.
+    pub fn check_invariants(&self) {
+        // --- trail / assignment agreement ---
+        let assigned = self.assigns.iter().filter(|&&a| a != LBool::Undef).count();
+        assert_eq!(
+            assigned,
+            self.trail.len(),
+            "assigned variable count disagrees with trail length"
+        );
+        assert!(self.qhead <= self.trail.len(), "qhead beyond trail end");
+        for (i, &l) in self.trail.iter().enumerate() {
+            assert_eq!(
+                self.lit_value(l),
+                LBool::True,
+                "trail[{i}] = {l:?} is not assigned true"
+            );
+            let v = l.var().index();
+            assert!(
+                self.level[v] <= self.decision_level(),
+                "trail[{i}] = {l:?} has level {} above decision level {}",
+                self.level[v],
+                self.decision_level()
+            );
+            let r = self.reason[v];
+            if r != INVALID_CLAUSE {
+                let c = &self.clauses[r.0 as usize];
+                assert!(!c.deleted, "reason clause of {l:?} is deleted");
+                assert_eq!(
+                    c.lits[0], l,
+                    "reason clause of {l:?} does not have it in slot 0"
+                );
+            }
+        }
+        for (i, &lim) in self.trail_lim.iter().enumerate() {
+            assert!(lim <= self.trail.len(), "trail_lim[{i}] beyond trail");
+            if i > 0 {
+                assert!(
+                    self.trail_lim[i - 1] <= lim,
+                    "trail_lim not monotonically non-decreasing at {i}"
+                );
+            }
+        }
+        // --- watched-literal integrity ---
+        let mut watch_count = vec![0u32; self.clauses.len()];
+        for (wi, ws) in self.watches.iter().enumerate() {
+            // watches[l.index()] fires when l becomes true, i.e. holds
+            // the clauses currently watching ¬l
+            let watched = !Lit(wi as u32);
+            for w in ws {
+                let c = &self.clauses[w.cref.0 as usize];
+                if c.deleted {
+                    continue; // stale entries of tombstones are dropped lazily
+                }
+                watch_count[w.cref.0 as usize] += 1;
+                assert!(
+                    c.lits[0] == watched || c.lits[1] == watched,
+                    "clause {:?} watched on {watched:?}, not one of its first two literals",
+                    c.lits
+                );
+                assert!(
+                    c.lits.contains(&w.blocker),
+                    "watcher blocker {:?} not in clause {:?}",
+                    w.blocker,
+                    c.lits
+                );
+            }
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.deleted {
+                assert_eq!(
+                    watch_count[i], 2,
+                    "clause {:?} has {} watcher entries, expected 2",
+                    c.lits, watch_count[i]
+                );
+            }
+        }
+    }
+
+    /// Debug-build hook run after every conflict analysis: the learnt
+    /// clause must not repeat a variable, and on a sample of conflicts
+    /// the full invariant sweep runs (every conflict would make debug
+    /// runs quadratic in the clause database).
+    #[cfg(debug_assertions)]
+    fn debug_check_after_conflict(&self, learnt: &[Lit]) {
+        let mut vars: Vec<Var> = learnt.iter().map(|l| l.var()).collect();
+        vars.sort_unstable();
+        let n = vars.len();
+        vars.dedup();
+        assert_eq!(
+            n,
+            vars.len(),
+            "learned clause repeats a variable: {learnt:?}"
+        );
+        if self.stats.conflicts % 4096 == 1 {
+            self.check_invariants();
+        }
     }
 }
 
@@ -920,6 +1099,81 @@ mod tests {
                 "model violates clause {c:?}"
             );
         }
+    }
+
+    #[test]
+    fn invariants_hold_through_search() {
+        // exercise conflicts, backtracking and DB growth, sweeping the
+        // invariants at interesting points (debug builds also sample
+        // them after conflicts automatically)
+        let mut s = pigeonhole(5, 4);
+        s.check_invariants();
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        s.check_invariants();
+
+        let mut s = pigeonhole(4, 4);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn invariants_hold_incrementally_with_assumptions() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2, 3]);
+        add(&mut s, &[-1, -2]);
+        let a = Lit::pos(Var::from_index(0));
+        assert_eq!(s.solve(&[a]), SolveResult::Sat);
+        s.check_invariants();
+        add(&mut s, &[-1, -3]);
+        add(&mut s, &[-1, 2, 3]); // with 1 assumed: ¬2, ¬3, but 2 ∨ 3 required
+        assert_eq!(
+            s.solve(&[a, Lit::neg(Var::from_index(1))]),
+            SolveResult::Unsat
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn proof_stream_records_inputs_and_refutation() {
+        use crate::proof::{MemoryProofLogger, ProofStep};
+        let log = MemoryProofLogger::new();
+        let mut s = Solver::new();
+        s.set_proof_logger(Box::new(log.clone()));
+        add(&mut s, &[1, 2]);
+        add(&mut s, &[-1, 2]);
+        add(&mut s, &[1, -2]);
+        add(&mut s, &[-1, -2]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let steps = log.take_steps();
+        let inputs = steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Input(_)))
+            .count();
+        assert_eq!(inputs, 4, "every add_clause call is recorded");
+        assert!(
+            steps.iter().any(|s| matches!(s, ProofStep::Learn(_))),
+            "an unsat run derives at least one lemma"
+        );
+        assert_eq!(
+            steps.last(),
+            Some(&ProofStep::Learn(Vec::new())),
+            "the stream ends with the empty clause"
+        );
+    }
+
+    #[test]
+    fn proof_logging_off_by_default() {
+        let s = Solver::new();
+        assert!(!s.has_proof_logger());
+    }
+
+    #[test]
+    #[should_panic(expected = "before any clause is added")]
+    fn proof_logger_rejected_after_clauses() {
+        use crate::proof::MemoryProofLogger;
+        let mut s = Solver::new();
+        add(&mut s, &[1]);
+        s.set_proof_logger(Box::new(MemoryProofLogger::new()));
     }
 
     #[test]

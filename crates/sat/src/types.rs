@@ -85,7 +85,12 @@ impl fmt::Debug for Var {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}v{}", if self.is_pos() { "" } else { "¬" }, self.0 >> 1)
+        write!(
+            f,
+            "{}v{}",
+            if self.is_pos() { "" } else { "¬" },
+            self.0 >> 1
+        )
     }
 }
 

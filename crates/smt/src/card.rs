@@ -292,12 +292,7 @@ mod tests {
 
     #[test]
     fn exactly_one_exhaustive() {
-        check_card(
-            4,
-            0,
-            |s, xs, _| s.exactly_one(xs),
-            |count, _| count == 1,
-        );
+        check_card(4, 0, |s, xs, _| s.exactly_one(xs), |count, _| count == 1);
     }
 
     #[test]
@@ -316,7 +311,10 @@ mod tests {
             assert_eq!(value, 3, "encoding {enc:?}");
             // monotone: after the first false, all false
             let vals: Vec<bool> = reg.iter().map(|&r| s.model_lit(r)).collect();
-            assert!(vals.windows(2).all(|w| w[0] || !w[1]), "register not unary: {vals:?}");
+            assert!(
+                vals.windows(2).all(|w| w[0] || !w[1]),
+                "register not unary: {vals:?}"
+            );
         }
     }
 

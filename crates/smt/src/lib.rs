@@ -39,6 +39,6 @@ mod solver;
 
 pub use card::CardEncoding;
 pub use int::UnaryInt;
-pub use solver::{SmtResult, SmtSolver};
+pub use solver::{CertificateStats, SmtResult, SmtSolver};
 
 pub use fec_sat::{Budget, Lit, Var};

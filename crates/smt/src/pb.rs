@@ -47,7 +47,11 @@ impl SmtSolver {
     ///
     /// Returns the true literal when the bound is vacuous.
     pub fn weighted_le_reified(&mut self, lits: &[Lit], weights: &[u64], bound: u64) -> Lit {
-        assert_eq!(lits.len(), weights.len(), "weighted_le_reified: length mismatch");
+        assert_eq!(
+            lits.len(),
+            weights.len(),
+            "weighted_le_reified: length mismatch"
+        );
         let items: Vec<(Lit, u64)> = lits
             .iter()
             .copied()
@@ -202,7 +206,11 @@ mod tests {
         let weights: Vec<u64> = (0..16).map(|i| 1_000_000 + (i % 3) as u64).collect();
         let xs: Vec<Lit> = weights.iter().map(|_| s.fresh_lit()).collect();
         s.weighted_le(&xs, &weights, 8_000_010);
-        assert!(s.num_vars() < 2_000, "PB encoding exploded: {}", s.num_vars());
+        assert!(
+            s.num_vars() < 2_000,
+            "PB encoding exploded: {}",
+            s.num_vars()
+        );
         // 8 items of ~1M fit, 9 do not
         for x in xs.iter().take(8) {
             s.add_clause(&[*x]);

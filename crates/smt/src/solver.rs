@@ -1,6 +1,9 @@
 //! The incremental solver shell: scopes, fresh variables, budgets.
 
-use fec_sat::{Budget, Lit, SolveResult, Solver};
+use fec_drat::Checker;
+use fec_sat::{
+    Budget, DratTextLogger, Lit, MemoryProofLogger, SolveResult, Solver, TeeProofLogger,
+};
 
 /// Outcome of an [`SmtSolver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -26,6 +29,26 @@ pub struct SmtSolver {
     sat: Solver,
     guards: Vec<Lit>,
     true_lit: Option<Lit>,
+    cert: Option<Certifier>,
+}
+
+/// Independent certification state: the solver's proof stream is
+/// replayed through the `fec-drat` RUP checker after every query.
+struct Certifier {
+    log: MemoryProofLogger,
+    checker: Checker,
+    stats: CertificateStats,
+}
+
+/// Counters from certification mode (see [`SmtSolver::new_certifying`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CertificateStats {
+    /// Lemmas accepted by the RUP checker across all queries.
+    pub lemmas_checked: u64,
+    /// Satisfying assignments replayed against all input clauses.
+    pub models_validated: u64,
+    /// Unsat answers certified (refutation or failed-assumption RUP).
+    pub unsat_certified: u64,
 }
 
 impl Default for SmtSolver {
@@ -41,6 +64,101 @@ impl SmtSolver {
             sat: Solver::new(),
             guards: Vec::new(),
             true_lit: None,
+            cert: None,
+        }
+    }
+
+    /// An empty solver in certification mode: every clause the SAT core
+    /// learns is validated by reverse unit propagation in the
+    /// independent `fec-drat` checker, every satisfying assignment is
+    /// replayed against all input clauses, and every unsatisfiable
+    /// answer must come with a checkable refutation (or, under
+    /// assumptions, a failed-assumption clause derivable by RUP).
+    ///
+    /// A certification failure **panics** with a diagnostic naming the
+    /// first rejected lemma: the solver and the checker disagreeing
+    /// means one of them is wrong, and no downstream result can be
+    /// trusted.
+    pub fn new_certifying() -> SmtSolver {
+        let log = MemoryProofLogger::new();
+        let mut sat = Solver::new();
+        sat.set_proof_logger(Box::new(log.clone()));
+        Self::with_certifier(sat, log)
+    }
+
+    /// Like [`SmtSolver::new_certifying`], but additionally streams the
+    /// proof to `sink` in standard DRAT text format (learned clauses as
+    /// `lits 0`, deletions as `d lits 0`, input clauses as `c i lits 0`
+    /// comments) so it can be cross-checked by an external tool such as
+    /// `drat-trim`.
+    pub fn new_certifying_with_drat(sink: Box<dyn std::io::Write>) -> SmtSolver {
+        let log = MemoryProofLogger::new();
+        let mut sat = Solver::new();
+        sat.set_proof_logger(Box::new(TeeProofLogger(
+            log.clone(),
+            DratTextLogger::new(sink),
+        )));
+        Self::with_certifier(sat, log)
+    }
+
+    fn with_certifier(sat: Solver, log: MemoryProofLogger) -> SmtSolver {
+        SmtSolver {
+            sat,
+            guards: Vec::new(),
+            true_lit: None,
+            cert: Some(Certifier {
+                log,
+                checker: Checker::new(),
+                stats: CertificateStats::default(),
+            }),
+        }
+    }
+
+    /// `true` when this solver certifies its answers.
+    pub fn is_certifying(&self) -> bool {
+        self.cert.is_some()
+    }
+
+    /// Certification counters; `None` unless built with
+    /// [`SmtSolver::new_certifying`].
+    pub fn certificate_stats(&self) -> Option<CertificateStats> {
+        self.cert.as_ref().map(|c| c.stats)
+    }
+
+    /// Replays the proof stream produced since the last call through
+    /// the independent checker, then certifies the verdict itself.
+    fn certify(&mut self, verdict: SolveResult, assumptions: &[Lit]) {
+        let Some(cert) = self.cert.as_mut() else {
+            return;
+        };
+        let steps = cert.log.take_steps();
+        let before = cert.checker.lemmas_accepted();
+        if let Err(e) = cert.checker.process_all(&steps) {
+            panic!("certification failed: {e} (verdict {verdict:?})");
+        }
+        cert.stats.lemmas_checked += (cert.checker.lemmas_accepted() - before) as u64;
+        match verdict {
+            SolveResult::Sat => {
+                let sat = &self.sat;
+                if let Err(e) = cert.checker.validate_model(|v| sat.value(v), assumptions) {
+                    panic!("model validation failed: {e}");
+                }
+                cert.stats.models_validated += 1;
+            }
+            SolveResult::Unsat => {
+                // either the stream refuted the formula outright, or
+                // the failed-assumption clause ¬a₁ ∨ … ∨ ¬aₖ is RUP
+                // over inputs + accepted lemmas
+                let negated: Vec<Lit> = self.sat.failed_assumptions().iter().map(|&a| !a).collect();
+                if !cert.checker.is_refuted() && !cert.checker.is_rup(&negated) {
+                    panic!(
+                        "unsat certification failed: failed-assumption clause \
+                         {negated:?} is not RUP and the formula is not refuted"
+                    );
+                }
+                cert.stats.unsat_certified += 1;
+            }
+            SolveResult::Unknown => {}
         }
     }
 
@@ -139,7 +257,9 @@ impl SmtSolver {
     pub fn solve_with_budget(&mut self, extra: &[Lit], budget: Budget) -> SmtResult {
         let mut assumptions = self.guards.clone();
         assumptions.extend_from_slice(extra);
-        match self.sat.solve_with_budget(&assumptions, budget) {
+        let verdict = self.sat.solve_with_budget(&assumptions, budget);
+        self.certify(verdict, &assumptions);
+        match verdict {
             SolveResult::Sat => SmtResult::Sat,
             SolveResult::Unsat => SmtResult::Unsat,
             SolveResult::Unknown => SmtResult::Unknown,
@@ -244,5 +364,46 @@ mod tests {
     #[should_panic(expected = "pop without matching push")]
     fn pop_without_push_panics() {
         SmtSolver::new().pop();
+    }
+
+    #[test]
+    fn certifying_solver_matches_plain_solver() {
+        // the full scope/assumption workout, now with every answer
+        // independently certified
+        let mut s = SmtSolver::new_certifying();
+        assert!(s.is_certifying());
+        let x = s.fresh_lit();
+        s.add_clause(&[x]);
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        s.push();
+        s.add_clause(&[!x]);
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert!(s.model_lit(x));
+        let stats = s.certificate_stats().unwrap();
+        assert_eq!(stats.models_validated, 2);
+        assert_eq!(stats.unsat_certified, 1);
+    }
+
+    #[test]
+    fn certifying_solver_handles_cardinality_workout() {
+        let mut s = SmtSolver::new_certifying();
+        let xs: Vec<Lit> = (0..6).map(|_| s.fresh_lit()).collect();
+        s.at_most_k(&xs, 2);
+        s.at_least_k(&xs, 1);
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert_eq!(s.solve(&[xs[0], xs[1], xs[2]]), SmtResult::Unsat);
+        s.push();
+        for x in &xs[..3] {
+            s.add_clause(&[*x]);
+        }
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        let stats = s.certificate_stats().unwrap();
+        assert_eq!(stats.models_validated, 2);
+        assert_eq!(stats.unsat_certified, 2);
+        assert_eq!(SmtSolver::new().certificate_stats(), None);
     }
 }

@@ -69,9 +69,7 @@ fn main() {
             // per-block correction
             let mut frame_bad = false;
             for (r, clean) in blocks.iter().enumerate() {
-                let mut w = received.slice(
-                    r * code.codeword_len()..(r + 1) * code.codeword_len(),
-                );
+                let mut w = received.slice(r * code.codeword_len()..(r + 1) * code.codeword_len());
                 if let CheckOutcome::SingleError { position } = code.check(&w) {
                     w.flip(position);
                 }

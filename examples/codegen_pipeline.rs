@@ -9,16 +9,15 @@
 //! ```
 
 use fec_workbench::codegen::{emit_c, emit_rust, MaskKernel, SparseKernel};
-use fec_workbench::synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_workbench::synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_workbench::synth::spec::parse_property;
 use std::time::Instant;
 
 fn main() {
     // synthesize with the len_1-minimization objective
-    let prop = parse_property(
-        "len_d(G0) = 16 && len_c(G0) = 8 && md(G0) = 3 && minimal(len_1(G0))",
-    )
-    .unwrap();
+    let prop =
+        parse_property("len_d(G0) = 16 && len_c(G0) = 8 && md(G0) = 3 && minimal(len_1(G0))")
+            .unwrap();
     let result = Synthesizer::new(SynthesisConfig::default())
         .run(&prop)
         .expect("synthesis");

@@ -44,8 +44,8 @@ fn main() {
         bit_error_rate: 0.1,
         initial_bound: 1000.0,
     };
-    let synthesized = synthesize_weighted(&problem, &SynthesisConfig::default())
-        .expect("weighted synthesis");
+    let synthesized =
+        synthesize_weighted(&problem, &SynthesisConfig::default()).expect("weighted synthesis");
     let strong_bits = synthesized.map.iter().filter(|&&g| g == 0).count();
     println!(
         "synthesizer chose: strong md-3 code on the top {strong_bits} bits, \

@@ -6,7 +6,7 @@
 
 use fec_workbench::gf2::BitVec;
 use fec_workbench::hamming::CheckOutcome;
-use fec_workbench::synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_workbench::synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_workbench::synth::spec::parse_property;
 
 fn main() {

@@ -39,7 +39,11 @@ fn main() {
     let blocks: Vec<BitVec> = (0..bits.len() / 120)
         .map(|i| bits.slice(i * 120..(i + 1) * 120))
         .collect();
-    println!("frame: {} bytes → {} blocks of 120 bits", payload.len(), blocks.len());
+    println!(
+        "frame: {} bytes → {} blocks of 120 bits",
+        payload.len(),
+        blocks.len()
+    );
 
     let mut repaired_blocks = Vec::new();
     for (i, block) in blocks.iter().enumerate() {

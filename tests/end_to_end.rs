@@ -6,7 +6,7 @@ use fec_workbench::channel::experiment::robustness_trial;
 use fec_workbench::gf2::BitVec;
 use fec_workbench::hamming::{distance, standards, CompositeCode};
 use fec_workbench::smt::Budget;
-use fec_workbench::synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_workbench::synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_workbench::synth::spec::{parse_property, EvalContext};
 use fec_workbench::synth::verify::{verify_props, VerifyOutcome};
 use std::time::Duration;
@@ -40,8 +40,7 @@ fn synthesized_code_passes_independent_verification() {
 
 #[test]
 fn synthesized_code_behaves_on_the_channel() {
-    let prop =
-        parse_property("len_d(G0) = 8 && len_c(G0) = 4 && md(G0) = 3").unwrap();
+    let prop = parse_property("len_d(G0) = 8 && len_c(G0) = 4 && md(G0) = 3").unwrap();
     let g = Synthesizer::new(config()).run(&prop).unwrap().generators[0].clone();
     let report = robustness_trial(&g, 3, 0.05, 100_000, 42, 4);
     // md-3: detected ≫ undetected, and no undetected error below 3 flips
@@ -56,8 +55,8 @@ fn composite_of_synthesized_generators_round_trips() {
         .unwrap()
         .generators
         .remove(0);
-    let code = CompositeCode::contiguous_msb_first(vec![strong, standards::parity_code(8)])
-        .unwrap();
+    let code =
+        CompositeCode::contiguous_msb_first(vec![strong, standards::parity_code(8)]).unwrap();
     assert_eq!(code.data_len(), 16);
     for value in [0u16, 1, 0xFFFF, 0xA5A5, 0x1234] {
         let data = BitVec::from_u128(value as u128, 16);
@@ -99,7 +98,11 @@ fn gzip_round_trips_serialized_generator_families() {
     let mut bits = Vec::new();
     for col in 0..g.check_len() {
         for row in 0..g.data_len() {
-            bits.push(if g.coefficients().get(row, col) { b'1' } else { b'0' });
+            bits.push(if g.coefficients().get(row, col) {
+                b'1'
+            } else {
+                b'0'
+            });
         }
     }
     let gz = fec_workbench::flate::gzip_compress(&bits);

@@ -4,12 +4,10 @@
 //! `crates/bench/src/bin/`.
 
 use fec_workbench::channel::experiment::{float32_trial, robustness_trial};
-use fec_workbench::channel::floatbits::{
-    bit_error_profile, PAPER_FLOAT32_UPPER_WEIGHTS_MSB_FIRST,
-};
+use fec_workbench::channel::floatbits::{bit_error_profile, PAPER_FLOAT32_UPPER_WEIGHTS_MSB_FIRST};
 use fec_workbench::hamming::{distance, standards, CompositeCode};
 use fec_workbench::smt::Budget;
-use fec_workbench::synth::cegis::{Synthesizer, SynthesisConfig};
+use fec_workbench::synth::cegis::{SynthesisConfig, Synthesizer};
 use fec_workbench::synth::spec::parse_property;
 use fec_workbench::synth::verify::{verify_min_distance_exact, VerifyOutcome};
 use fec_workbench::synth::weights::{synthesize_weighted, WeightedGenSpec, WeightedProblem};
@@ -94,7 +92,11 @@ fn fig4_shape() {
             trials,
         );
         let rel = (r.at_least_md_flips as f64 - theory).abs() / theory.max(1.0);
-        assert!(rel < 0.25, "md={m}: observed {} vs theory {theory}", r.at_least_md_flips);
+        assert!(
+            rel < 0.25,
+            "md={m}: observed {} vs theory {theory}",
+            r.at_least_md_flips
+        );
     }
 }
 
@@ -179,12 +181,18 @@ fn sec43_weighted_synthesis() {
 #[test]
 fn fig5_shape() {
     let dense = Synthesizer::new(config())
-        .run(&parse_property("len_d(G0) = 32 && len_c(G0) = 17 && md(G0) = 3 && len_1(G0) = 180").unwrap())
+        .run(
+            &parse_property("len_d(G0) = 32 && len_c(G0) = 17 && md(G0) = 3 && len_1(G0) = 180")
+                .unwrap(),
+        )
         .unwrap()
         .generators
         .remove(0);
     let sparse = Synthesizer::new(config())
-        .run(&parse_property("len_d(G0) = 32 && len_c(G0) = 17 && md(G0) = 3 && minimal(len_1(G0))").unwrap())
+        .run(
+            &parse_property("len_d(G0) = 32 && len_c(G0) = 17 && md(G0) = 3 && minimal(len_1(G0))")
+                .unwrap(),
+        )
         .unwrap()
         .generators
         .remove(0);
@@ -205,18 +213,28 @@ fn fig6_shape() {
         let mut out = Vec::new();
         for col in 0..g.check_len() {
             for row in 0..g.data_len() {
-                out.push(if g.coefficients().get(row, col) { b'1' } else { b'0' });
+                out.push(if g.coefficients().get(row, col) {
+                    b'1'
+                } else {
+                    b'0'
+                });
             }
         }
         out
     };
     let dense = Synthesizer::new(config())
-        .run(&parse_property("len_d(G0) = 32 && len_c(G0) = 17 && md(G0) = 3 && len_1(G0) = 200").unwrap())
+        .run(
+            &parse_property("len_d(G0) = 32 && len_c(G0) = 17 && md(G0) = 3 && len_1(G0) = 200")
+                .unwrap(),
+        )
         .unwrap()
         .generators
         .remove(0);
     let sparse = Synthesizer::new(config())
-        .run(&parse_property("len_d(G0) = 32 && len_c(G0) = 17 && md(G0) = 3 && len_1(G0) = 72").unwrap())
+        .run(
+            &parse_property("len_d(G0) = 32 && len_c(G0) = 17 && md(G0) = 3 && len_1(G0) = 72")
+                .unwrap(),
+        )
         .unwrap()
         .generators
         .remove(0);

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API this workspace's benches
+//! use — `Criterion`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!`
+//! — with a simple median-of-samples wall-clock measurement printed to
+//! stdout. No plots, no statistics beyond median/min/max.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up is accepted for API compatibility and ignored.
+    pub fn warm_up_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.as_str());
+        group.bench_with_input(BenchmarkId::new(name.as_str(), ""), &(), |b, ()| f(b));
+        group.finish();
+    }
+}
+
+/// Identifier of one benchmark within a group: function name plus a
+/// parameter rendering.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+            param: param.to_string(),
+        }
+    }
+}
+
+/// Work-per-iteration declaration used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the amount of work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        let label = if id.param.is_empty() {
+            format!("{}/{}", self.name, id.name)
+        } else {
+            format!("{}/{}/{}", self.name, id.name, id.param)
+        };
+        bencher.report(&label, self.throughput);
+    }
+
+    /// Runs one unparameterized benchmark.
+    pub fn bench_function(&mut self, name: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        self.bench_with_input(BenchmarkId::new(name, ""), &(), |b, ()| f(b));
+    }
+
+    /// Ends the group (separator line in the report).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to `sample_size` samples or until the
+    /// measurement-time budget is spent (always at least one sample).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // one untimed warm-up iteration
+        black_box(f());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) if median > Duration::ZERO => {
+                let mbps = b as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  {mbps:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(e)) if median > Duration::ZERO => {
+                let eps = e as f64 / median.as_secs_f64();
+                format!("  {eps:>10.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{label:<50} median {:>12?}  (min {:?}, max {:?}, n={}){rate}",
+            median,
+            min,
+            max,
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function. Supports both the
+/// `name/config/targets` form and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(runs >= 2, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn bench_function_form() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

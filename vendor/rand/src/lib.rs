@@ -1,0 +1,176 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the tiny subset of the `rand` API it actually uses: the [`Rng`] core
+//! trait, the [`RngExt`] extension providing `random::<T>()`, the
+//! [`SeedableRng`] constructor trait, and a deterministic
+//! [`rngs::SmallRng`] (xoroshiro128++). All simulation code in this
+//! repository seeds its generators explicitly, so determinism is a
+//! feature, not a limitation.
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly from an [`Rng`] (the `Standard`
+/// distribution of the real crate).
+pub trait Standard: Sized {
+    /// Draws a uniform sample.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniform sample of `T` (integers: full range; floats: `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+
+    /// Uniform sample in `[lo, hi)`; panics if the range is empty.
+    fn random_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Constructing a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Expands a 64-bit seed into the full generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoroshiro128++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s0 = splitmix64(&mut state);
+            let s1 = splitmix64(&mut state);
+            SmallRng { s0, s1 }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let (s0, mut s1) = (self.s0, self.s1);
+            let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+            s1 ^= s0;
+            self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+            self.s1 = s1.rotate_left(28);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| r.random::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}
