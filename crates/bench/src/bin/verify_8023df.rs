@@ -6,26 +6,42 @@
 //! hardware; the verdicts are what is reproduced.
 //!
 //! ```text
-//! cargo run -p fec-bench --release --bin verify_8023df [-- --check-proofs]
+//! cargo run -p fec-bench --release --bin verify_8023df [-- --check-proofs] [-- --jobs N]
 //! ```
 //!
 //! With `--check-proofs`, every UNSAT answer is certified by the
 //! independent `fec-drat` RUP checker and every SAT model is replayed
 //! against the input clauses; the run aborts on any discrepancy.
+//! With `--jobs N`, every query races N diversified portfolio workers
+//! (certification then applies to the winning worker's proof).
 
 use fec_hamming::standards;
 use fec_smt::Budget;
 use fec_synth::verify::{verify_min_distance_exact_with, VerifyOptions, VerifyOutcome};
 
 fn main() {
-    let check_proofs = std::env::args().any(|a| a == "--check-proofs");
+    let args: Vec<String> = std::env::args().collect();
+    let check_proofs = args.iter().any(|a| a == "--check-proofs");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--jobs=").map(|_| a))
+        })
+        .map(|a| a.trim_start_matches("--jobs="))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
     let opts = VerifyOptions {
         budget: Budget::unlimited(),
         check_certificates: check_proofs,
+        jobs,
     };
     let g = standards::ieee_8023df_128_120();
     println!(
-        "verifying the (128,120) inner Hamming code (k={}, c={}, {} coefficient ones){}",
+        "verifying the (128,120) inner Hamming code (k={}, c={}, {} coefficient ones){}{}",
         g.data_len(),
         g.check_len(),
         g.coefficient_ones(),
@@ -33,6 +49,11 @@ fn main() {
             " with proof checking"
         } else {
             ""
+        },
+        if jobs > 1 {
+            format!(", {jobs}-worker portfolio")
+        } else {
+            String::new()
         }
     );
 
@@ -47,6 +68,7 @@ fn main() {
     if check_proofs {
         print_certificates(&stats);
     }
+    print_portfolio(&stats);
     assert_eq!(outcome, VerifyOutcome::Holds, "the code must have md 3");
 
     let (outcome, stats) = verify_min_distance_exact_with(&g, 4, opts);
@@ -60,6 +82,7 @@ fn main() {
     if check_proofs {
         print_certificates(&stats);
     }
+    print_portfolio(&stats);
     assert!(
         matches!(outcome, VerifyOutcome::Fails { .. }),
         "the negated property must fail"
@@ -82,6 +105,19 @@ fn print_certificates(stats: &fec_synth::verify::VerifyStats) {
         "  certificates: {} lemmas RUP-checked, {} models validated, {} UNSAT answers certified",
         stats.lemmas_checked, stats.models_validated, stats.unsat_certified
     );
+}
+
+fn print_portfolio(stats: &fec_synth::verify::VerifyStats) {
+    for (qi, p) in stats.portfolio.iter().enumerate() {
+        let winner = p
+            .winner
+            .map_or("none".to_string(), |w| format!("worker {w}"));
+        println!(
+            "  portfolio query {qi}: {} workers, winner {winner}, per-worker conflicts {:?}, \
+             {} exported / {} imported clauses",
+            p.workers, p.per_worker_conflicts, p.exported, p.imported
+        );
+    }
 }
 
 fn verdict(o: &VerifyOutcome) -> &'static str {

@@ -17,8 +17,8 @@ pub const USAGE: &str = "\
 fecsynth — synthesize, verify, and export Hamming FEC generators
 
 USAGE:
-    fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs]
-    fecsynth verify \"<property>\" --coeff <rows> [--check-proofs]
+    fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs] [--jobs=N]
+    fecsynth verify \"<property>\" --coeff <rows> [--check-proofs] [--jobs=N]
                     (rows like 101/110/111/011)
     fecsynth info   --coeff <rows>
     fecsynth emit   --coeff <rows> [--lang=c|rust]
@@ -28,6 +28,10 @@ USAGE:
                     re-checked as a DRAT proof by the independent
                     fec-drat RUP checker and SAT models are replayed
                     against the input clauses (aborts on discrepancy)
+    --jobs=N        race every solver query across N diversified CDCL
+                    workers sharing low-LBD learned clauses (parallel
+                    portfolio; composes with --check-proofs — the
+                    winning worker's proof is certified)
 
 PROPERTY LANGUAGE (paper Fig. 3 + corr extension):
     len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4
@@ -79,6 +83,13 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     None
 }
 
+fn parse_jobs(args: &[String]) -> usize {
+    flag_value(args, "jobs")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 fn parse_coeff(args: &[String]) -> Result<Generator, String> {
     let rows = flag_value(args, "coeff").ok_or("missing --coeff <rows>")?;
     let text = rows.replace('/', "\n");
@@ -103,6 +114,7 @@ fn cmd_synth(args: &[String], out: &mut String) -> i32 {
     let config = SynthesisConfig {
         timeout: Duration::from_secs(timeout),
         check_certificates: has_flag(args, "check-proofs"),
+        jobs: parse_jobs(args),
         ..Default::default()
     };
     match Synthesizer::new(config).run(&prop) {
@@ -153,6 +165,7 @@ fn cmd_verify(args: &[String], out: &mut String) -> i32 {
     let opts = VerifyOptions {
         budget: Budget::unlimited(),
         check_certificates: has_flag(args, "check-proofs"),
+        jobs: parse_jobs(args),
     };
     let (outcome, stats) = verify_props_with(&[g], &prop, opts);
     if opts.check_certificates {
@@ -160,6 +173,23 @@ fn cmd_verify(args: &[String], out: &mut String) -> i32 {
             "certificates: {} lemmas RUP-checked, {} models validated, {} UNSAT answers certified\n",
             stats.lemmas_checked, stats.models_validated, stats.unsat_certified
         ));
+    }
+    if opts.jobs > 1 {
+        let queries = stats.portfolio.len();
+        let shared: u64 = stats.portfolio.iter().map(|p| p.imported).sum();
+        out.push_str(&format!(
+            "portfolio: {} workers × {queries} queries, {} total conflicts, {shared} clauses imported\n",
+            opts.jobs, stats.conflicts
+        ));
+        for (qi, p) in stats.portfolio.iter().enumerate() {
+            let winner = p
+                .winner
+                .map_or("none".to_string(), |w| format!("worker {w}"));
+            out.push_str(&format!(
+                "  query {qi}: winner {winner}, per-worker conflicts {:?}\n",
+                p.per_worker_conflicts
+            ));
+        }
     }
     match outcome {
         VerifyOutcome::Holds => {
@@ -347,6 +377,39 @@ mod tests {
             "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
             "--timeout=30",
             "--check-proofs",
+        ]));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("(7, 4) code"), "{out}");
+    }
+
+    #[test]
+    fn verify_with_jobs_portfolio() {
+        let coeff = "101/110/111/011";
+        let (code, out) = run(&argv(&[
+            "verify",
+            "md(G0) = 3",
+            "--coeff",
+            coeff,
+            "--jobs=4",
+            "--check-proofs",
+        ]));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("portfolio: 4 workers"), "{out}");
+        assert!(out.contains("winner worker"), "{out}");
+        assert!(out.contains("certificates:"), "{out}");
+        // single mode prints no portfolio summary
+        let (_, out) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
+        assert!(!out.contains("portfolio:"), "{out}");
+    }
+
+    #[test]
+    fn synth_with_jobs_portfolio() {
+        let (code, out) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
+            "--timeout=30",
+            "--jobs=2",
         ]));
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("(7, 4) code"), "{out}");

@@ -21,7 +21,7 @@ use crate::encode::{CexMode, SymbolicGenerator};
 use crate::spec::{CmpOp, Expr, GenFn, Prop};
 use fec_gf2::BitVec;
 use fec_hamming::Generator;
-use fec_smt::{Budget, CardEncoding, Lit, SmtResult, SmtSolver};
+use fec_smt::{Budget, CardEncoding, Lit, PortfolioConfig, SmtResult, SmtSolver, SolveBackend};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,10 @@ pub struct SynthesisConfig {
     /// certificate. A disagreement panics — see
     /// [`fec_smt::SmtSolver::new_certifying`].
     pub check_certificates: bool,
+    /// Number of portfolio workers racing each solver query; `1` (the
+    /// default) keeps the fully incremental single solvers (the CLI's
+    /// `--jobs N`).
+    pub jobs: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -59,6 +63,7 @@ impl Default for SynthesisConfig {
             default_max_check: 14,
             persist_counterexamples: true,
             check_certificates: false,
+            jobs: 1,
         }
     }
 }
@@ -405,12 +410,17 @@ impl Synthesizer {
         self.run_shape(&shape)
     }
 
-    /// A solver honoring the configured certification mode.
+    /// A solver honoring the configured certification and backend modes.
     fn new_solver(&self) -> SmtSolver {
-        if self.config.check_certificates {
-            SmtSolver::new_certifying()
+        let backend = if self.config.jobs > 1 {
+            SolveBackend::Portfolio(PortfolioConfig::with_jobs(self.config.jobs))
         } else {
-            SmtSolver::new()
+            SolveBackend::Single
+        };
+        if self.config.check_certificates {
+            SmtSolver::new_certifying_with_backend(backend)
+        } else {
+            SmtSolver::with_backend(backend)
         }
     }
 
@@ -680,6 +690,20 @@ mod tests {
             timeout: Duration::from_secs(30),
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn portfolio_backend_synthesizes_hamming74() {
+        let config = SynthesisConfig {
+            jobs: 2,
+            ..quick_config()
+        };
+        let p = parse_property("len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4").unwrap();
+        let r = Synthesizer::new(config).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert_eq!(g.data_len(), 4);
+        assert!(g.check_len() <= 4);
+        assert!(distance::min_distance_exhaustive(g) >= 3);
     }
 
     #[test]

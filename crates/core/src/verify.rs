@@ -11,7 +11,7 @@
 use crate::spec::{EvalContext, Prop};
 use fec_gf2::BitVec;
 use fec_hamming::Generator;
-use fec_smt::{Budget, CardEncoding, Lit, SmtResult, SmtSolver};
+use fec_smt::{Budget, CardEncoding, Lit, PortfolioConfig, SmtResult, SmtSolver, SolveBackend};
 use std::time::{Duration, Instant};
 
 /// Outcome of a verification query.
@@ -30,7 +30,7 @@ pub enum VerifyOutcome {
 /// runtime and RAM; we report runtime and solver effort). The last
 /// three fields stay zero unless certification is enabled via
 /// [`VerifyOptions::check_certificates`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct VerifyStats {
     pub elapsed: Duration,
     pub conflicts: u64,
@@ -42,6 +42,24 @@ pub struct VerifyStats {
     pub models_validated: u64,
     /// Unsat verdicts certified (refutation or failed-assumption RUP).
     pub unsat_certified: u64,
+    /// One entry per portfolio query run with [`VerifyOptions::jobs`]
+    /// > 1; empty in single mode.
+    pub portfolio: Vec<PortfolioRunSummary>,
+}
+
+/// Per-query summary of a portfolio run, for reporting alongside the
+/// certificate statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PortfolioRunSummary {
+    /// Number of workers raced.
+    pub workers: usize,
+    /// Winning worker id (`None` when the budget ran out first).
+    pub winner: Option<usize>,
+    /// Conflicts spent by each worker, indexed by worker id.
+    pub per_worker_conflicts: Vec<u64>,
+    /// Clauses exported to / accepted from peers, summed over workers.
+    pub exported: u64,
+    pub imported: u64,
 }
 
 impl VerifyStats {
@@ -53,6 +71,7 @@ impl VerifyStats {
         self.lemmas_checked += other.lemmas_checked;
         self.models_validated += other.models_validated;
         self.unsat_certified += other.unsat_certified;
+        self.portfolio.extend(other.portfolio.iter().cloned());
     }
 }
 
@@ -67,6 +86,10 @@ pub struct VerifyOptions {
     /// certify UNSAT verdicts). Panics on any discrepancy — this is the
     /// CLI's `--check-proofs` mode.
     pub check_certificates: bool,
+    /// Number of portfolio workers racing each query; `1` (the
+    /// default) keeps the single incremental solver. This is the CLI's
+    /// `--jobs N` mode.
+    pub jobs: usize,
 }
 
 impl Default for VerifyOptions {
@@ -74,16 +97,22 @@ impl Default for VerifyOptions {
         VerifyOptions {
             budget: Budget::unlimited(),
             check_certificates: false,
+            jobs: 1,
         }
     }
 }
 
 impl VerifyOptions {
     fn solver(&self) -> SmtSolver {
-        if self.check_certificates {
-            SmtSolver::new_certifying()
+        let backend = if self.jobs > 1 {
+            SolveBackend::Portfolio(PortfolioConfig::with_jobs(self.jobs))
         } else {
-            SmtSolver::new()
+            SolveBackend::Single
+        };
+        if self.check_certificates {
+            SmtSolver::new_certifying_with_backend(backend)
+        } else {
+            SmtSolver::with_backend(backend)
         }
     }
 }
@@ -133,6 +162,17 @@ pub fn has_codeword_of_weight_at_most_with(
     let witness = (result == SmtResult::Sat)
         .then(|| BitVec::from_bools(&xs.iter().map(|&l| s.model_lit(l)).collect::<Vec<_>>()));
     let cert = s.certificate_stats().unwrap_or_default();
+    let portfolio = s
+        .last_portfolio()
+        .map(|run| PortfolioRunSummary {
+            workers: run.workers.len(),
+            winner: run.winner,
+            per_worker_conflicts: run.workers.iter().map(|w| w.conflicts).collect(),
+            exported: run.total.exported_clauses,
+            imported: run.total.imported_clauses,
+        })
+        .into_iter()
+        .collect();
     let stats = VerifyStats {
         elapsed: start.elapsed(),
         conflicts: s.stats().conflicts,
@@ -141,6 +181,7 @@ pub fn has_codeword_of_weight_at_most_with(
         lemmas_checked: cert.lemmas_checked,
         models_validated: cert.models_validated,
         unsat_certified: cert.unsat_certified,
+        portfolio,
     };
     (result, witness, stats)
 }
@@ -385,6 +426,43 @@ mod tests {
         let p = parse_property("!(md(G0) = 4)").unwrap();
         let (o, _) = verify_props(&[g], &p, Budget::unlimited());
         assert_eq!(o, VerifyOutcome::Holds);
+    }
+
+    #[test]
+    fn portfolio_verification_matches_single() {
+        let g = standards::hamming_7_4();
+        let opts = VerifyOptions {
+            jobs: 4,
+            ..VerifyOptions::default()
+        };
+        let (o, stats) = verify_min_distance_exact_with(&g, 3, opts);
+        assert_eq!(o, VerifyOutcome::Holds);
+        // both queries went through the portfolio
+        assert_eq!(stats.portfolio.len(), 2, "{stats:?}");
+        for run in &stats.portfolio {
+            assert_eq!(run.workers, 4);
+            assert!(run.winner.is_some());
+            assert_eq!(run.per_worker_conflicts.len(), 4);
+        }
+        let (o, _) = verify_min_distance_exact_with(&g, 4, opts);
+        assert!(matches!(o, VerifyOutcome::Fails { .. }));
+    }
+
+    #[test]
+    fn certified_portfolio_verification() {
+        // --jobs composed with --check-proofs: the winning worker's
+        // self-contained proof is certified per query
+        let g = standards::hamming_7_4();
+        let opts = VerifyOptions {
+            jobs: 3,
+            check_certificates: true,
+            ..VerifyOptions::default()
+        };
+        let (o, stats) = verify_min_distance_exact_with(&g, 3, opts);
+        assert_eq!(o, VerifyOutcome::Holds);
+        assert!(stats.unsat_certified >= 1, "{stats:?}");
+        assert!(stats.models_validated >= 1, "{stats:?}");
+        assert_eq!(stats.portfolio.len(), 2);
     }
 
     #[test]

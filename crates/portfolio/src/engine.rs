@@ -1,0 +1,381 @@
+//! The portfolio solve engine.
+
+use crate::ring::{spsc, Consumer, Producer};
+use crate::{diversify, PortfolioConfig};
+use fec_sat::{Budget, Lit, MemoryProofLogger, ProofStep, SolveResult, Solver, SolverStats, Var};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A clause in flight between workers: literals plus LBD at export time.
+type SharedClause = (Vec<Lit>, u32);
+
+/// Aggregate statistics of one portfolio solve call.
+#[derive(Clone, Debug, Default)]
+pub struct PortfolioStats {
+    /// Index of the worker that produced the answer (`None` on
+    /// `Unknown`).
+    pub winner: Option<usize>,
+    /// Per-worker search statistics, indexed by worker id.
+    pub workers: Vec<SolverStats>,
+    /// Field-wise sum over all workers.
+    pub total: SolverStats,
+    /// Wall-clock time of the whole call.
+    pub wall: Duration,
+}
+
+/// Result of a portfolio solve call.
+pub struct PortfolioOutcome {
+    /// The verdict (all workers solve the same formula, so any verdicts
+    /// produced agree; the first to finish is reported).
+    pub result: SolveResult,
+    /// On `Sat`: the winner's model, indexed by variable.
+    pub model: Option<Vec<Option<bool>>>,
+    /// On `Unsat` under assumptions: the winner's failed-assumption
+    /// subset.
+    pub failed_assumptions: Vec<Lit>,
+    /// Aggregate and per-worker statistics.
+    pub stats: PortfolioStats,
+    /// With [`PortfolioConfig::certify`]: the winning worker's complete
+    /// proof stream (inputs + its own learned clauses + RUP-filtered
+    /// imports), checkable stand-alone by `fec-drat`.
+    pub winner_proof: Option<Vec<ProofStep>>,
+}
+
+impl PortfolioOutcome {
+    /// The winner's assignment of `v` (`None` when unassigned or when
+    /// the result was not `Sat`).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.as_ref().and_then(|m| m[v.index()])
+    }
+}
+
+/// What one worker sends back from its thread. The solver itself is not
+/// `Send` (its proof logger may hold an `Rc`), so workers are built and
+/// dropped inside their threads and only plain data crosses back.
+struct WorkerReport {
+    result: SolveResult,
+    stats: SolverStats,
+    model: Option<Vec<Option<bool>>>,
+    failed_assumptions: Vec<Lit>,
+    proof: Option<Vec<ProofStep>>,
+}
+
+/// Builds one diversified worker over the shared formula.
+fn build_worker(
+    worker: usize,
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    config: &PortfolioConfig,
+) -> (Solver, Option<MemoryProofLogger>) {
+    let mut s = Solver::with_config(diversify(worker, config.seed));
+    // install the logger before the clauses so the stream records the
+    // whole input formula
+    let logger = if config.certify {
+        let l = MemoryProofLogger::new();
+        s.set_proof_logger(Box::new(l.clone()));
+        Some(l)
+    } else {
+        None
+    };
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        if !s.add_clause(c) {
+            break; // formula already refuted at level 0
+        }
+    }
+    (s, logger)
+}
+
+/// Extracts the winner-side data from a finished solver.
+fn report(
+    s: &Solver,
+    result: SolveResult,
+    num_vars: usize,
+    logger: Option<&MemoryProofLogger>,
+    extract: bool,
+) -> WorkerReport {
+    let (model, failed, proof) = if extract {
+        let model = (result == SolveResult::Sat)
+            .then(|| (0..num_vars).map(|v| s.value(Var::from_index(v))).collect());
+        let failed = if result == SolveResult::Unsat {
+            s.failed_assumptions().to_vec()
+        } else {
+            Vec::new()
+        };
+        (model, failed, logger.map(|l| l.take_steps()))
+    } else {
+        (None, Vec::new(), None)
+    };
+    WorkerReport {
+        result,
+        stats: s.stats(),
+        model,
+        failed_assumptions: failed,
+        proof,
+    }
+}
+
+/// Solves `clauses` over `num_vars` variables under `assumptions`,
+/// racing `config.jobs` diversified CDCL workers.
+///
+/// Every worker receives the full budget; the first worker to reach a
+/// verdict raises the shared stop flag and the rest cancel
+/// cooperatively inside their propagation loops. `Unknown` is returned
+/// only when *no* worker finished within the budget.
+pub fn solve(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    assumptions: &[Lit],
+    budget: Budget,
+    config: &PortfolioConfig,
+) -> PortfolioOutcome {
+    let start = Instant::now();
+    let n = config.jobs.max(1);
+    let reports = if n == 1 {
+        vec![run_single(num_vars, clauses, assumptions, budget, config)]
+    } else if config.deterministic {
+        run_round_robin(n, num_vars, clauses, assumptions, budget, config)
+    } else {
+        run_parallel(n, num_vars, clauses, assumptions, budget, config)
+    };
+    assemble(reports, start.elapsed())
+}
+
+/// Fast path: one worker, no threads, no rings.
+fn run_single(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    assumptions: &[Lit],
+    budget: Budget,
+    config: &PortfolioConfig,
+) -> WorkerReport {
+    let (mut s, logger) = build_worker(0, num_vars, clauses, config);
+    let result = s.solve_with_budget(assumptions, budget);
+    report(
+        &s,
+        result,
+        num_vars,
+        logger.as_ref(),
+        result != SolveResult::Unknown,
+    )
+}
+
+/// Per-worker ends of the sharing mesh: the producers that broadcast a
+/// worker's exports to every peer, and the consumers that drain every
+/// peer's exports into that worker.
+type MeshEnds = (Vec<Producer<SharedClause>>, Vec<Consumer<SharedClause>>);
+
+/// Build the full N·(N−1) SPSC ring mesh (one ring per ordered pair of
+/// distinct workers) and regroup the ends per worker. With `n` workers
+/// the returned vector has `n` entries; entry `i` holds worker `i`'s
+/// producers (feeding each peer) and consumers (fed by each peer).
+fn ring_mesh(n: usize, capacity: usize) -> Vec<MeshEnds> {
+    let mut producers: Vec<Vec<Producer<SharedClause>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut consumers: Vec<Vec<Consumer<SharedClause>>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, prods) in producers.iter_mut().enumerate() {
+        for (j, cons) in consumers.iter_mut().enumerate() {
+            if i != j {
+                let (p, c) = spsc(capacity);
+                prods.push(p);
+                cons.push(c);
+            }
+        }
+    }
+    producers.into_iter().zip(consumers).collect()
+}
+
+/// Racing path: one OS thread per worker, N·(N−1) SPSC rings, atomic
+/// first-to-finish election.
+fn run_parallel(
+    n: usize,
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    assumptions: &[Lit],
+    budget: Budget,
+    config: &PortfolioConfig,
+) -> Vec<WorkerReport> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let winner = Arc::new(AtomicUsize::new(usize::MAX));
+    let sharing = config.share_lbd_max > 0;
+    let channels = if sharing {
+        ring_mesh(n, config.ring_capacity)
+    } else {
+        (0..n).map(|_| (Vec::new(), Vec::new())).collect()
+    };
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = channels
+            .into_iter()
+            .enumerate()
+            .map(|(i, (prods, cons))| {
+                let stop = Arc::clone(&stop);
+                let winner = Arc::clone(&winner);
+                scope.spawn(move || {
+                    let (mut s, logger) = build_worker(i, num_vars, clauses, config);
+                    s.set_stop_flag(Arc::clone(&stop));
+                    if sharing {
+                        s.set_export_hook(
+                            Box::new(move |lits, lbd| {
+                                for p in &prods {
+                                    p.push((lits.to_vec(), lbd));
+                                }
+                            }),
+                            config.share_lbd_max,
+                        );
+                        s.set_import_hook(Box::new(move || {
+                            let mut batch = Vec::new();
+                            for c in &cons {
+                                batch.extend(c.drain());
+                            }
+                            batch
+                        }));
+                    }
+                    let result = s.solve_with_budget(assumptions, budget);
+                    let won = result != SolveResult::Unknown
+                        && winner
+                            .compare_exchange(usize::MAX, i, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok();
+                    if won {
+                        stop.store(true, Ordering::Release);
+                    }
+                    report(&s, result, num_vars, logger.as_ref(), won)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio worker panicked"))
+            .collect()
+    })
+}
+
+/// Deterministic path: the same N diversified workers, run cooperatively
+/// on the calling thread in fixed round-robin conflict slices, sharing
+/// through the same rings between slices. Same seed ⇒ same winner, same
+/// statistics, bit-for-bit — wall-clock only enters through the overall
+/// timeout, which is checked *between* epochs.
+fn run_round_robin(
+    n: usize,
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    assumptions: &[Lit],
+    budget: Budget,
+    config: &PortfolioConfig,
+) -> Vec<WorkerReport> {
+    let start = Instant::now();
+    let sharing = config.share_lbd_max > 0;
+    let mut workers = Vec::with_capacity(n);
+    let channels = if sharing {
+        ring_mesh(n, config.ring_capacity)
+    } else {
+        (0..n).map(|_| (Vec::new(), Vec::new())).collect()
+    };
+    for (i, (prods, cons)) in channels.into_iter().enumerate() {
+        let (mut s, logger) = build_worker(i, num_vars, clauses, config);
+        if sharing {
+            s.set_export_hook(
+                Box::new(move |lits, lbd| {
+                    for p in &prods {
+                        p.push((lits.to_vec(), lbd));
+                    }
+                }),
+                config.share_lbd_max,
+            );
+            s.set_import_hook(Box::new(move || {
+                let mut batch = Vec::new();
+                for c in &cons {
+                    batch.extend(c.drain());
+                }
+                batch
+            }));
+        }
+        workers.push((s, logger));
+    }
+
+    let slice = config.det_slice_conflicts.max(1);
+    let mut spent = vec![0u64; n]; // conflicts consumed per worker
+    let mut verdict: Option<(usize, SolveResult)> = None;
+    'epochs: loop {
+        let mut any_alive = false;
+        for (i, (s, _)) in workers.iter_mut().enumerate() {
+            let remaining = budget.max_conflicts.saturating_sub(spent[i]);
+            if remaining == 0 {
+                continue;
+            }
+            any_alive = true;
+            let before = s.stats().conflicts;
+            let r = s.solve_with_budget(
+                assumptions,
+                Budget {
+                    max_conflicts: remaining.min(slice),
+                    timeout: None,
+                },
+            );
+            spent[i] += s.stats().conflicts - before;
+            if r != SolveResult::Unknown {
+                verdict = Some((i, r));
+                break 'epochs;
+            }
+        }
+        if !any_alive {
+            break; // every worker exhausted its conflict budget
+        }
+        if let Some(t) = budget.timeout {
+            if start.elapsed() >= t {
+                break;
+            }
+        }
+    }
+    workers
+        .into_iter()
+        .enumerate()
+        .map(|(i, (s, logger))| {
+            let (result, won) = match verdict {
+                Some((w, r)) if w == i => (r, true),
+                _ => (SolveResult::Unknown, false),
+            };
+            report(&s, result, num_vars, logger.as_ref(), won)
+        })
+        .collect()
+}
+
+/// Folds the per-worker reports into the final outcome.
+fn assemble(reports: Vec<WorkerReport>, wall: Duration) -> PortfolioOutcome {
+    let mut stats = PortfolioStats {
+        wall,
+        ..PortfolioStats::default()
+    };
+    let mut result = SolveResult::Unknown;
+    let mut model = None;
+    let mut failed = Vec::new();
+    let mut proof = None;
+    for (i, r) in reports.into_iter().enumerate() {
+        stats.total.merge(&r.stats);
+        stats.workers.push(r.stats);
+        // exactly one report carries the extracted answer (the CAS
+        // winner; in single/deterministic mode the finishing worker)
+        if r.model.is_some() || r.proof.is_some() || !r.failed_assumptions.is_empty() {
+            stats.winner = Some(i);
+            result = r.result;
+            model = r.model;
+            failed = r.failed_assumptions;
+            proof = r.proof;
+        } else if stats.winner.is_none() && r.result != SolveResult::Unknown {
+            // winner finished without extraction (e.g. lost a CAS race
+            // after another worker already answered) — keep the verdict
+            result = r.result;
+            stats.winner = Some(i);
+        }
+    }
+    PortfolioOutcome {
+        result,
+        model,
+        failed_assumptions: failed,
+        stats,
+        winner_proof: proof,
+    }
+}

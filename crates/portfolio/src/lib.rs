@@ -1,0 +1,231 @@
+//! Parallel portfolio SAT solving.
+//!
+//! Races N diversified `fec-sat` CDCL workers over the same CNF: each
+//! worker gets a distinct [`fec_sat::SolverConfig`] (restart schedule,
+//! VSIDS decay, initial phases, seeded tie-breaking), workers exchange
+//! low-LBD learned clauses through bounded lock-free SPSC rings, and the
+//! first worker to reach a verdict cancels the rest through an atomic
+//! stop flag checked inside their propagation loops.
+//!
+//! Three execution modes, one entry point ([`solve`]):
+//!
+//! - `jobs == 1` — no threads, no rings; behaves exactly like a plain
+//!   `Solver` with the default config.
+//! - parallel (default for `jobs > 1`) — one OS thread per worker,
+//!   first-to-finish wins.
+//! - [`PortfolioConfig::deterministic`] — the same workers run
+//!   cooperatively on the calling thread in fixed round-robin conflict
+//!   slices with synchronous sharing epochs: same seed ⇒ same winner
+//!   and bit-for-bit identical statistics, for reproducible CI.
+//!
+//! # Certification
+//!
+//! With [`PortfolioConfig::certify`], every worker logs a DRAT stream
+//! and the *winner's* stream is returned. Clause sharing would normally
+//! break proof self-containedness — an imported clause is a consequence
+//! of the shared formula but not necessarily derivable by unit
+//! propagation from the importer's own database — so under proof
+//! logging the solver RUP-filters every import (see
+//! `Solver::set_import_hook`): a shared clause is admitted only if
+//! reverse unit propagation over the importer's live database derives
+//! it, and is then logged as an ordinary learned clause. The winning
+//! proof therefore checks stand-alone with `fec-drat`.
+//!
+//! # Example
+//!
+//! ```
+//! use fec_portfolio::{solve, PortfolioConfig};
+//! use fec_sat::{Budget, Lit, SolveResult, Var};
+//!
+//! let v = |i| Var::from_index(i);
+//! let clauses = vec![
+//!     vec![Lit::pos(v(0)), Lit::pos(v(1))],
+//!     vec![Lit::neg(v(0)), Lit::pos(v(1))],
+//! ];
+//! let out = solve(
+//!     2,
+//!     &clauses,
+//!     &[],
+//!     Budget::unlimited(),
+//!     &PortfolioConfig::with_jobs(4),
+//! );
+//! assert_eq!(out.result, SolveResult::Sat);
+//! assert_eq!(out.value(v(1)), Some(true));
+//! ```
+
+mod engine;
+mod ring;
+
+pub use engine::{solve, PortfolioOutcome, PortfolioStats};
+pub use ring::{spsc, Consumer, Producer};
+
+use fec_sat::{PhaseInit, RestartPolicy, SolverConfig};
+
+/// Portfolio-level configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PortfolioConfig {
+    /// Number of workers. `1` means plain single-threaded solving.
+    pub jobs: usize,
+    /// Learned clauses with LBD at most this are shared with peers;
+    /// `0` disables sharing entirely.
+    pub share_lbd_max: u32,
+    /// Capacity of each pairwise sharing ring (rounded up to a power of
+    /// two). Full rings drop clauses rather than block the exporter.
+    pub ring_capacity: usize,
+    /// Run workers in fixed round-robin conflict slices on the calling
+    /// thread instead of racing threads: reproducible, but no parallel
+    /// speedup.
+    pub deterministic: bool,
+    /// Conflicts per worker slice in deterministic mode.
+    pub det_slice_conflicts: u64,
+    /// Base seed; worker `i` derives its own seed from it.
+    pub seed: u64,
+    /// Log a DRAT stream in every worker and return the winner's.
+    pub certify: bool,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            jobs: 1,
+            share_lbd_max: 6,
+            ring_capacity: 2048,
+            deterministic: false,
+            det_slice_conflicts: 2000,
+            seed: 0,
+            certify: false,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// Default configuration with `jobs` workers.
+    pub fn with_jobs(jobs: usize) -> Self {
+        PortfolioConfig {
+            jobs: jobs.max(1),
+            ..PortfolioConfig::default()
+        }
+    }
+}
+
+/// The diversification schedule: the solver configuration of worker
+/// `worker` under base seed `seed`.
+///
+/// Worker 0 always runs the stock default configuration, so a 1-job
+/// portfolio is exactly the plain solver. Workers 1.. cycle through six
+/// hand-picked heuristic mixes (restart cadence × decay × phase
+/// polarity × tie-break randomization) with per-worker seeds, repeating
+/// with different seeds past worker 6 — more workers never repeat an
+/// identical search.
+pub fn diversify(worker: usize, seed: u64) -> SolverConfig {
+    // distinct, deterministic per-worker seed (splitmix-style mixing)
+    let wseed =
+        (seed ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15)).wrapping_add(0xD1B54A32D192ED03);
+    if worker == 0 {
+        return SolverConfig {
+            seed: wseed,
+            ..SolverConfig::default()
+        };
+    }
+    let base = SolverConfig {
+        seed: wseed,
+        ..SolverConfig::default()
+    };
+    match (worker - 1) % 6 {
+        0 => SolverConfig {
+            // deep dives: slow geometric restarts
+            restart: RestartPolicy::Geometric {
+                base: 100,
+                factor: 1.5,
+            },
+            ..base
+        },
+        1 => SolverConfig {
+            // aggressive focus on recent conflicts, opposite polarity
+            var_decay: 0.90,
+            phase_init: PhaseInit::AllTrue,
+            ..base
+        },
+        2 => SolverConfig {
+            // slow decay (broad activity memory), randomized everything
+            var_decay: 0.99,
+            restart: RestartPolicy::Geometric {
+                base: 128,
+                factor: 1.3,
+            },
+            phase_init: PhaseInit::Random,
+            randomize_order: true,
+            ..base
+        },
+        3 => SolverConfig {
+            // lazy Luby with random phases
+            restart: RestartPolicy::Luby { base: 256 },
+            phase_init: PhaseInit::Random,
+            randomize_order: true,
+            ..base
+        },
+        4 => SolverConfig {
+            // doubling geometric, shuffled branching order
+            var_decay: 0.97,
+            restart: RestartPolicy::Geometric {
+                base: 100,
+                factor: 2.0,
+            },
+            randomize_order: true,
+            ..base
+        },
+        _ => SolverConfig {
+            // rapid Luby with very aggressive decay
+            var_decay: 0.85,
+            restart: RestartPolicy::Luby { base: 50 },
+            phase_init: PhaseInit::Random,
+            randomize_order: true,
+            ..base
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_zero_is_stock_config() {
+        let c = diversify(0, 7);
+        let d = SolverConfig::default();
+        assert_eq!(c.var_decay, d.var_decay);
+        assert_eq!(c.restart, d.restart);
+        assert_eq!(c.phase_init, d.phase_init);
+        assert!(!c.randomize_order);
+    }
+
+    #[test]
+    fn diversification_is_distinct_and_deterministic() {
+        let configs: Vec<SolverConfig> = (0..8).map(|i| diversify(i, 42)).collect();
+        // deterministic
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(*c, diversify(i, 42));
+        }
+        // pairwise distinct (seeds differ even when knobs repeat)
+        for i in 0..configs.len() {
+            for j in i + 1..configs.len() {
+                assert_ne!(configs[i], configs[j], "workers {i} and {j} identical");
+            }
+        }
+        // a different base seed changes every worker
+        for i in 0..8 {
+            assert_ne!(diversify(i, 42).seed, diversify(i, 43).seed);
+        }
+    }
+
+    #[test]
+    fn default_config() {
+        let c = PortfolioConfig::default();
+        assert_eq!(c.jobs, 1);
+        assert_eq!(c.share_lbd_max, 6);
+        assert!(!c.deterministic);
+        assert!(!c.certify);
+        assert_eq!(PortfolioConfig::with_jobs(0).jobs, 1);
+        assert_eq!(PortfolioConfig::with_jobs(4).jobs, 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Bounded lock-free single-producer single-consumer ring buffer.
+//!
+//! The sharing fabric of the portfolio: every ordered worker pair
+//! `(i, j)` gets one ring, written only by worker `i`'s export hook and
+//! drained only by worker `j`'s import hook. With exactly one producer
+//! thread and one consumer thread per ring, a head/tail pair of atomics
+//! with acquire/release ordering is sufficient — no locks, no CAS loops,
+//! no allocation after construction.
+//!
+//! The ring is *lossy by design*: pushing into a full ring drops the
+//! item (and counts it). Clause sharing is an optimization, not a
+//! correctness requirement, so backpressure on the exporting solver
+//! would be strictly worse than forgetting a clause.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
+    /// Next slot the consumer will read (monotonically increasing,
+    /// indexed modulo capacity).
+    head: AtomicUsize,
+    /// Next slot the producer will write.
+    tail: AtomicUsize,
+    /// Items discarded because the ring was full.
+    dropped: AtomicUsize,
+}
+
+// Safety: the slot array is shared between exactly two threads, and the
+// head/tail protocol below guarantees a slot is never accessed by both
+// sides at once: the producer only writes slot `tail` when
+// `tail - head < capacity` (slot outside the consumer's readable range)
+// and publishes it with a release store; the consumer only reads slot
+// `head` when `head < tail` (acquire-loaded), i.e. after publication.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// Write half of an SPSC ring. Not cloneable — exactly one producer.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Read half of an SPSC ring. Not cloneable — exactly one consumer.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a ring holding at most `capacity` items (rounded up to a
+/// power of two, minimum 2).
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(None))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        dropped: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+        },
+        Consumer { inner },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Appends `item`, or drops it (returning `false`) when the ring is
+    /// full.
+    pub fn push(&self, item: T) -> bool {
+        let inner = &*self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let head = inner.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= inner.slots.len() {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let slot = &inner.slots[tail & (inner.slots.len() - 1)];
+        // Safety: see `unsafe impl Sync` — this slot is outside the
+        // consumer's readable range until the release store below.
+        unsafe { *slot.get() = Some(item) };
+        inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Items dropped so far because the ring was full.
+    pub fn dropped(&self) -> usize {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Removes and returns the oldest item, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &inner.slots[head & (inner.slots.len() - 1)];
+        // Safety: head < tail (acquire), so the producer has published
+        // this slot and will not touch it again until head advances.
+        let item = unsafe { (*slot.get()).take() };
+        inner.head.store(head.wrapping_add(1), Ordering::Release);
+        debug_assert!(item.is_some(), "published slot must hold an item");
+        item
+    }
+
+    /// Drains everything currently buffered.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(x) = self.pop() {
+            out.push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (p, c) = spsc::<u32>(4);
+        for i in 0..4 {
+            assert!(p.push(i));
+        }
+        assert!(!p.push(99), "5th push must drop");
+        assert_eq!(p.dropped(), 1);
+        assert_eq!(c.drain(), vec![0, 1, 2, 3]);
+        assert_eq!(c.pop(), None);
+        // space freed: push works again
+        assert!(p.push(7));
+        assert_eq!(c.pop(), Some(7));
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (p, c) = spsc::<u8>(3);
+        for i in 0..4 {
+            assert!(p.push(i), "rounded capacity is 4");
+        }
+        assert!(!p.push(4));
+        assert_eq!(c.drain().len(), 4);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (p, c) = spsc::<u64>(1024);
+        let total: u64 = 10_000;
+        let producer = thread::spawn(move || {
+            let mut sent = 0u64;
+            for i in 0..total {
+                if p.push(i) {
+                    sent += 1;
+                }
+            }
+            sent
+        });
+        let mut got = Vec::new();
+        while !producer.is_finished() || got.is_empty() {
+            got.extend(c.drain());
+        }
+        let sent = producer.join().unwrap();
+        got.extend(c.drain());
+        assert_eq!(got.len() as u64, sent);
+        // FIFO: the received subsequence is strictly increasing
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -10,11 +10,17 @@
 //! - two-literal watching with blocker literals,
 //! - first-UIP conflict analysis with clause minimization,
 //! - EVSIDS branching with phase saving,
-//! - Luby restarts,
+//! - Luby or geometric restarts (every heuristic knob is a public
+//!   [`SolverConfig`] field, the substrate for portfolio
+//!   diversification in `fec-portfolio`),
 //! - LBD-based learnt-clause database reduction,
 //! - solving under assumptions (the substrate for push/pop scopes in
 //!   `fec-smt`), with failed-assumption extraction,
 //! - conflict and wall-clock budgets (the paper's 120 s solver timeout),
+//! - cooperative cancellation via an atomic stop flag checked inside
+//!   the propagation loop ([`Solver::set_stop_flag`]),
+//! - learned-clause export/import hooks for portfolio clause sharing
+//!   ([`Solver::set_export_hook`] / [`Solver::set_import_hook`]),
 //! - optional DRAT proof logging (see [`proof`]), checked independently
 //!   by the `fec-drat` crate.
 //!
@@ -33,6 +39,7 @@
 //! ```
 
 mod clause;
+mod config;
 mod dimacs;
 mod heap;
 pub mod proof;
@@ -40,7 +47,8 @@ pub mod reference;
 mod solver;
 mod types;
 
+pub use config::{PhaseInit, RestartPolicy, SolverConfig};
 pub use dimacs::{parse_dimacs, to_dimacs};
 pub use proof::{DratTextLogger, MemoryProofLogger, ProofLogger, ProofStep, TeeProofLogger};
-pub use solver::{Budget, SolveResult, Solver, SolverStats};
+pub use solver::{Budget, ExportHook, ImportHook, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};

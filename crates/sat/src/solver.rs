@@ -1,9 +1,12 @@
 //! The CDCL search engine.
 
 use crate::clause::{Clause, ClauseRef, Watcher};
+use crate::config::{PhaseInit, SolverConfig, XorShift64};
 use crate::heap::ActivityHeap;
 use crate::proof::ProofLogger;
 use crate::types::{LBool, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of a [`Solver::solve`] call.
@@ -60,7 +63,34 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     pub deleted_clauses: u64,
     pub solve_calls: u64,
+    /// Learned clauses handed to the export hook (portfolio sharing).
+    pub exported_clauses: u64,
+    /// Shared clauses accepted from the import hook.
+    pub imported_clauses: u64,
 }
+
+impl SolverStats {
+    /// Field-wise sum — aggregates statistics across portfolio workers.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.deleted_clauses += other.deleted_clauses;
+        self.solve_calls += other.solve_calls;
+        self.exported_clauses += other.exported_clauses;
+        self.imported_clauses += other.imported_clauses;
+    }
+}
+
+/// Receiver for learned clauses passing the LBD sharing filter
+/// (clause literals, LBD at learning time).
+pub type ExportHook = Box<dyn FnMut(&[Lit], u32) + Send>;
+
+/// Supplier of shared clauses, polled at restart boundaries; returns
+/// `(clause, lbd)` batches drained from peer workers.
+pub type ImportHook = Box<dyn FnMut() -> Vec<(Vec<Lit>, u32)> + Send>;
 
 const INVALID_CLAUSE: ClauseRef = ClauseRef(u32::MAX);
 
@@ -98,6 +128,16 @@ pub struct Solver {
     conflict_assumptions: Vec<Lit>,
     // DRAT proof stream receiver; None = logging off (the default)
     proof: Option<Box<dyn ProofLogger>>,
+    // heuristic knobs (fixed at construction)
+    config: SolverConfig,
+    // the solver's only randomness source, seeded from the config
+    rng: XorShift64,
+    // cooperative cancellation (portfolio first-to-finish)
+    stop: Option<Arc<AtomicBool>>,
+    // portfolio clause sharing
+    export: Option<ExportHook>,
+    export_lbd_max: u32,
+    import: Option<ImportHook>,
 }
 
 impl Default for Solver {
@@ -107,8 +147,14 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// An empty solver with no variables or clauses.
+    /// An empty solver with the default (historical) heuristics.
     pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// An empty solver with explicit heuristic knobs — the entry point
+    /// for portfolio diversification.
+    pub fn with_config(config: SolverConfig) -> Solver {
         Solver {
             clauses: Vec::new(),
             watches: Vec::new(),
@@ -130,7 +176,54 @@ impl Solver {
             model: Vec::new(),
             conflict_assumptions: Vec::new(),
             proof: None,
+            rng: XorShift64::new(config.seed),
+            config,
+            stop: None,
+            export: None,
+            export_lbd_max: 0,
+            import: None,
         }
+    }
+
+    /// The heuristic configuration this solver was built with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Installs a cancellation flag. When another thread sets it, the
+    /// solver aborts at the next check point — inside the propagation
+    /// loop (every 1024 propagations), after each conflict, and before
+    /// each restart — and the pending `solve` returns
+    /// [`SolveResult::Unknown`]. The solver remains usable.
+    pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.stop = Some(flag);
+    }
+
+    /// Installs the learned-clause export hook: every clause learned by
+    /// conflict analysis with LBD ≤ `lbd_max` (after minimization) is
+    /// handed to `hook` before it is attached.
+    pub fn set_export_hook(&mut self, hook: ExportHook, lbd_max: u32) {
+        self.export = Some(hook);
+        self.export_lbd_max = lbd_max;
+    }
+
+    /// Installs the shared-clause import hook, polled once per restart
+    /// boundary (at decision level 0). When a proof logger is
+    /// installed, each imported clause is admitted only if it is RUP
+    /// with respect to this solver's current clause database — the
+    /// accepted clause is then logged as a regular `Learn` step, so the
+    /// proof stream stays self-contained. Without a proof logger,
+    /// imports are trusted (peers solve the same formula, so shared
+    /// clauses are logical consequences of it).
+    pub fn set_import_hook(&mut self, hook: ImportHook) {
+        self.import = Some(hook);
+    }
+
+    #[inline]
+    fn should_stop(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
     }
 
     /// Installs a proof logger receiving the DRAT stream of this solver.
@@ -169,8 +262,20 @@ impl Solver {
         self.assigns.push(LBool::Undef);
         self.reason.push(INVALID_CLAUSE);
         self.level.push(0);
-        self.activity.push(0.0);
-        self.saved_phase.push(false);
+        // tiny seeded activities break the index-order tie among
+        // untouched variables without outliving the first real bumps
+        let act = if self.config.randomize_order {
+            self.rng.next_f64() * 1e-9
+        } else {
+            0.0
+        };
+        self.activity.push(act);
+        let phase = match self.config.phase_init {
+            PhaseInit::AllFalse => false,
+            PhaseInit::AllTrue => true,
+            PhaseInit::Random => self.rng.next_bool(),
+        };
+        self.saved_phase.push(phase);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -305,9 +410,17 @@ impl Solver {
 
     /// Boolean constraint propagation from the current queue head.
     /// Returns a conflicting clause, if any.
+    ///
+    /// The cancellation flag is polled here every 1024 propagations;
+    /// on cancellation the loop exits early (leaving the queue
+    /// partially propagated) and the caller must check
+    /// [`Solver::should_stop`] before relying on the state.
     fn propagate(&mut self) -> Option<ClauseRef> {
         let mut conflict = None;
         while conflict.is_none() && self.qhead < self.trail.len() {
+            if self.stats.propagations & 0x3FF == 0 && self.should_stop() {
+                return None;
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
@@ -556,19 +669,102 @@ impl Solver {
             && self.reason[l.var().index()] == ClauseRef(clause_idx as u32)
     }
 
-    /// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
-    fn luby(mut i: u64) -> u64 {
-        // size of the smallest complete subsequence containing index i
-        loop {
-            let mut k = 1u32;
-            while (1u64 << k) - 1 < i + 1 {
-                k += 1;
+    /// Hands a freshly learned clause to the export hook when its LBD
+    /// passes the sharing filter.
+    fn export_learnt(&mut self, lits: &[Lit], lbd: u32) {
+        if let Some(hook) = self.export.as_mut() {
+            if lbd <= self.export_lbd_max {
+                hook(lits, lbd);
+                self.stats.exported_clauses += 1;
             }
-            if (1u64 << k) - 1 == i + 1 {
-                return 1u64 << (k - 1);
-            }
-            i -= (1u64 << (k - 1)) - 1;
         }
+    }
+
+    /// Drains the import hook at a restart boundary (decision level 0)
+    /// and integrates each shared clause. May discover unsatisfiability
+    /// (`self.ok` becomes false).
+    fn import_shared(&mut self) {
+        if self.import.is_none() {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let batch = self.import.as_mut().map(|h| h()).unwrap_or_default();
+        for (lits, lbd) in batch {
+            if !self.ok {
+                return;
+            }
+            self.integrate_import(&lits, lbd);
+        }
+    }
+
+    /// Integrates one clause shared by a peer worker.
+    ///
+    /// The clause is simplified against the level-0 assignment first.
+    /// With a proof logger installed, it is admitted only if RUP over
+    /// this solver's live clause database (and then logged as a `Learn`
+    /// step, keeping the proof self-contained); otherwise it is trusted
+    /// — peers solve the same formula, so their learned clauses are
+    /// logical consequences of it.
+    fn integrate_import(&mut self, lits: &[Lit], lbd: u32) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut out: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            // defensive: peers share the identical CNF, so unknown
+            // variables should not occur
+            if l.var().index() >= self.num_vars() {
+                return;
+            }
+            match self.lit_value(l) {
+                LBool::True => return, // satisfied at level 0
+                LBool::False => {}     // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        // adjacent sorted literals of one variable ⇒ tautology
+        if out.windows(2).any(|w| w[1] == !w[0]) {
+            return;
+        }
+        if self.proof.is_some() && !self.import_is_rup(&out) {
+            return; // not locally derivable: reject to keep the proof sound
+        }
+        self.log_learn(&out);
+        self.stats.imported_clauses += 1;
+        match out.len() {
+            0 => {
+                // falsified at level 0: the (trusted) consequence
+                // refutes the formula (already logged above)
+                self.ok = false;
+            }
+            1 => {
+                self.uncheck_enqueue(out[0], INVALID_CLAUSE);
+                if self.propagate().is_some() {
+                    self.log_learn(&[]);
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let lbd = lbd.clamp(1, out.len() as u32);
+                self.attach_clause(Clause::new(out, true, lbd));
+            }
+        }
+    }
+
+    /// Reverse-unit-propagation test used to filter imports under proof
+    /// logging: assume the negation of every literal of `lits` on a
+    /// scratch decision level and propagate; RUP holds iff that
+    /// conflicts. Leaves the solver back at level 0.
+    fn import_is_rup(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.trail_lim.push(self.trail.len());
+        for &l in lits {
+            debug_assert_eq!(self.lit_value(l), LBool::Undef);
+            self.uncheck_enqueue(!l, INVALID_CLAUSE);
+        }
+        let conflicting = self.propagate().is_some();
+        self.backtrack(0);
+        conflicting
     }
 
     /// Solves under `assumptions` with an unlimited budget.
@@ -589,7 +785,10 @@ impl Solver {
         let conflict_budget = self.stats.conflicts.saturating_add(budget.max_conflicts);
         let mut restart_idx = 0u64;
         let result = loop {
-            let limit = 100 * Self::luby(restart_idx);
+            if self.should_stop() {
+                break SolveResult::Unknown;
+            }
+            let limit = self.config.restart.limit(restart_idx);
             restart_idx += 1;
             match self.search(assumptions, limit, conflict_budget, start, budget.timeout) {
                 SearchOutcome::Sat => {
@@ -617,9 +816,18 @@ impl Solver {
         timeout: Option<Duration>,
     ) -> SearchOutcome {
         self.backtrack(0);
+        // restart boundary: pull clauses shared by peer workers
+        self.import_shared();
+        if !self.ok {
+            return SearchOutcome::Unsat;
+        }
         let mut conflicts_this_restart = 0u64;
         loop {
-            if let Some(conf) = self.propagate() {
+            let conflict = self.propagate();
+            if self.should_stop() {
+                return SearchOutcome::BudgetExhausted;
+            }
+            if let Some(conf) = conflict {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
@@ -640,6 +848,7 @@ impl Solver {
                 self.backtrack(bt_level);
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
+                    self.export_learnt(&learnt, 1);
                     self.backtrack(0);
                     match self.lit_value(asserting) {
                         LBool::Undef => self.uncheck_enqueue(asserting, INVALID_CLAUSE),
@@ -652,12 +861,13 @@ impl Solver {
                     }
                 } else {
                     let lbd = self.compute_lbd(&learnt);
+                    self.export_learnt(&learnt, lbd);
                     let cref = self.attach_clause(Clause::new(learnt, true, lbd));
                     self.stats.learnt_clauses += 1;
                     self.uncheck_enqueue(asserting, cref);
                 }
-                self.var_inc /= 0.95;
-                self.cla_inc /= 0.999;
+                self.var_inc /= self.config.var_decay;
+                self.cla_inc /= self.config.clause_decay;
                 if self
                     .stats
                     .learnt_clauses
@@ -1030,9 +1240,118 @@ mod tests {
     }
 
     #[test]
-    fn luby_sequence_prefix() {
-        let got: Vec<u64> = (0..15).map(Solver::luby).collect();
-        assert_eq!(got, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    fn pre_set_stop_flag_returns_unknown() {
+        let mut s = pigeonhole(7, 6);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_stop_flag(Arc::clone(&flag));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        // clearing the flag lets the same solver finish the instance
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn configs_agree_on_answers() {
+        use crate::config::{PhaseInit, RestartPolicy};
+        let configs = [
+            SolverConfig::default(),
+            SolverConfig {
+                var_decay: 0.90,
+                restart: RestartPolicy::Geometric {
+                    base: 64,
+                    factor: 1.3,
+                },
+                phase_init: PhaseInit::AllTrue,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                phase_init: PhaseInit::Random,
+                randomize_order: true,
+                seed: 0xfec,
+                ..SolverConfig::default()
+            },
+        ];
+        for config in configs {
+            let mut unsat = pigeonhole(6, 5);
+            // rebuild with the config under test
+            let mut s = Solver::with_config(config);
+            for _ in 0..unsat.num_vars() {
+                s.new_var();
+            }
+            assert_eq!(s.config().var_decay, config.var_decay);
+            // pigeonhole(6,5) is UNSAT regardless of heuristics
+            assert_eq!(unsat.solve(&[]), SolveResult::Unsat);
+            let mut sat = Solver::with_config(config);
+            let a = sat.new_var();
+            let b = sat.new_var();
+            sat.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            sat.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+            assert_eq!(sat.solve(&[]), SolveResult::Sat);
+            assert_eq!(sat.value(b), Some(true));
+        }
+    }
+
+    #[test]
+    fn export_hook_sees_learned_clauses() {
+        use std::sync::Mutex;
+        let exported = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&exported);
+        let mut s = pigeonhole(6, 5);
+        s.set_export_hook(
+            Box::new(move |lits, lbd| {
+                sink.lock().unwrap().push((lits.to_vec(), lbd));
+            }),
+            u32::MAX,
+        );
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let n = exported.lock().unwrap().len() as u64;
+        assert!(n > 0);
+        assert_eq!(s.stats().exported_clauses, n);
+    }
+
+    #[test]
+    fn import_hook_clauses_are_used() {
+        // Feed the refuting unit clauses of a tiny UNSAT instance in
+        // via the import hook; the solver must pick them up at the
+        // first restart boundary (start of search).
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        let mut fed = false;
+        s.set_import_hook(Box::new(move || {
+            if fed {
+                Vec::new()
+            } else {
+                fed = true;
+                vec![
+                    (vec![Lit::neg(Var::from_index(0))], 1),
+                    (vec![Lit::neg(Var::from_index(1))], 1),
+                ]
+            }
+        }));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert_eq!(s.stats().imported_clauses, 2);
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let mut a = SolverStats {
+            conflicts: 3,
+            propagations: 10,
+            exported_clauses: 1,
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            conflicts: 4,
+            imported_clauses: 2,
+            ..SolverStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.conflicts, 7);
+        assert_eq!(a.propagations, 10);
+        assert_eq!(a.exported_clauses, 1);
+        assert_eq!(a.imported_clauses, 2);
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod solver;
 
 pub use card::CardEncoding;
 pub use int::UnaryInt;
-pub use solver::{CertificateStats, SmtResult, SmtSolver};
+pub use solver::{CertificateStats, SmtResult, SmtSolver, SolveBackend};
 
+pub use fec_portfolio::{PortfolioConfig, PortfolioStats};
 pub use fec_sat::{Budget, Lit, Var};

@@ -1,9 +1,28 @@
 //! The incremental solver shell: scopes, fresh variables, budgets.
 
 use fec_drat::Checker;
+use fec_portfolio::{PortfolioConfig, PortfolioStats};
 use fec_sat::{
-    Budget, DratTextLogger, Lit, MemoryProofLogger, SolveResult, Solver, TeeProofLogger,
+    Budget, DratTextLogger, Lit, MemoryProofLogger, SolveResult, Solver, SolverStats,
+    TeeProofLogger,
 };
+
+/// Which solve engine answers [`SmtSolver`] queries.
+///
+/// The theory layer (scopes, gadgets, cardinality, certification
+/// counters) is identical either way; only the engine behind
+/// [`SmtSolver::solve_with_budget`] changes.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum SolveBackend {
+    /// One incremental CDCL solver (the historical behaviour).
+    #[default]
+    Single,
+    /// A portfolio of diversified workers racing each query
+    /// (see `fec-portfolio`). Incrementality is traded for
+    /// parallelism: each query re-solves the mirrored clause set from
+    /// scratch across `config.jobs` workers.
+    Portfolio(PortfolioConfig),
+}
 
 /// Outcome of an [`SmtSolver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,6 +49,27 @@ pub struct SmtSolver {
     guards: Vec<Lit>,
     true_lit: Option<Lit>,
     cert: Option<Certifier>,
+    portfolio: Option<Box<PortfolioState>>,
+}
+
+/// State of the portfolio backend.
+///
+/// The incremental `sat` instance keeps allocating variables and
+/// simplifying clauses as usual, but queries are answered by
+/// `fec_portfolio::solve` over a verbatim mirror of every clause added,
+/// so each query races fresh diversified workers.
+struct PortfolioState {
+    config: PortfolioConfig,
+    /// Every clause ever added, in order, exactly as passed in.
+    mirror: Vec<Vec<Lit>>,
+    /// Winner's model of the most recent `Sat` answer.
+    last_model: Option<Vec<Option<bool>>>,
+    /// Statistics of the most recent query.
+    last_run: Option<PortfolioStats>,
+    /// Worker statistics accumulated over all queries.
+    agg: SolverStats,
+    /// Certification counters (when `config.certify`).
+    cert_stats: CertificateStats,
 }
 
 /// Independent certification state: the solver's proof stream is
@@ -65,6 +105,45 @@ impl SmtSolver {
             guards: Vec::new(),
             true_lit: None,
             cert: None,
+            portfolio: None,
+        }
+    }
+
+    /// An empty solver answering queries through `backend`.
+    pub fn with_backend(backend: SolveBackend) -> SmtSolver {
+        let mut s = SmtSolver::new();
+        s.install_backend(backend, false);
+        s
+    }
+
+    /// Like [`SmtSolver::new_certifying`], but answering queries
+    /// through `backend`. In portfolio mode each query's winning worker
+    /// produces a self-contained DRAT stream that is replayed through a
+    /// fresh `fec-drat` checker (imports are RUP-filtered by the
+    /// workers, see `fec-portfolio`); certification failures panic,
+    /// exactly as in single mode.
+    pub fn new_certifying_with_backend(backend: SolveBackend) -> SmtSolver {
+        match backend {
+            SolveBackend::Single => Self::new_certifying(),
+            SolveBackend::Portfolio(_) => {
+                let mut s = SmtSolver::new();
+                s.install_backend(backend, true);
+                s
+            }
+        }
+    }
+
+    fn install_backend(&mut self, backend: SolveBackend, certify: bool) {
+        if let SolveBackend::Portfolio(mut config) = backend {
+            config.certify = certify;
+            self.portfolio = Some(Box::new(PortfolioState {
+                config,
+                mirror: Vec::new(),
+                last_model: None,
+                last_run: None,
+                agg: SolverStats::default(),
+                cert_stats: CertificateStats::default(),
+            }));
         }
     }
 
@@ -111,18 +190,39 @@ impl SmtSolver {
                 checker: Checker::new(),
                 stats: CertificateStats::default(),
             }),
+            portfolio: None,
         }
     }
 
     /// `true` when this solver certifies its answers.
     pub fn is_certifying(&self) -> bool {
-        self.cert.is_some()
+        self.cert.is_some() || self.portfolio.as_ref().is_some_and(|p| p.config.certify)
     }
 
-    /// Certification counters; `None` unless built with
-    /// [`SmtSolver::new_certifying`].
+    /// Certification counters; `None` unless built in certifying mode.
     pub fn certificate_stats(&self) -> Option<CertificateStats> {
-        self.cert.as_ref().map(|c| c.stats)
+        if let Some(c) = self.cert.as_ref() {
+            return Some(c.stats);
+        }
+        self.portfolio
+            .as_ref()
+            .filter(|p| p.config.certify)
+            .map(|p| p.cert_stats)
+    }
+
+    /// Statistics of the most recent portfolio query; `None` in single
+    /// mode or before the first query.
+    pub fn last_portfolio(&self) -> Option<&PortfolioStats> {
+        self.portfolio.as_ref().and_then(|p| p.last_run.as_ref())
+    }
+
+    /// Adds a clause to both the incremental core and (in portfolio
+    /// mode) the verbatim mirror the workers re-solve.
+    fn raw_add_clause(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.portfolio.as_mut() {
+            p.mirror.push(lits.to_vec());
+        }
+        self.sat.add_clause(lits);
     }
 
     /// Replays the proof stream produced since the last call through
@@ -173,7 +273,7 @@ impl SmtSolver {
             Some(t) => t,
             None => {
                 let t = self.fresh_lit();
-                self.sat.add_clause(&[t]);
+                self.raw_add_clause(&[t]);
                 self.true_lit = Some(t);
                 t
             }
@@ -199,13 +299,13 @@ impl SmtSolver {
     pub fn add_clause(&mut self, lits: &[Lit]) {
         match self.guards.last() {
             None => {
-                self.sat.add_clause(lits);
+                self.raw_add_clause(lits);
             }
             Some(&g) => {
                 let mut c = Vec::with_capacity(lits.len() + 1);
                 c.push(!g);
                 c.extend_from_slice(lits);
-                self.sat.add_clause(&c);
+                self.raw_add_clause(&c);
             }
         }
     }
@@ -213,7 +313,7 @@ impl SmtSolver {
     /// Adds a clause to the *root* scope (permanent), regardless of the
     /// currently open scopes.
     pub fn add_clause_permanent(&mut self, lits: &[Lit]) {
-        self.sat.add_clause(lits);
+        self.raw_add_clause(lits);
     }
 
     /// Runs `f` with the scope stack temporarily emptied, so every
@@ -239,7 +339,7 @@ impl SmtSolver {
     /// Panics if no scope is open.
     pub fn pop(&mut self) {
         let g = self.guards.pop().expect("pop without matching push");
-        self.sat.add_clause(&[!g]);
+        self.raw_add_clause(&[!g]);
     }
 
     /// Number of open scopes.
@@ -257,8 +357,67 @@ impl SmtSolver {
     pub fn solve_with_budget(&mut self, extra: &[Lit], budget: Budget) -> SmtResult {
         let mut assumptions = self.guards.clone();
         assumptions.extend_from_slice(extra);
+        if self.portfolio.is_some() {
+            return self.solve_portfolio(&assumptions, budget);
+        }
         let verdict = self.sat.solve_with_budget(&assumptions, budget);
         self.certify(verdict, &assumptions);
+        match verdict {
+            SolveResult::Sat => SmtResult::Sat,
+            SolveResult::Unsat => SmtResult::Unsat,
+            SolveResult::Unknown => SmtResult::Unknown,
+        }
+    }
+
+    /// Answers one query by racing the portfolio over the mirrored
+    /// clause set, then (in certifying mode) replays the winning
+    /// worker's self-contained proof stream through a fresh independent
+    /// checker.
+    fn solve_portfolio(&mut self, assumptions: &[Lit], budget: Budget) -> SmtResult {
+        let num_vars = self.sat.num_vars();
+        let p = self.portfolio.as_mut().expect("portfolio backend");
+        let out = fec_portfolio::solve(num_vars, &p.mirror, assumptions, budget, &p.config);
+        p.agg.merge(&out.stats.total);
+        if p.config.certify && out.result != SolveResult::Unknown {
+            let steps = out
+                .winner_proof
+                .as_ref()
+                .expect("certifying portfolio returns the winner's proof");
+            let mut checker = Checker::new();
+            if let Err(e) = checker.process_all(steps) {
+                panic!(
+                    "portfolio certification failed: {e} (verdict {:?})",
+                    out.result
+                );
+            }
+            p.cert_stats.lemmas_checked += checker.lemmas_accepted() as u64;
+            match out.result {
+                SolveResult::Sat => {
+                    let model = out.model.as_ref().expect("sat winner carries a model");
+                    let value = |v: fec_sat::Var| model.get(v.index()).copied().flatten();
+                    if let Err(e) = checker.validate_model(value, assumptions) {
+                        panic!("portfolio model validation failed: {e}");
+                    }
+                    p.cert_stats.models_validated += 1;
+                }
+                SolveResult::Unsat => {
+                    let negated: Vec<Lit> = out.failed_assumptions.iter().map(|&a| !a).collect();
+                    if !checker.is_refuted() && !checker.is_rup(&negated) {
+                        panic!(
+                            "portfolio unsat certification failed: failed-assumption \
+                             clause {negated:?} is not RUP and the formula is not refuted"
+                        );
+                    }
+                    p.cert_stats.unsat_certified += 1;
+                }
+                SolveResult::Unknown => unreachable!(),
+            }
+        }
+        let verdict = out.result;
+        if verdict == SolveResult::Sat {
+            p.last_model = out.model;
+        }
+        p.last_run = Some(out.stats);
         match verdict {
             SolveResult::Sat => SmtResult::Sat,
             SolveResult::Unsat => SmtResult::Unsat,
@@ -269,7 +428,14 @@ impl SmtSolver {
     /// Model value of a literal after a `Sat` answer. Unconstrained
     /// variables read as `false`.
     pub fn model_lit(&self, l: Lit) -> bool {
-        let v = self.sat.value(l.var()).unwrap_or(false);
+        let v = match self.portfolio.as_ref() {
+            Some(p) => p
+                .last_model
+                .as_ref()
+                .and_then(|m| m.get(l.var().index()).copied().flatten())
+                .unwrap_or(false),
+            None => self.sat.value(l.var()).unwrap_or(false),
+        };
         if l.is_pos() {
             v
         } else {
@@ -277,9 +443,13 @@ impl SmtSolver {
         }
     }
 
-    /// Underlying SAT statistics.
+    /// Underlying SAT statistics. In portfolio mode this is the
+    /// field-wise sum over every worker of every query so far.
     pub fn stats(&self) -> fec_sat::SolverStats {
-        self.sat.stats()
+        match self.portfolio.as_ref() {
+            Some(p) => p.agg,
+            None => self.sat.stats(),
+        }
     }
 
     /// Number of SAT variables allocated so far.
@@ -384,6 +554,58 @@ mod tests {
         let stats = s.certificate_stats().unwrap();
         assert_eq!(stats.models_validated, 2);
         assert_eq!(stats.unsat_certified, 1);
+    }
+
+    #[test]
+    fn portfolio_backend_scope_workout() {
+        // the push/pop/assumption workout from the single-mode tests,
+        // answered by a 4-worker portfolio
+        let backend = SolveBackend::Portfolio(PortfolioConfig::with_jobs(4));
+        let mut s = SmtSolver::with_backend(backend);
+        let (x, y) = (s.fresh_lit(), s.fresh_lit());
+        s.push();
+        s.add_clause(&[x, y]);
+        assert_eq!(s.solve(&[!x]), SmtResult::Sat);
+        assert!(s.model_lit(y));
+        assert_eq!(s.solve(&[!x, !y]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[!x, !y]), SmtResult::Sat);
+        let run = s.last_portfolio().expect("portfolio ran");
+        assert_eq!(run.workers.len(), 4);
+        assert!(run.winner.is_some());
+        assert_eq!(s.stats().solve_calls, 12); // 3 queries × 4 workers
+    }
+
+    #[test]
+    fn certifying_portfolio_backend() {
+        let backend = SolveBackend::Portfolio(PortfolioConfig::with_jobs(3));
+        let mut s = SmtSolver::new_certifying_with_backend(backend);
+        assert!(s.is_certifying());
+        let xs: Vec<Lit> = (0..6).map(|_| s.fresh_lit()).collect();
+        s.at_most_k(&xs, 2);
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert_eq!(s.solve(&[xs[0], xs[1], xs[2]]), SmtResult::Unsat);
+        s.push();
+        for x in &xs[..3] {
+            s.add_clause(&[*x]);
+        }
+        assert_eq!(s.solve(&[]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        let stats = s.certificate_stats().unwrap();
+        assert_eq!(stats.models_validated, 2);
+        assert_eq!(stats.unsat_certified, 2);
+        assert!(stats.lemmas_checked > 0 || stats.unsat_certified > 0);
+    }
+
+    #[test]
+    fn single_backend_is_plain_solver() {
+        let mut s = SmtSolver::with_backend(SolveBackend::Single);
+        assert!(s.last_portfolio().is_none());
+        let x = s.fresh_lit();
+        s.add_clause(&[x]);
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert!(s.model_lit(x));
     }
 
     #[test]
