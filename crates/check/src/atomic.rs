@@ -1,0 +1,225 @@
+//! Instrumented stand-ins for `std::sync::atomic` types.
+//!
+//! Values are sequentially consistent (a load observes the latest
+//! store of the explored interleaving); *synchronization* follows the
+//! orderings: only a `Release` (or stronger) store read by an
+//! `Acquire` (or stronger) load creates a happens-before edge, and
+//! RMW operations extend the release sequence of the store they read
+//! from. A too-weak ordering therefore never synchronizes — and the
+//! cell accesses it was supposed to publish get flagged as races.
+
+use crate::sched::{self, Obj, Op, OpKind, Shared};
+use crate::vclock::VClock;
+use std::sync::atomic::Ordering;
+
+fn acquires(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Shared implementation over the raw `u64` representation.
+#[derive(Debug)]
+struct AtomicImpl {
+    id: usize,
+}
+
+fn atomic_state(g: &mut Shared, id: usize) -> (&mut u64, &mut VClock) {
+    match &mut g.objects[id] {
+        Obj::Atomic { val, sync } => (val, sync),
+        Obj::Cell { .. } => unreachable!("object {id} is not an atomic"),
+    }
+}
+
+impl AtomicImpl {
+    fn new(v: u64) -> Self {
+        AtomicImpl {
+            id: sched::register_object(Obj::Atomic {
+                val: v,
+                sync: VClock::default(),
+            }),
+        }
+    }
+
+    fn load(&self, ord: Ordering) -> u64 {
+        assert!(
+            !matches!(ord, Ordering::Release | Ordering::AcqRel),
+            "load with a release ordering"
+        );
+        let op = Op {
+            obj: Some(self.id),
+            kind: OpKind::AtomicLoad(ord),
+        };
+        sched::schedule(op, |g, me| {
+            let (val, sync) = atomic_state(g, self.id);
+            let (val, sync) = (*val, sync.clone());
+            if acquires(ord) {
+                g.threads[me].clock.join(&sync);
+            }
+            val
+        })
+    }
+
+    fn store(&self, v: u64, ord: Ordering) {
+        assert!(
+            !matches!(ord, Ordering::Acquire | Ordering::AcqRel),
+            "store with an acquire ordering"
+        );
+        let op = Op {
+            obj: Some(self.id),
+            kind: OpKind::AtomicStore(ord),
+        };
+        sched::schedule(op, |g, me| {
+            let clock = g.threads[me].clock.clone();
+            let (val, sync) = atomic_state(g, self.id);
+            *val = v;
+            if releases(ord) {
+                // this store heads a new release sequence
+                *sync = clock;
+            } else {
+                // a relaxed store synchronizes with nothing
+                sync.clear();
+            }
+        })
+    }
+
+    /// Read-modify-write with `f`; returns the previous value. An RMW
+    /// reads from the previous store and *extends* its release
+    /// sequence, so the existing message clock is preserved (and
+    /// joined with ours when we release).
+    fn rmw(&self, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let op = Op {
+            obj: Some(self.id),
+            kind: OpKind::AtomicRmw(ord),
+        };
+        sched::schedule(op, |g, me| {
+            let clock = g.threads[me].clock.clone();
+            let (val, sync) = atomic_state(g, self.id);
+            let prev = *val;
+            *val = f(prev);
+            if releases(ord) {
+                sync.join(&clock);
+            }
+            let sync = sync.clone();
+            if acquires(ord) {
+                g.threads[me].clock.join(&sync);
+            }
+            prev
+        })
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        assert!(
+            !matches!(failure, Ordering::Release | Ordering::AcqRel),
+            "compare_exchange failure ordering cannot release"
+        );
+        let op = Op {
+            obj: Some(self.id),
+            kind: OpKind::AtomicRmw(success),
+        };
+        sched::schedule(op, |g, me| {
+            let clock = g.threads[me].clock.clone();
+            let (val, sync) = atomic_state(g, self.id);
+            let prev = *val;
+            if prev == current {
+                *val = new;
+                if releases(success) {
+                    sync.join(&clock);
+                }
+                let sync = sync.clone();
+                if acquires(success) {
+                    g.threads[me].clock.join(&sync);
+                }
+                Ok(prev)
+            } else {
+                let sync = sync.clone();
+                if acquires(failure) {
+                    g.threads[me].clock.join(&sync);
+                }
+                Err(prev)
+            }
+        })
+    }
+}
+
+/// Instrumented `AtomicUsize` (API subset used by the workspace).
+#[derive(Debug)]
+pub struct AtomicUsize(AtomicImpl);
+
+impl AtomicUsize {
+    pub fn new(v: usize) -> Self {
+        AtomicUsize(AtomicImpl::new(v as u64))
+    }
+
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.0.load(ord) as usize
+    }
+
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.0.store(v as u64, ord)
+    }
+
+    pub fn swap(&self, v: usize, ord: Ordering) -> usize {
+        self.0.rmw(ord, |_| v as u64) as usize
+    }
+
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        self.0.rmw(ord, |x| x.wrapping_add(v as u64)) as usize
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.0
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v as usize)
+            .map_err(|v| v as usize)
+    }
+}
+
+/// Instrumented `AtomicBool` (API subset used by the workspace).
+#[derive(Debug)]
+pub struct AtomicBool(AtomicImpl);
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool(AtomicImpl::new(v as u64))
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.0.load(ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.0.store(v as u64, ord)
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.0.rmw(ord, |_| v as u64) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.0
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}

@@ -1,0 +1,96 @@
+//! Instrumented `UnsafeCell`: the race-detection tripwire.
+//!
+//! Every access goes through [`UnsafeCell::with`] (shared read) or
+//! [`UnsafeCell::with_mut`] (exclusive write) — the loom idiom — and
+//! is checked against the classic vector-clock discipline:
+//!
+//! - a **read** by thread `t` races unless every prior write happens
+//!   before `t`'s current clock;
+//! - a **write** by `t` races unless every prior read *and* write
+//!   happens before `t`'s current clock.
+//!
+//! Because the explorer serializes all model threads, even a racy
+//! model never performs a physical data race — the raw pointer handed
+//! to the closure is always exclusively owned for the closure's
+//! duration. Races are purely logical findings, reported through
+//! [`crate::CheckError::Race`].
+
+use crate::sched::{self, Obj, Op, OpKind, Shared};
+use crate::vclock::VClock;
+
+/// Instrumented replacement for `std::cell::UnsafeCell`.
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    id: usize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// Safety: the cooperative scheduler runs at most one model thread at a
+// time, and `with`/`with_mut` only lend the pointer for the closure's
+// duration, so physical aliasing across threads never occurs. Logical
+// races are *detected* dynamically through vector clocks instead of
+// being prevented by the type system — the same stance loom takes.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+fn cell_clocks(g: &mut Shared, id: usize) -> (&mut VClock, &mut VClock) {
+    match &mut g.objects[id] {
+        Obj::Cell { reads, writes } => (reads, writes),
+        Obj::Atomic { .. } => unreachable!("object {id} is not a cell"),
+    }
+}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(data: T) -> Self {
+        UnsafeCell {
+            id: sched::register_object(Obj::Cell {
+                reads: VClock::default(),
+                writes: VClock::default(),
+            }),
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Immutable access. The pointer must not escape the closure.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let op = Op {
+            obj: Some(self.id),
+            kind: OpKind::CellRead,
+        };
+        sched::schedule(op, |g, me| {
+            let clock = g.threads[me].clock.clone();
+            let (reads, writes) = cell_clocks(g, self.id);
+            if writes.le(&clock) {
+                reads.set(me, clock.get(me));
+            } else {
+                let msg = format!(
+                    "UnsafeCell read by thread {me} is concurrent with a write (cell {})",
+                    self.id
+                );
+                sched::report_race(g, msg);
+            }
+        });
+        f(self.data.get())
+    }
+
+    /// Mutable access. The pointer must not escape the closure.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let op = Op {
+            obj: Some(self.id),
+            kind: OpKind::CellWrite,
+        };
+        sched::schedule(op, |g, me| {
+            let clock = g.threads[me].clock.clone();
+            let (reads, writes) = cell_clocks(g, self.id);
+            if writes.le(&clock) && reads.le(&clock) {
+                writes.set(me, clock.get(me));
+            } else {
+                let msg = format!(
+                    "UnsafeCell write by thread {me} is concurrent with another access (cell {})",
+                    self.id
+                );
+                sched::report_race(g, msg);
+            }
+        });
+        f(self.data.get())
+    }
+}

@@ -1,0 +1,343 @@
+//! Exhaustive bounded exploration of thread interleavings.
+//!
+//! The explorer runs the model closure over and over, driving a
+//! depth-first search over scheduling decisions. A persistent stack of
+//! choice points records, for each schedule prefix, which threads were
+//! enabled and which option is currently being explored; each
+//! execution replays the prefix and extends it until every model
+//! thread finishes. Two prunings keep the tree tractable:
+//!
+//! - **Preemption bounding** — schedules are explored in order of how
+//!   many times a runnable thread was forcibly switched away from
+//!   (bounded by [`Config::preemptions`]). Context switches at a
+//!   blocked or finished thread are free. Almost all concurrency bugs
+//!   are exposed by very few preemptions (CHESS's empirical result),
+//!   and vector-clock race detection needs only *one* schedule with
+//!   the offending value flow, not the literal racy adjacency.
+//! - **Sleep sets (DPOR-lite)** — after exploring thread `t` at a
+//!   node, sibling branches put `t` to sleep until some executed
+//!   operation is dependent with `t`'s pending one; schedules that
+//!   merely commute independent operations are visited once.
+//!
+//! Determinism is required: the model must make the same sequence of
+//! instrumented calls whenever the same schedule is replayed (no wall
+//! clock, no OS randomness — the usual loom contract).
+
+use crate::sched::{self, Exec, Failure, Op, OpKind, Shared, Status, Tid};
+use std::fmt;
+use std::sync::{Arc, MutexGuard};
+
+/// Exploration limits.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum forced context switches per schedule (see module docs).
+    pub preemptions: usize,
+    /// Hard cap on schedules (explored + pruned); exceeding it is an
+    /// error so interleaving explosions fail loudly instead of hanging.
+    pub max_schedules: usize,
+    /// Hard cap on instrumented operations per execution (livelock
+    /// guard for models that spin).
+    pub max_steps: usize,
+    /// Disable to measure how much pruning the sleep sets buy.
+    pub sleep_sets: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemptions: 2,
+            max_schedules: 100_000,
+            max_steps: 20_000,
+            sleep_sets: true,
+        }
+    }
+}
+
+/// Summary of a completed (race-free) exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules run to completion.
+    pub schedules: usize,
+    /// Schedule prefixes abandoned by sleep-set pruning.
+    pub pruned: usize,
+}
+
+/// A failed exploration. `schedule` is the sequence of thread ids
+/// granted at each scheduling point, enough to replay the failure by
+/// hand.
+#[derive(Clone, Debug)]
+pub enum CheckError {
+    /// A data race: two unsynchronized accesses to the same
+    /// [`crate::cell::UnsafeCell`], at least one of them a write.
+    Race { message: String, schedule: Vec<Tid> },
+    /// The model panicked (e.g. an assertion about a functional
+    /// property failed under this schedule).
+    Panic { message: String, schedule: Vec<Tid> },
+    /// Every unfinished thread is blocked on `join`.
+    Deadlock { schedule: Vec<Tid> },
+    /// One execution exceeded [`Config::max_steps`].
+    StepLimit { schedule: Vec<Tid> },
+    /// The search exceeded [`Config::max_schedules`].
+    ScheduleLimit { explored: usize },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Race { message, schedule } => {
+                write!(f, "data race: {message} (schedule {schedule:?})")
+            }
+            CheckError::Panic { message, schedule } => {
+                write!(f, "model panicked: {message} (schedule {schedule:?})")
+            }
+            CheckError::Deadlock { schedule } => {
+                write!(f, "deadlock: all threads blocked (schedule {schedule:?})")
+            }
+            CheckError::StepLimit { schedule } => {
+                write!(f, "step limit exceeded — livelock? (schedule {schedule:?})")
+            }
+            CheckError::ScheduleLimit { explored } => {
+                write!(f, "schedule limit exceeded after {explored} schedules")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// One node of the persistent DFS stack: the scheduling options chosen
+/// to explore at this depth, and which is current.
+struct Node {
+    options: Vec<Tid>,
+    index: usize,
+}
+
+enum RunOutcome {
+    /// All threads finished; a full schedule was explored.
+    Complete,
+    /// Abandoned: every non-sleeping option was pruned.
+    Pruned,
+}
+
+/// Explores every schedule of `model` within `config`'s bounds.
+/// Returns the exploration summary, or the first failure found.
+pub fn explore(
+    config: &Config,
+    model: impl Fn() + Send + Sync + 'static,
+) -> Result<Report, CheckError> {
+    let model = Arc::new(model);
+    let mut stack: Vec<Node> = Vec::new();
+    let mut schedules = 0usize;
+    let mut pruned = 0usize;
+    loop {
+        if schedules + pruned >= config.max_schedules {
+            return Err(CheckError::ScheduleLimit {
+                explored: schedules,
+            });
+        }
+        match run_once(config, Arc::clone(&model), &mut stack)? {
+            RunOutcome::Complete => schedules += 1,
+            RunOutcome::Pruned => pruned += 1,
+        }
+        // advance the DFS to the next unexplored branch
+        loop {
+            match stack.last_mut() {
+                None => return Ok(Report { schedules, pruned }),
+                Some(top) => {
+                    top.index += 1;
+                    if top.index < top.options.len() {
+                        break;
+                    }
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Explores with the default [`Config`], panicking on any failure —
+/// the drop-in `loom::model` replacement for tests.
+pub fn check(model: impl Fn() + Send + Sync + 'static) {
+    if let Err(e) = explore(&Config::default(), model) {
+        panic!("fec-check: {e}");
+    }
+}
+
+/// Waits until no thread holds the baton and none is starting up or
+/// running user code: every thread is parked at a point or finished.
+fn wait_quiescent(exec: &Exec) -> MutexGuard<'_, Shared> {
+    let mut g = exec.lock();
+    loop {
+        let busy = g.active.is_some()
+            || g.threads
+                .iter()
+                .any(|t| matches!(t.status, Status::Starting | Status::Running));
+        if !busy {
+            return g;
+        }
+        g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Declared op of a parked thread.
+fn op_of(g: &Shared, t: Tid) -> Op {
+    match g.threads[t].status {
+        Status::AtPoint(op) => op,
+        _ => unreachable!("op_of on a thread that is not parked"),
+    }
+}
+
+/// A parked thread is enabled unless it waits on an unfinished join.
+fn is_enabled(g: &Shared, t: Tid) -> bool {
+    match op_of(g, t).kind {
+        OpKind::Join(target) => g.threads[target].status == Status::Finished,
+        _ => true,
+    }
+}
+
+/// Sets the abort flag and waits until every model thread has unwound,
+/// then reaps the OS handles.
+fn abort_and_reap(exec: &Exec, mut g: MutexGuard<'_, Shared>) {
+    g.abort = true;
+    g.active = None;
+    exec.cv.notify_all();
+    loop {
+        if g.threads.iter().all(|t| t.status == Status::Finished) {
+            break;
+        }
+        g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+    let handles = std::mem::take(&mut g.os_handles);
+    drop(g);
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Reaps OS handles after a naturally completed execution.
+fn reap(exec: &Exec) {
+    let handles = std::mem::take(&mut exec.lock().os_handles);
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn failure_to_error(failure: Failure, schedule: Vec<Tid>) -> CheckError {
+    match failure {
+        Failure::Race(message) => CheckError::Race { message, schedule },
+        Failure::Panic(message) => CheckError::Panic { message, schedule },
+        Failure::StepLimit => CheckError::StepLimit { schedule },
+    }
+}
+
+/// Runs one execution: replays the stack's current prefix, then
+/// extends it with fresh choice points until the model finishes, a
+/// failure surfaces, or pruning abandons the branch.
+fn run_once(
+    config: &Config,
+    model: Arc<impl Fn() + Send + Sync + 'static>,
+    stack: &mut Vec<Node>,
+) -> Result<RunOutcome, CheckError> {
+    let exec = Arc::new(Exec::new(config.max_steps));
+    {
+        let mut g = exec.lock();
+        g.threads.push(crate::sched::new_root_thread());
+        let e2 = Arc::clone(&exec);
+        let handle = std::thread::spawn(move || sched::model_thread_main(e2, 0, move || model()));
+        g.os_handles.push(handle);
+    }
+
+    let mut depth = 0usize;
+    // DFS bookkeeping recomputed identically on every replay
+    let mut sleep: Vec<Tid> = Vec::new();
+    let mut prev: Option<Tid> = None;
+    let mut preemptions = 0usize;
+
+    loop {
+        let g = wait_quiescent(&exec);
+        if let Some(failure) = g.failure.clone() {
+            let schedule = g.trace.clone();
+            abort_and_reap(&exec, g);
+            return Err(failure_to_error(failure, schedule));
+        }
+        let unfinished = g.threads.iter().any(|t| t.status != Status::Finished);
+        if !unfinished {
+            drop(g);
+            reap(&exec);
+            return Ok(RunOutcome::Complete);
+        }
+        let enabled: Vec<Tid> = (0..g.threads.len())
+            .filter(|&t| matches!(g.threads[t].status, Status::AtPoint(_)) && is_enabled(&g, t))
+            .collect();
+        if enabled.is_empty() {
+            let schedule = g.trace.clone();
+            abort_and_reap(&exec, g);
+            return Err(CheckError::Deadlock { schedule });
+        }
+
+        if depth == stack.len() {
+            // fresh choice point: filter by sleep set, then by the
+            // preemption budget (once spent, the previously running
+            // thread must continue while it stays enabled)
+            let mut options: Vec<Tid> = enabled
+                .iter()
+                .copied()
+                .filter(|t| !sleep.contains(t))
+                .collect();
+            if preemptions >= config.preemptions {
+                if let Some(p) = prev {
+                    if enabled.contains(&p) {
+                        options.retain(|&t| t == p);
+                    }
+                }
+            }
+            if options.is_empty() {
+                // every enabled thread is asleep here: this prefix only
+                // leads to schedules equivalent to ones explored via a
+                // sibling — abandon it
+                abort_and_reap(&exec, g);
+                return Ok(RunOutcome::Pruned);
+            }
+            stack.push(Node { options, index: 0 });
+        }
+        let node = &stack[depth];
+        let choice = node.options[node.index];
+        debug_assert!(
+            enabled.contains(&choice),
+            "replay divergence: model is nondeterministic"
+        );
+        let chosen_op = op_of(&g, choice);
+
+        // sleep-set propagation: siblings explored before the current
+        // option go to sleep; executing a dependent operation wakes a
+        // sleeper up (by dropping it from the set)
+        if config.sleep_sets {
+            let mut next_sleep: Vec<Tid> = Vec::new();
+            for &u in sleep.iter().chain(node.options[..node.index].iter()) {
+                if u == choice || next_sleep.contains(&u) {
+                    continue;
+                }
+                if let Status::AtPoint(op_u) = g.threads[u].status {
+                    if !Op::dependent(&op_u, &chosen_op) {
+                        next_sleep.push(u);
+                    }
+                }
+            }
+            sleep = next_sleep;
+        }
+        if let Some(p) = prev {
+            if choice != p && enabled.contains(&p) {
+                preemptions += 1;
+            }
+        }
+        prev = Some(choice);
+
+        // hand the baton over
+        let mut g = g;
+        g.trace.push(choice);
+        g.active = Some(choice);
+        exec.cv.notify_all();
+        drop(g);
+        depth += 1;
+    }
+}

@@ -1,0 +1,322 @@
+//! The execution runtime: cooperative scheduling of model threads.
+//!
+//! Every model thread is a real OS thread, but at most one runs at a
+//! time: before each instrumented operation (atomic access, cell
+//! access, spawn, join) the thread parks at a *schedule point* and
+//! waits for the explorer to grant it the baton. The explorer (on the
+//! test thread) waits until every thread is parked or finished, picks
+//! the next thread according to its depth-first search over schedules,
+//! and hands the baton over. Because only one thread ever executes
+//! user code at a time, even a *racy* model never performs a physical
+//! data race — races are detected logically, through vector clocks.
+//!
+//! The memory model implemented here is "sequentially consistent
+//! values, C11-style synchronization": an atomic load always observes
+//! the latest store in the interleaving (no store buffering), but
+//! happens-before edges are created **only** by Release stores read by
+//! Acquire loads (plus spawn/join). Data-race detection on
+//! [`crate::cell::UnsafeCell`] uses those edges exclusively, so a
+//! publication protocol whose fence is too weak (`Relaxed` where
+//! `Release`/`Acquire` is required) is flagged on every schedule where
+//! the un-synchronized value flow actually happens — exactly the bugs
+//! weak-memory hardware or compiler reordering would expose.
+
+use crate::vclock::VClock;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+pub(crate) type Tid = usize;
+
+/// What a thread is about to do at its current schedule point. Used
+/// for enabledness (join), for dependence-aware sleep-set pruning, and
+/// for race reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    /// First event of a thread (parks until the explorer starts it).
+    Start,
+    /// Registration of a child thread.
+    Spawn,
+    /// Wait for thread `.0` to finish; enabled only once it has.
+    Join(Tid),
+    AtomicLoad(Ordering),
+    AtomicStore(Ordering),
+    /// Read-modify-write (`fetch_add`, `swap`, `compare_exchange`).
+    AtomicRmw(Ordering),
+    CellRead,
+    CellWrite,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Op {
+    /// Object acted on (`None` for thread lifecycle events).
+    pub obj: Option<usize>,
+    pub kind: OpKind,
+}
+
+impl Op {
+    fn is_write(&self) -> bool {
+        matches!(
+            self.kind,
+            OpKind::AtomicStore(_) | OpKind::AtomicRmw(_) | OpKind::CellWrite
+        )
+    }
+
+    /// Mazurkiewicz dependence: two operations commute (may be
+    /// reordered without changing the outcome) unless they touch the
+    /// same object and at least one writes it. Lifecycle events are
+    /// conservatively dependent on everything — they carry
+    /// happens-before edges.
+    pub fn dependent(a: &Op, b: &Op) -> bool {
+        match (a.obj, b.obj) {
+            (Some(x), Some(y)) => x == y && (a.is_write() || b.is_write()),
+            _ => true,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    /// Registered; its OS thread has not yet parked at `Start`.
+    Starting,
+    /// Holds the baton and is executing user code.
+    Running,
+    /// Parked at a schedule point, next operation declared.
+    AtPoint(Op),
+    /// The closure returned, panicked, or unwound on abort.
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub status: Status,
+    pub clock: VClock,
+    /// Clock at termination; joined into the joiner's clock.
+    pub final_clock: Option<VClock>,
+    pub panicked: bool,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> Self {
+        ThreadState {
+            status: Status::Starting,
+            clock,
+            final_clock: None,
+            panicked: false,
+        }
+    }
+}
+
+/// Per-object instrumentation state. Values of atomics live here (the
+/// interleaving is explored sequentially, so a plain field suffices);
+/// values of cells live in the shim's real memory — only access clocks
+/// are tracked.
+pub(crate) enum Obj {
+    Atomic {
+        val: u64,
+        /// Message clock of the release sequence headed by the latest
+        /// release store: what an acquire load of the current value
+        /// synchronizes with. Cleared by a `Relaxed` store (which
+        /// heads no release sequence), preserved by `Relaxed` RMWs
+        /// (which extend the sequence).
+        sync: VClock,
+    },
+    Cell {
+        /// reads[t] = t's clock component at its last read.
+        reads: VClock,
+        /// writes[t] = t's clock component at its last write.
+        writes: VClock,
+    },
+}
+
+/// Why an execution was declared failed (first failure wins).
+#[derive(Clone, Debug)]
+pub(crate) enum Failure {
+    Race(String),
+    Panic(String),
+    StepLimit,
+}
+
+pub(crate) struct Shared {
+    pub threads: Vec<ThreadState>,
+    pub objects: Vec<Obj>,
+    /// Baton holder. Set by the explorer when granting; cleared by the
+    /// thread when it parks at its next point or finishes.
+    pub active: Option<Tid>,
+    /// When set, every parked thread unwinds instead of proceeding.
+    pub abort: bool,
+    pub failure: Option<Failure>,
+    /// Instrumented operations executed so far (livelock guard).
+    pub steps: usize,
+    pub max_steps: usize,
+    /// The schedule executed so far: thread granted at each point.
+    pub trace: Vec<Tid>,
+    /// OS handles of every model thread, reaped at execution end.
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Exec {
+    pub mx: Mutex<Shared>,
+    pub cv: Condvar,
+}
+
+impl Exec {
+    pub fn new(max_steps: usize) -> Self {
+        Exec {
+            mx: Mutex::new(Shared {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                active: None,
+                abort: false,
+                failure: None,
+                steps: 0,
+                max_steps,
+                trace: Vec::new(),
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Locks the shared state, shrugging off poisoning (a panicking
+    /// model thread is an expected, handled event).
+    pub fn lock(&self) -> MutexGuard<'_, Shared> {
+        self.mx.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, g: MutexGuard<'a, Shared>) -> MutexGuard<'a, Shared> {
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+thread_local! {
+    /// The execution this OS thread belongs to, if it is a model
+    /// thread (set for the closure's whole lifetime).
+    static CURRENT: RefCell<Option<(Arc<Exec>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// Zero-sized panic payload used to unwind model threads when the
+/// explorer abandons an execution (prune, failure, step limit). Caught
+/// at the thread's top level; never surfaces to the user.
+struct AbortToken;
+
+fn resume_abort() -> ! {
+    panic::resume_unwind(Box::new(AbortToken))
+}
+
+pub(crate) fn with_exec<R>(f: impl FnOnce(&Arc<Exec>, Tid) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (exec, tid) = b.as_ref().expect(
+            "fec-check shim used outside a model: wrap the test body in fec_check::check / explore",
+        );
+        f(exec, *tid)
+    })
+}
+
+/// Registers a fresh instrumented object (no schedule point: creation
+/// is thread-local until the object is published, and publication
+/// itself — spawn or an atomic — carries the happens-before edge).
+pub(crate) fn register_object(obj: Obj) -> usize {
+    with_exec(|exec, _| {
+        let mut g = exec.lock();
+        g.objects.push(obj);
+        g.objects.len() - 1
+    })
+}
+
+/// The heart of every shim: park at a schedule point declaring `op`,
+/// wait for the baton, then perform `apply` on the shared state (clock
+/// updates, value updates, race checks) and continue running.
+pub(crate) fn schedule<R>(op: Op, apply: impl FnOnce(&mut Shared, Tid) -> R) -> R {
+    with_exec(|exec, me| {
+        let mut g = exec.lock();
+        g.threads[me].status = Status::AtPoint(op);
+        g.active = None;
+        exec.cv.notify_all();
+        loop {
+            if g.abort {
+                drop(g);
+                resume_abort();
+            }
+            if g.active == Some(me) {
+                break;
+            }
+            g = exec.wait(g);
+        }
+        g.threads[me].status = Status::Running;
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            g.failure.get_or_insert(Failure::StepLimit);
+            g.abort = true;
+            exec.cv.notify_all();
+            drop(g);
+            resume_abort();
+        }
+        // the operation is an event of `me`
+        g.threads[me].clock.bump(me);
+        apply(&mut g, me)
+    })
+}
+
+/// Records the first race found and aborts the execution. Called from
+/// inside an `apply` closure; the calling thread keeps running until
+/// its next schedule point, where it unwinds.
+pub(crate) fn report_race(g: &mut Shared, msg: String) {
+    g.failure.get_or_insert(Failure::Race(msg));
+    g.abort = true;
+}
+
+/// Body wrapper for every model OS thread: binds the thread-local
+/// context, parks at `Start` until the explorer schedules the thread's
+/// first step, runs the closure, and records termination.
+pub(crate) fn model_thread_main(exec: Arc<Exec>, me: Tid, body: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), me)));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        schedule(
+            Op {
+                obj: None,
+                kind: OpKind::Start,
+            },
+            |_, _| {},
+        );
+        body();
+    }));
+    let mut g = exec.lock();
+    match result {
+        Ok(()) => {}
+        Err(payload) => {
+            if !payload.is::<AbortToken>() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                g.threads[me].panicked = true;
+                g.failure.get_or_insert(Failure::Panic(msg));
+            }
+        }
+    }
+    let final_clock = g.threads[me].clock.clone();
+    g.threads[me].final_clock = Some(final_clock);
+    g.threads[me].status = Status::Finished;
+    g.active = None;
+    exec.cv.notify_all();
+    drop(g);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Registers a child thread from inside a running parent (called by
+/// the spawn shim within its `apply`): the child inherits the parent's
+/// clock — everything the parent did up to and including the spawn
+/// happens before everything the child will do.
+pub(crate) fn register_child(g: &mut Shared, parent: Tid) -> Tid {
+    let clock = g.threads[parent].clock.clone();
+    g.threads.push(ThreadState::new(clock));
+    g.threads.len() - 1
+}
+
+/// State for the root model thread (tid 0) of a fresh execution.
+pub(crate) fn new_root_thread() -> ThreadState {
+    ThreadState::new(VClock::default())
+}

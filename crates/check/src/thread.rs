@@ -1,0 +1,75 @@
+//! Instrumented `thread::spawn` / `JoinHandle`.
+//!
+//! Spawn and join are the structural happens-before edges of a model:
+//! a child starts with its parent's clock at the spawn, and a join
+//! folds the child's final clock into the joiner. Every model thread
+//! is a real OS thread driven by the explorer's baton (see
+//! [`crate::sched`]).
+
+use crate::sched::{self, Op, OpKind, Tid};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: Tid,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a model thread. Must be called from inside a model run.
+///
+/// The closure's result is returned by [`JoinHandle::join`]. Unlike
+/// `std`, `join` panics (rather than returning `Err`) when the child
+/// panicked — inside a model, a child panic is already a reported
+/// failure, so rejoining it only needs to not deadlock.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None::<T>));
+    let slot = Arc::clone(&result);
+    let op = Op {
+        obj: None,
+        kind: OpKind::Spawn,
+    };
+    let child = sched::schedule(op, sched::register_child);
+    sched::with_exec(|exec, _me| {
+        let e2 = Arc::clone(exec);
+        let handle = std::thread::spawn(move || {
+            sched::model_thread_main(e2, child, move || {
+                let value = f();
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            })
+        });
+        exec.lock().os_handles.push(handle);
+    });
+    JoinHandle { tid: child, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes and returns
+    /// its result. The join synchronizes: everything the child did
+    /// happens before everything the joiner does next.
+    pub fn join(self) -> T {
+        let op = Op {
+            obj: None,
+            kind: OpKind::Join(self.tid),
+        };
+        let panicked = sched::schedule(op, |g, me| {
+            let final_clock = g.threads[self.tid]
+                .final_clock
+                .clone()
+                .expect("join granted before the target finished");
+            g.threads[me].clock.join(&final_clock);
+            g.threads[self.tid].panicked
+        });
+        if panicked {
+            panic!("fec-check: joined model thread panicked");
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined thread finished without a result")
+    }
+}

@@ -1,0 +1,96 @@
+//! Vector clocks: the happens-before backbone of race detection.
+//!
+//! Each model thread `t` carries a clock `C_t`; component `C_t[u]` is
+//! the number of events of thread `u` known (directly or transitively)
+//! to happen before `t`'s next event. Synchronizing operations —
+//! `spawn`, `join`, and acquire loads that read a release store — join
+//! clocks; every instrumented operation bumps the executing thread's
+//! own component.
+
+/// A grow-on-demand vector clock. Missing components read as zero, so
+/// clocks over different thread counts compare naturally.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// Component for thread `t` (zero when never touched).
+    pub fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets component `t`, growing the vector as needed.
+    pub fn set(&mut self, t: usize, v: u32) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Records one more event of thread `t`.
+    pub fn bump(&mut self, t: usize) {
+        self.set(t, self.get(t) + 1);
+    }
+
+    /// Component-wise maximum: afterwards `self` knows everything
+    /// `other` knew.
+    pub fn join(&mut self, other: &VClock) {
+        for (t, &v) in other.0.iter().enumerate() {
+            if v > self.get(t) {
+                self.set(t, v);
+            }
+        }
+    }
+
+    /// Pointwise `self ≤ other`: every event recorded in `self` is also
+    /// known to `other`, i.e. `self` happens before (or equals) the
+    /// view `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.get(t))
+    }
+
+    /// Clears every component (used for the "synchronizes with nothing"
+    /// message clock of a `Relaxed` store).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_compare() {
+        let mut a = VClock::default();
+        let mut b = VClock::default();
+        a.bump(0);
+        a.bump(0);
+        b.bump(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut c = a.clone();
+        c.join(&b);
+        assert!(a.le(&c));
+        assert!(b.le(&c));
+        assert_eq!(c.get(0), 2);
+        assert_eq!(c.get(1), 1);
+    }
+
+    #[test]
+    fn empty_is_bottom() {
+        let bot = VClock::default();
+        let mut x = VClock::default();
+        x.bump(3);
+        assert!(bot.le(&x));
+        assert!(bot.le(&bot));
+        assert!(!x.le(&bot));
+    }
+
+    #[test]
+    fn clear_resets_to_bottom() {
+        let mut x = VClock::default();
+        x.bump(0);
+        x.clear();
+        assert!(x.le(&VClock::default()));
+    }
+}

@@ -1,0 +1,276 @@
+//! Self-tests for the model checker: does it find the bugs it is
+//! supposed to find, stay silent on correct code, and prune what it
+//! claims to prune?
+
+use fec_check::cell::UnsafeCell;
+use fec_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use fec_check::{explore, thread, CheckError, Config};
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        preemptions: 2,
+        max_schedules: 50_000,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn unsynchronized_writes_race() {
+    let err = explore(&cfg(), || {
+        let cell = Arc::new(UnsafeCell::new(0u32));
+        let c = Arc::clone(&cell);
+        let t = thread::spawn(move || c.with_mut(|p| unsafe { *p += 1 }));
+        cell.with_mut(|p| unsafe { *p += 1 });
+        t.join();
+    })
+    .expect_err("two unsynchronized writers must race");
+    assert!(matches!(err, CheckError::Race { .. }), "got: {err}");
+}
+
+#[test]
+fn write_read_race_detected_in_every_order() {
+    // no synchronization at all: even the sequential schedules expose
+    // the race through the clocks (no adjacency needed)
+    let err = explore(
+        &Config {
+            preemptions: 0,
+            ..cfg()
+        },
+        || {
+            let cell = Arc::new(UnsafeCell::new(0u32));
+            let c = Arc::clone(&cell);
+            let t = thread::spawn(move || c.with_mut(|p| unsafe { *p = 7 }));
+            let _ = cell.with(|p| unsafe { *p });
+            t.join();
+        },
+    )
+    .expect_err("unsynchronized write/read must race even with 0 preemptions");
+    assert!(matches!(err, CheckError::Race { .. }));
+}
+
+#[test]
+fn release_acquire_message_passing_is_clean() {
+    let report = explore(&cfg(), || {
+        let data = Arc::new(UnsafeCell::new(0u32));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d, r) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = thread::spawn(move || {
+            d.with_mut(|p| unsafe { *p = 42 });
+            r.store(true, Ordering::Release);
+        });
+        if ready.load(Ordering::Acquire) {
+            let v = data.with(|p| unsafe { *p });
+            assert_eq!(v, 42, "acquire load must see the published value");
+        }
+        t.join();
+    })
+    .expect("release/acquire message passing is race-free");
+    assert!(report.schedules > 1, "must explore more than one schedule");
+}
+
+#[test]
+fn relaxed_message_passing_races() {
+    let err = explore(&cfg(), || {
+        let data = Arc::new(UnsafeCell::new(0u32));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d, r) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = thread::spawn(move || {
+            d.with_mut(|p| unsafe { *p = 42 });
+            r.store(true, Ordering::Relaxed); // missing Release
+        });
+        if ready.load(Ordering::Acquire) {
+            let _ = data.with(|p| unsafe { *p });
+        }
+        t.join();
+    })
+    .expect_err("relaxed publication must be reported");
+    assert!(matches!(err, CheckError::Race { .. }), "got: {err}");
+}
+
+#[test]
+fn rmw_extends_release_sequence() {
+    // Store(Release) then a Relaxed RMW by another thread: an acquire
+    // load reading the RMW's value still synchronizes with the
+    // original release store (C11 release sequences).
+    explore(&cfg(), || {
+        let data = Arc::new(UnsafeCell::new(0u32));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            d1.with_mut(|p| unsafe { *p = 9 });
+            f1.store(1, Ordering::Release);
+        });
+        let f2 = Arc::clone(&flag);
+        let bumper = thread::spawn(move || {
+            // only bump once the flag is raised, so value 2 implies the
+            // writer's release store is in the sequence
+            if f2.load(Ordering::Relaxed) == 1 {
+                f2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            let v = data.with(|p| unsafe { *p });
+            assert_eq!(v, 9);
+        }
+        writer.join();
+        bumper.join();
+    })
+    .expect("release sequence through a relaxed RMW is race-free");
+}
+
+#[test]
+fn atomic_counter_sums_under_all_schedules() {
+    explore(&cfg(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    })
+    .expect("fetch_add increments are never lost");
+}
+
+#[test]
+fn compare_exchange_elects_exactly_one() {
+    explore(&cfg(), || {
+        let slot = Arc::new(AtomicUsize::new(usize::MAX));
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let s = Arc::clone(&slot);
+                thread::spawn(move || {
+                    s.compare_exchange(usize::MAX, i, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                })
+            })
+            .collect();
+        let wins: Vec<bool> = handles.into_iter().map(|h| h.join()).collect();
+        assert_eq!(wins.iter().filter(|&&w| w).count(), 1);
+        let winner = slot.load(Ordering::Acquire);
+        assert!(wins[winner], "stored id must belong to the CAS winner");
+    })
+    .expect("CAS election is race-free");
+}
+
+#[test]
+fn sleep_sets_prune_independent_operations() {
+    // two threads storing to *different* atomics commute; sleep sets
+    // should visit strictly fewer schedules than the full product
+    let run = |sleep_sets: bool| {
+        let config = Config {
+            sleep_sets,
+            ..cfg()
+        };
+        explore(&config, || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = Arc::new(AtomicUsize::new(0));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || a2.store(1, Ordering::Relaxed));
+            let t2 = thread::spawn(move || b2.store(1, Ordering::Relaxed));
+            t1.join();
+            t2.join();
+            assert_eq!(a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed), 2);
+        })
+        .expect("independent stores are race-free")
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with.schedules < without.schedules && with.pruned > 0,
+        "sleep sets must prune full schedules: {} (+{} abandoned) vs {}",
+        with.schedules,
+        with.pruned,
+        without.schedules
+    );
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        explore(&cfg(), || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || n2.fetch_add(1, Ordering::Relaxed));
+            n.fetch_add(2, Ordering::Relaxed);
+            t.join();
+        })
+        .expect("race-free")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.pruned, b.pruned);
+}
+
+#[test]
+fn model_panic_is_reported_with_schedule() {
+    let err = explore(&cfg(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || n2.store(1, Ordering::Relaxed));
+        // wrong claim: holds only under schedules where the child ran first
+        assert_eq!(n.load(Ordering::Relaxed), 1, "child must have stored");
+        t.join();
+    })
+    .expect_err("the failing schedule must be found");
+    match err {
+        CheckError::Panic { schedule, .. } => assert!(!schedule.is_empty()),
+        other => panic!("expected Panic, got: {other}"),
+    }
+}
+
+#[test]
+fn livelock_hits_step_limit() {
+    let err = explore(
+        &Config {
+            max_steps: 500,
+            ..cfg()
+        },
+        || {
+            let flag = Arc::new(AtomicBool::new(false));
+            // nobody ever sets the flag: this spin must not hang the checker
+            while !flag.load(Ordering::Acquire) {}
+        },
+    )
+    .expect_err("spin loop must be cut off");
+    assert!(matches!(err, CheckError::StepLimit { .. }), "got: {err}");
+}
+
+#[test]
+fn schedule_limit_fails_loudly() {
+    let err = explore(
+        &Config {
+            max_schedules: 3,
+            preemptions: 4,
+            ..Config::default()
+        },
+        || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        for _ in 0..4 {
+                            n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        },
+    )
+    .expect_err("schedule cap must abort the search");
+    assert!(
+        matches!(err, CheckError::ScheduleLimit { .. }),
+        "got: {err}"
+    );
+}

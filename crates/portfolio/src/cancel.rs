@@ -1,0 +1,128 @@
+//! First-to-finish winner election and cooperative cancellation.
+//!
+//! The portfolio's termination protocol, factored out of the engine so
+//! it can be compiled against the `fec-check` shims and model-checked
+//! (see `tests/model.rs`):
+//!
+//! 1. every worker races to [`Election::try_win`] when it reaches a
+//!    verdict; a compare-exchange on the winner slot guarantees exactly
+//!    one succeeds, no matter how the finishes interleave;
+//! 2. the winner — and only the winner — raises the stop flag, which
+//!    the losing workers' solvers poll inside their propagation loops
+//!    and abort on;
+//! 3. only the CAS winner extracts its model/proof, so the answer
+//!    reported upward is unambiguous even when several workers finish
+//!    near-simultaneously.
+//!
+//! Memory-ordering contract (verified by the model tests, documented
+//! in DESIGN.md "Memory-model assumptions"): the CAS is `AcqRel` so
+//! the winner's identity is a unique, totally-ordered decision; the
+//! stop flag is published with `Release` and may be polled with
+//! `Relaxed` because it carries no data — it only hastens loser
+//! shutdown, and the losers' reports synchronize with the parent via
+//! thread join.
+
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+#[cfg(not(feature = "fec_check"))]
+use std::sync::Arc;
+
+/// Sentinel stored in the winner slot while the race is undecided.
+const NO_WINNER: usize = usize::MAX;
+
+/// One solve call's winner election: a winner slot plus the stop flag
+/// broadcast to every worker's solver.
+pub struct Election {
+    winner: AtomicUsize,
+    #[cfg(not(feature = "fec_check"))]
+    stop: Arc<AtomicBool>,
+    #[cfg(feature = "fec_check")]
+    stop: AtomicBool,
+}
+
+impl Election {
+    /// A fresh election: no winner, stop flag down.
+    pub fn new() -> Self {
+        Election {
+            winner: AtomicUsize::new(NO_WINNER),
+            #[cfg(not(feature = "fec_check"))]
+            stop: Arc::new(AtomicBool::new(false)),
+            #[cfg(feature = "fec_check")]
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims the race for `worker`. Returns `true` for exactly one
+    /// caller per election; the winner raises the stop flag before
+    /// returning, cancelling every other worker.
+    pub fn try_win(&self, worker: usize) -> bool {
+        debug_assert_ne!(worker, NO_WINNER, "worker id collides with the sentinel");
+        let won = self
+            .winner
+            .compare_exchange(NO_WINNER, worker, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if won {
+            self.stop.store(true, Ordering::Release);
+        }
+        won
+    }
+
+    /// The winning worker, once decided.
+    pub fn winner(&self) -> Option<usize> {
+        let w = self.winner.load(Ordering::Acquire);
+        (w != NO_WINNER).then_some(w)
+    }
+
+    /// Whether some worker has won and cancellation is under way.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// The stop flag in the form [`fec_sat::Solver::set_stop_flag`]
+    /// expects; the solver polls it with `Relaxed` loads inside its
+    /// propagation loop.
+    #[cfg(not(feature = "fec_check"))]
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+}
+
+impl Default for Election {
+    fn default() -> Self {
+        Election::new()
+    }
+}
+
+#[cfg(all(test, not(feature = "fec_check")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_one_winner_sequentially() {
+        let e = Election::new();
+        assert_eq!(e.winner(), None);
+        assert!(!e.stop_requested());
+        assert!(e.try_win(3));
+        assert!(e.stop_requested());
+        assert!(e.stop_handle().load(Ordering::Relaxed));
+        assert!(!e.try_win(1), "second claim must lose");
+        assert_eq!(e.winner(), Some(3));
+    }
+
+    #[test]
+    fn concurrent_claims_elect_one() {
+        let e = std::sync::Arc::new(Election::new());
+        let wins: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let e = std::sync::Arc::clone(&e);
+                    s.spawn(move || e.try_win(i))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(wins.iter().filter(|&&w| w).count(), 1);
+        let w = e.winner().unwrap();
+        assert!(wins[w]);
+    }
+}

@@ -1,9 +1,9 @@
 //! The portfolio solve engine.
 
+use crate::cancel::Election;
 use crate::ring::{spsc, Consumer, Producer};
 use crate::{diversify, PortfolioConfig};
 use fec_sat::{Budget, Lit, MemoryProofLogger, ProofStep, SolveResult, Solver, SolverStats, Var};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -123,9 +123,29 @@ fn report(
 /// racing `config.jobs` diversified CDCL workers.
 ///
 /// Every worker receives the full budget; the first worker to reach a
-/// verdict raises the shared stop flag and the rest cancel
-/// cooperatively inside their propagation loops. `Unknown` is returned
-/// only when *no* worker finished within the budget.
+/// verdict wins the [`Election`] and the rest cancel cooperatively
+/// inside their propagation loops. `Unknown` is returned only when
+/// *no* worker finished within the budget.
+///
+/// ```
+/// use fec_portfolio::{solve, PortfolioConfig};
+/// use fec_sat::{Budget, Lit, SolveResult, Var};
+///
+/// let v = |i| Var::from_index(i);
+/// let clauses = vec![
+///     vec![Lit::pos(v(0)), Lit::pos(v(1))],
+///     vec![Lit::neg(v(0)), Lit::pos(v(1))],
+/// ];
+/// let out = solve(
+///     2,
+///     &clauses,
+///     &[],
+///     Budget::unlimited(),
+///     &PortfolioConfig::with_jobs(4),
+/// );
+/// assert_eq!(out.result, SolveResult::Sat);
+/// assert_eq!(out.value(v(1)), Some(true));
+/// ```
 pub fn solve(
     num_vars: usize,
     clauses: &[Vec<Lit>],
@@ -198,8 +218,7 @@ fn run_parallel(
     budget: Budget,
     config: &PortfolioConfig,
 ) -> Vec<WorkerReport> {
-    let stop = Arc::new(AtomicBool::new(false));
-    let winner = Arc::new(AtomicUsize::new(usize::MAX));
+    let election = Arc::new(Election::new());
     let sharing = config.share_lbd_max > 0;
     let channels = if sharing {
         ring_mesh(n, config.ring_capacity)
@@ -212,11 +231,10 @@ fn run_parallel(
             .into_iter()
             .enumerate()
             .map(|(i, (prods, cons))| {
-                let stop = Arc::clone(&stop);
-                let winner = Arc::clone(&winner);
+                let election = Arc::clone(&election);
                 scope.spawn(move || {
                     let (mut s, logger) = build_worker(i, num_vars, clauses, config);
-                    s.set_stop_flag(Arc::clone(&stop));
+                    s.set_stop_flag(election.stop_handle());
                     if sharing {
                         s.set_export_hook(
                             Box::new(move |lits, lbd| {
@@ -235,13 +253,9 @@ fn run_parallel(
                         }));
                     }
                     let result = s.solve_with_budget(assumptions, budget);
-                    let won = result != SolveResult::Unknown
-                        && winner
-                            .compare_exchange(usize::MAX, i, Ordering::AcqRel, Ordering::Acquire)
-                            .is_ok();
-                    if won {
-                        stop.store(true, Ordering::Release);
-                    }
+                    // first verdict wins the election and cancels the
+                    // rest; losers keep their stats but extract nothing
+                    let won = result != SolveResult::Unknown && election.try_win(i);
                     report(&s, result, num_vars, logger.as_ref(), won)
                 })
             })

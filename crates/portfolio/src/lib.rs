@@ -31,31 +31,30 @@
 //! it, and is then logged as an ordinary learned clause. The winning
 //! proof therefore checks stand-alone with `fec-drat`.
 //!
-//! # Example
+//! See [`solve`] for a worked example.
 //!
-//! ```
-//! use fec_portfolio::{solve, PortfolioConfig};
-//! use fec_sat::{Budget, Lit, SolveResult, Var};
+//! # Model checking the lock-free core
 //!
-//! let v = |i| Var::from_index(i);
-//! let clauses = vec![
-//!     vec![Lit::pos(v(0)), Lit::pos(v(1))],
-//!     vec![Lit::neg(v(0)), Lit::pos(v(1))],
-//! ];
-//! let out = solve(
-//!     2,
-//!     &clauses,
-//!     &[],
-//!     Budget::unlimited(),
-//!     &PortfolioConfig::with_jobs(4),
-//! );
-//! assert_eq!(out.result, SolveResult::Sat);
-//! assert_eq!(out.value(v(1)), Some(true));
-//! ```
+//! The SPSC sharing ring and the winner election are hand-written
+//! lock-free code; their correctness is *model-checked*, not just
+//! example-tested. With `--features fec_check` the `ring` and `cancel`
+//! modules compile against the `fec-check` shims (swapped in by the
+//! private `sync` module) and `tests/model.rs` exhaustively explores
+//! their thread interleavings — including mutation tests proving a
+//! downgraded memory ordering is caught as a data race. The solve
+//! engine itself is compiled out under that feature (real solver
+//! threads cannot run inside a model); normal builds pay zero cost.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cancel;
+#[cfg(not(feature = "fec_check"))]
 mod engine;
 mod ring;
+mod sync;
 
+pub use cancel::Election;
+#[cfg(not(feature = "fec_check"))]
 pub use engine::{solve, PortfolioOutcome, PortfolioStats};
 pub use ring::{spsc, Consumer, Producer};
 

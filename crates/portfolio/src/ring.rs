@@ -11,9 +11,18 @@
 //! item (and counts it). Clause sharing is an optimization, not a
 //! correctness requirement, so backpressure on the exporting solver
 //! would be strictly worse than forgetting a clause.
+//!
+//! Every slot access and atomic goes through [`crate::sync`], so with
+//! `--features fec_check` this exact code compiles against the
+//! `fec-check` model-checker shims and its acquire/release protocol is
+//! verified exhaustively over thread interleavings (`tests/model.rs`);
+//! the DESIGN.md section "Memory-model assumptions" documents each
+//! ordering pair and what publishes what.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
+use std::cell::Cell;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 struct Inner<T> {
@@ -33,20 +42,49 @@ struct Inner<T> {
 // `tail - head < capacity` (slot outside the consumer's readable range)
 // and publishes it with a release store; the consumer only reads slot
 // `head` when `head < tail` (acquire-loaded), i.e. after publication.
+// `T: Send` is required because items physically move across threads;
+// non-`Send` payloads are rejected at compile time (see the
+// `compile_fail` test on [`spsc`]).
 unsafe impl<T: Send> Sync for Inner<T> {}
 
-/// Write half of an SPSC ring. Not cloneable — exactly one producer.
+/// Write half of an SPSC ring — exactly one producer.
+///
+/// `Producer` is `Send` (hand it to the producing thread) but
+/// deliberately **not** `Sync` or `Clone`: two threads pushing through
+/// a shared `&Producer` would both write slot `tail`, violating the
+/// single-producer protocol the safety argument rests on.
+///
+/// ```compile_fail
+/// let (p, _c) = fec_portfolio::spsc::<u64>(8);
+/// // &Producer cannot cross threads: Producer is !Sync
+/// std::thread::scope(|s| {
+///     s.spawn(|| p.push(1));
+///     s.spawn(|| p.push(2));
+/// });
+/// ```
 pub struct Producer<T> {
     inner: Arc<Inner<T>>,
+    /// `Cell` is `Send + !Sync`: keeps the half out of shared borrows
+    /// without giving up moving it into its thread.
+    _not_sync: PhantomData<Cell<()>>,
 }
 
-/// Read half of an SPSC ring. Not cloneable — exactly one consumer.
+/// Read half of an SPSC ring — exactly one consumer. Like
+/// [`Producer`], `Send` but not `Sync`/`Clone`.
 pub struct Consumer<T> {
     inner: Arc<Inner<T>>,
+    _not_sync: PhantomData<Cell<()>>,
 }
 
 /// Creates a ring holding at most `capacity` items (rounded up to a
 /// power of two, minimum 2).
+///
+/// Items cross a thread boundary, so non-`Send` payloads are rejected:
+///
+/// ```compile_fail
+/// // Rc is !Send: must not compile
+/// let (_p, _c) = fec_portfolio::spsc::<std::rc::Rc<u8>>(4);
+/// ```
 pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
     let slots = (0..cap)
@@ -62,8 +100,12 @@ pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     (
         Producer {
             inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
         },
-        Consumer { inner },
+        Consumer {
+            inner,
+            _not_sync: PhantomData,
+        },
     )
 }
 
@@ -80,8 +122,10 @@ impl<T> Producer<T> {
         }
         let slot = &inner.slots[tail & (inner.slots.len() - 1)];
         // Safety: see `unsafe impl Sync` — this slot is outside the
-        // consumer's readable range until the release store below.
-        unsafe { *slot.get() = Some(item) };
+        // consumer's readable range (the acquire load of `head` above
+        // proved the consumer is done with it), and stays ours until
+        // the release store of `tail` below publishes it.
+        slot.with_mut(|p| unsafe { *p = Some(item) });
         inner.tail.store(tail.wrapping_add(1), Ordering::Release);
         true
     }
@@ -103,8 +147,10 @@ impl<T> Consumer<T> {
         }
         let slot = &inner.slots[head & (inner.slots.len() - 1)];
         // Safety: head < tail (acquire), so the producer has published
-        // this slot and will not touch it again until head advances.
-        let item = unsafe { (*slot.get()).take() };
+        // this slot and will not touch it again until the release store
+        // of `head` below returns it. Taking the value mutates the
+        // slot, hence `with_mut`.
+        let item = slot.with_mut(|p| unsafe { (*p).take() });
         inner.head.store(head.wrapping_add(1), Ordering::Release);
         debug_assert!(item.is_some(), "published slot must hold an item");
         item
@@ -120,10 +166,19 @@ impl<T> Consumer<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "fec_check")))]
 mod tests {
     use super::*;
     use std::thread;
+
+    // Both halves move into their threads; neither may be shared.
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn halves_are_send() {
+        assert_send::<Producer<Vec<u32>>>();
+        assert_send::<Consumer<Vec<u32>>>();
+    }
 
     #[test]
     fn fifo_order_and_capacity() {
@@ -153,7 +208,9 @@ mod tests {
     #[test]
     fn cross_thread_transfer() {
         let (p, c) = spsc::<u64>(1024);
-        let total: u64 = 10_000;
+        // Miri interprets ~1000x slower; a smaller stream exercises the
+        // same wraparound and handoff paths.
+        let total: u64 = if cfg!(miri) { 300 } else { 10_000 };
         let producer = thread::spawn(move || {
             let mut sent = 0u64;
             for i in 0..total {

@@ -1,6 +1,9 @@
 //! Differential validation of the portfolio against the reference DPLL
 //! oracle, plus determinism and proof-certification checks.
 
+// the solve engine is compiled out under the model-checking feature
+#![cfg(not(feature = "fec_check"))]
+
 use fec_portfolio::{solve, PortfolioConfig};
 use fec_sat::{reference, Budget, Lit, SolveResult, Var};
 
