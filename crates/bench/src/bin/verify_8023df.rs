@@ -14,13 +14,68 @@
 //! against the input clauses; the run aborts on any discrepancy.
 //! With `--jobs N`, every query races N diversified portfolio workers
 //! (certification then applies to the winning worker's proof).
+//!
+//! Observability (any flag enables the fec-trace collector):
+//! `--trace LEVEL` logs spans/events on stderr, `--trace-out PATH`
+//! writes a Chrome trace_event JSON for Perfetto/about:tracing,
+//! `--trace-jsonl PATH` a raw JSONL event stream, and
+//! `--metrics-out PATH` the aggregated end-of-run report.
 
 use fec_hamming::standards;
 use fec_smt::Budget;
 use fec_synth::verify::{verify_min_distance_exact_with, VerifyOptions, VerifyOutcome};
+use fec_trace::{Level, TraceConfig};
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    let eq = format!("--{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v);
+        }
+        if a == &format!("--{name}") {
+            return args.get(i + 1).map(String::as_str);
+        }
+    }
+    None
+}
+
+/// Installs the trace collector if any `--trace*` flag is present;
+/// returns whether a shutdown is owed.
+fn setup_trace(args: &[String]) -> bool {
+    let level_arg = flag_value(args, "trace");
+    let chrome = flag_value(args, "trace-out");
+    let jsonl = flag_value(args, "trace-jsonl");
+    let metrics = flag_value(args, "metrics-out");
+    let stderr_on = args
+        .iter()
+        .any(|a| a == "--trace" || a.starts_with("--trace="));
+    if !stderr_on && chrome.is_none() && jsonl.is_none() && metrics.is_none() {
+        return false;
+    }
+    let level = level_arg
+        .filter(|v| !v.starts_with("--"))
+        .and_then(Level::parse)
+        .unwrap_or(Level::Info);
+    let mut config = TraceConfig::new(level);
+    if stderr_on {
+        config = config.stderr();
+    }
+    if let Some(p) = chrome {
+        config = config.chrome_path(p).expect("create --trace-out file");
+    }
+    if let Some(p) = jsonl {
+        config = config.jsonl_path(p).expect("create --trace-jsonl file");
+    }
+    if let Some(p) = metrics {
+        config = config.metrics_path(p);
+    }
+    fec_trace::install(config);
+    true
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let traced = setup_trace(&args);
     let check_proofs = args.iter().any(|a| a == "--check-proofs");
     let jobs = args
         .iter()
@@ -38,6 +93,7 @@ fn main() {
         budget: Budget::unlimited(),
         check_certificates: check_proofs,
         jobs,
+        ..VerifyOptions::default()
     };
     let g = standards::ieee_8023df_128_120();
     println!(
@@ -98,6 +154,11 @@ fn main() {
     println!(
         "paper: md=3 verified in 14.40 s; ¬(md=4) verified in 122.58 s (Z3 4.8.11, i9-10900K)"
     );
+    if traced {
+        if let Some(report) = fec_trace::shutdown() {
+            print!("{}", report.render_text());
+        }
+    }
 }
 
 fn print_certificates(stats: &fec_synth::verify::VerifyStats) {
@@ -114,8 +175,8 @@ fn print_portfolio(stats: &fec_synth::verify::VerifyStats) {
             .map_or("none".to_string(), |w| format!("worker {w}"));
         println!(
             "  portfolio query {qi}: {} workers, winner {winner}, per-worker conflicts {:?}, \
-             {} exported / {} imported clauses",
-            p.workers, p.per_worker_conflicts, p.exported, p.imported
+             {} exported / {} imported / {} rejected clauses",
+            p.workers, p.per_worker_conflicts, p.exported, p.imported, p.rejected
         );
     }
 }

@@ -3,7 +3,8 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (code, out) = fec_cli::run(&args);
+    let (code, out, err) = fec_cli::run(&args);
     print!("{out}");
+    eprint!("{err}");
     std::process::exit(code);
 }

@@ -3,13 +3,21 @@
 //! Kept in a library so the commands are unit-testable without
 //! spawning processes; the binary (`src/bin/fecsynth.rs`) is a thin
 //! argv → [`run`] shim.
+//!
+//! Error reporting contract: human-readable results go to the stdout
+//! stream, diagnostics go to the stderr stream as one structured line
+//! `error: kind=<kind> msg="<message>"`, and the exit code encodes the
+//! failure class (0 success, 1 property fails / no solution, 2 usage
+//! or unsupported input, 3 budget/timeout exhausted).
 
 use fec_gf2::BitVec;
 use fec_hamming::{distance, Generator};
 use fec_smt::Budget;
-use fec_synth::cegis::{SynthesisConfig, Synthesizer};
+use fec_synth::cegis::{SynthError, SynthesisConfig, Synthesizer};
 use fec_synth::spec::parse_property;
 use fec_synth::verify::{sat_min_distance, verify_props_with, VerifyOptions, VerifyOutcome};
+use fec_trace::{Level, TraceConfig};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Usage text for `--help` and argument errors.
@@ -17,12 +25,13 @@ pub const USAGE: &str = "\
 fecsynth — synthesize, verify, and export Hamming FEC generators
 
 USAGE:
-    fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs] [--jobs=N]
-    fecsynth verify \"<property>\" --coeff <rows> [--check-proofs] [--jobs=N]
+    fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs] [--jobs=N] [TRACE]
+    fecsynth verify \"<property>\" --coeff <rows> [--check-proofs] [--jobs=N] [TRACE]
                     (rows like 101/110/111/011)
     fecsynth info   --coeff <rows>
     fecsynth emit   --coeff <rows> [--lang=c|rust]
     fecsynth encode --coeff <rows> --data <bits>
+    fecsynth trace-validate <file.jsonl>
 
     --check-proofs  certify every solver answer: learned clauses are
                     re-checked as a DRAT proof by the independent
@@ -33,6 +42,19 @@ USAGE:
                     portfolio; composes with --check-proofs — the
                     winning worker's proof is certified)
 
+TRACE (observability; any of these enables the collector):
+    --trace=LEVEL       live span/event log on stderr
+                        (error|warn|info|debug|trace; bare --trace = info)
+    --trace-out=PATH    Chrome trace_event JSON — open in Perfetto
+                        (https://ui.perfetto.dev) or about:tracing
+    --trace-jsonl=PATH  raw event stream, one JSON object per line
+                        (validate with `fecsynth trace-validate PATH`)
+    --metrics-out=PATH  aggregated end-of-run counters + span timings
+
+EXIT CODES:
+    0 success / property HOLDS        2 usage, parse, or unsupported input
+    1 property FAILS / no solution    3 solver budget or timeout exhausted
+
 PROPERTY LANGUAGE (paper Fig. 3 + corr extension):
     len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4
          && md(G0) = 3 && minimal(len_c(G0))
@@ -41,33 +63,109 @@ PROPERTY LANGUAGE (paper Fig. 3 + corr extension):
 EXAMPLES:
     fecsynth synth \"len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))\"
     fecsynth verify \"md(G0) = 3\" --coeff 101/110/111/011
+    fecsynth synth \"len_d(G0) = 4 && md(G0) = 3 && minimal(len_c(G0))\" \\
+        --trace=info --trace-out=run.json --metrics-out=metrics.json
     fecsynth emit --coeff 101/110/111/011 --lang=c
 ";
 
-/// Runs one CLI invocation; returns (exit code, output text).
-pub fn run(args: &[String]) -> (i32, String) {
+/// Runs one CLI invocation; returns (exit code, stdout text, stderr
+/// text). Diagnostics on the stderr stream follow the structured
+/// one-line format described in the module docs.
+pub fn run(args: &[String]) -> (i32, String, String) {
     let mut out = String::new();
+    let mut err = String::new();
+    let traced = match setup_trace(args) {
+        Ok(t) => t,
+        Err(e) => {
+            fail(&mut err, "usage", &e);
+            return (2, out, err);
+        }
+    };
     let code = match args.first().map(String::as_str) {
-        Some("synth") => cmd_synth(args, &mut out),
-        Some("verify") => cmd_verify(args, &mut out),
-        Some("info") => cmd_info(args, &mut out),
-        Some("emit") => cmd_emit(args, &mut out),
-        Some("encode") => cmd_encode(args, &mut out),
+        Some("synth") => cmd_synth(args, &mut out, &mut err),
+        Some("verify") => cmd_verify(args, &mut out, &mut err),
+        Some("info") => cmd_info(args, &mut out, &mut err),
+        Some("emit") => cmd_emit(args, &mut out, &mut err),
+        Some("encode") => cmd_encode(args, &mut out, &mut err),
+        Some("trace-validate") => cmd_trace_validate(args, &mut out, &mut err),
         Some("--help") | Some("-h") | None => {
             out.push_str(USAGE);
             0
         }
         Some(other) => {
-            out.push_str(&format!("unknown command {other:?}\n\n{USAGE}"));
+            fail(&mut err, "usage", &format!("unknown command {other:?}"));
+            err.push('\n');
+            err.push_str(USAGE);
             2
         }
     };
-    (code, out)
+    if traced {
+        fec_trace::shutdown();
+    }
+    (code, out, err)
+}
+
+/// Writes the structured diagnostic line `error: kind=... msg="..."`.
+fn fail(err: &mut String, kind: &str, msg: &str) {
+    let _ = writeln!(err, "error: kind={kind} msg={msg:?}");
+}
+
+/// Exit code for a synthesis failure class (see module docs).
+fn synth_exit_code(e: &SynthError) -> i32 {
+    match e.kind() {
+        "timeout" => 3,
+        "no-solution" => 1,
+        _ => 2, // unsupported, inconsistent: bad input
+    }
+}
+
+/// Parses the `--trace*` family and installs the global collector when
+/// any is present. Returns whether a collector was installed (the
+/// caller must `fec_trace::shutdown()` afterwards).
+fn setup_trace(args: &[String]) -> Result<bool, String> {
+    let level_arg = flag_value(args, "trace");
+    let chrome = flag_value(args, "trace-out");
+    let jsonl = flag_value(args, "trace-jsonl");
+    let metrics = flag_value(args, "metrics-out");
+    let stderr_on = has_flag_or_value(args, "trace");
+    if !stderr_on && chrome.is_none() && jsonl.is_none() && metrics.is_none() {
+        return Ok(false);
+    }
+    let level = match level_arg {
+        Some(v) if !v.starts_with("--") => {
+            Level::parse(v).ok_or_else(|| format!("bad --trace level {v:?}"))?
+        }
+        _ => Level::Info, // bare --trace
+    };
+    let mut config = TraceConfig::new(level);
+    if stderr_on {
+        config = config.stderr();
+    }
+    if let Some(p) = chrome {
+        config = config
+            .chrome_path(p)
+            .map_err(|e| format!("cannot create --trace-out {p:?}: {e}"))?;
+    }
+    if let Some(p) = jsonl {
+        config = config
+            .jsonl_path(p)
+            .map_err(|e| format!("cannot create --trace-jsonl {p:?}: {e}"))?;
+    }
+    if let Some(p) = metrics {
+        config = config.metrics_path(p);
+    }
+    fec_trace::install(config);
+    Ok(true)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
     let full = format!("--{name}");
     args.iter().any(|a| a == &full)
+}
+
+/// `--name`, `--name=v`, or `--name v` all count as present.
+fn has_flag_or_value(args: &[String], name: &str) -> bool {
+    has_flag(args, name) || flag_value(args, name).is_some()
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -96,9 +194,9 @@ fn parse_coeff(args: &[String]) -> Result<Generator, String> {
     Generator::from_coeff_str(&text).ok_or_else(|| format!("malformed coefficient rows {rows:?}"))
 }
 
-fn cmd_synth(args: &[String], out: &mut String) -> i32 {
+fn cmd_synth(args: &[String], out: &mut String, err: &mut String) -> i32 {
     let Some(spec) = args.get(1).filter(|s| !s.starts_with("--")) else {
-        out.push_str("synth: missing property argument\n");
+        fail(err, "usage", "synth: missing property argument");
         return 2;
     };
     let timeout = flag_value(args, "timeout")
@@ -107,7 +205,7 @@ fn cmd_synth(args: &[String], out: &mut String) -> i32 {
     let prop = match parse_property(spec) {
         Ok(p) => p,
         Err(e) => {
-            out.push_str(&format!("{e}\n"));
+            fail(err, "parse", &e.to_string());
             return 2;
         }
     };
@@ -137,28 +235,28 @@ fn cmd_synth(args: &[String], out: &mut String) -> i32 {
             0
         }
         Err(e) => {
-            out.push_str(&format!("synthesis failed: {e}\n"));
-            1
+            fail(err, e.kind(), &e.to_string());
+            synth_exit_code(&e)
         }
     }
 }
 
-fn cmd_verify(args: &[String], out: &mut String) -> i32 {
+fn cmd_verify(args: &[String], out: &mut String, err: &mut String) -> i32 {
     let Some(spec) = args.get(1).filter(|s| !s.starts_with("--")) else {
-        out.push_str("verify: missing property argument\n");
+        fail(err, "usage", "verify: missing property argument");
         return 2;
     };
     let g = match parse_coeff(args) {
         Ok(g) => g,
         Err(e) => {
-            out.push_str(&format!("{e}\n"));
+            fail(err, "usage", &e);
             return 2;
         }
     };
     let prop = match parse_property(spec) {
         Ok(p) => p,
         Err(e) => {
-            out.push_str(&format!("{e}\n"));
+            fail(err, "parse", &e.to_string());
             return 2;
         }
     };
@@ -166,6 +264,7 @@ fn cmd_verify(args: &[String], out: &mut String) -> i32 {
         budget: Budget::unlimited(),
         check_certificates: has_flag(args, "check-proofs"),
         jobs: parse_jobs(args),
+        ..VerifyOptions::default()
     };
     let (outcome, stats) = verify_props_with(&[g], &prop, opts);
     if opts.check_certificates {
@@ -207,11 +306,11 @@ fn cmd_verify(args: &[String], out: &mut String) -> i32 {
     }
 }
 
-fn cmd_info(args: &[String], out: &mut String) -> i32 {
+fn cmd_info(args: &[String], out: &mut String, err: &mut String) -> i32 {
     let g = match parse_coeff(args) {
         Ok(g) => g,
         Err(e) => {
-            out.push_str(&format!("{e}\n"));
+            fail(err, "usage", &e);
             return 2;
         }
     };
@@ -234,11 +333,11 @@ fn cmd_info(args: &[String], out: &mut String) -> i32 {
     0
 }
 
-fn cmd_emit(args: &[String], out: &mut String) -> i32 {
+fn cmd_emit(args: &[String], out: &mut String, err: &mut String) -> i32 {
     let g = match parse_coeff(args) {
         Ok(g) => g,
         Err(e) => {
-            out.push_str(&format!("{e}\n"));
+            fail(err, "usage", &e);
             return 2;
         }
     };
@@ -246,39 +345,75 @@ fn cmd_emit(args: &[String], out: &mut String) -> i32 {
         "c" => out.push_str(&fec_codegen::emit_c(&g, false)),
         "rust" => out.push_str(&fec_codegen::emit_rust(&g)),
         other => {
-            out.push_str(&format!("unknown language {other:?} (use c or rust)\n"));
+            fail(
+                err,
+                "usage",
+                &format!("unknown language {other:?} (use c or rust)"),
+            );
             return 2;
         }
     }
     0
 }
 
-fn cmd_encode(args: &[String], out: &mut String) -> i32 {
+fn cmd_encode(args: &[String], out: &mut String, err: &mut String) -> i32 {
     let g = match parse_coeff(args) {
         Ok(g) => g,
         Err(e) => {
-            out.push_str(&format!("{e}\n"));
+            fail(err, "usage", &e);
             return 2;
         }
     };
     let Some(data) = flag_value(args, "data") else {
-        out.push_str("encode: missing --data <bits>\n");
+        fail(err, "usage", "encode: missing --data <bits>");
         return 2;
     };
     let Some(bits) = BitVec::from_bitstring(data) else {
-        out.push_str(&format!("malformed data bits {data:?}\n"));
+        fail(err, "usage", &format!("malformed data bits {data:?}"));
         return 2;
     };
     if bits.len() != g.data_len() {
-        out.push_str(&format!(
-            "data is {} bits but the code expects {}\n",
-            bits.len(),
-            g.data_len()
-        ));
+        fail(
+            err,
+            "usage",
+            &format!(
+                "data is {} bits but the code expects {}",
+                bits.len(),
+                g.data_len()
+            ),
+        );
         return 2;
     }
     out.push_str(&format!("{}\n", g.encode(&bits)));
     0
+}
+
+fn cmd_trace_validate(args: &[String], out: &mut String, err: &mut String) -> i32 {
+    let Some(path) = args.get(1).filter(|s| !s.starts_with("--")) else {
+        fail(
+            err,
+            "usage",
+            "trace-validate: missing <file.jsonl> argument",
+        );
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            fail(err, "usage", &format!("cannot read {path:?}: {e}"));
+            return 2;
+        }
+    };
+    match fec_trace::validate_jsonl(&text) {
+        Ok(n) => {
+            out.push_str(&format!("{path}: {n} records, schema OK\n"));
+            0
+        }
+        Err(e) => {
+            fail(err, "schema", &e);
+            1
+        }
+    }
 }
 
 fn coeff_arg(g: &Generator) -> String {
@@ -300,53 +435,77 @@ mod tests {
         parts.iter().map(|s| s.to_string()).collect()
     }
 
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fec-cli-test-{}-{name}", std::process::id()))
+    }
+
+    // the trace collector is process-global, so tests that install one
+    // must not overlap
+    static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn help_and_unknown() {
-        let (code, out) = run(&[]);
+        let (code, out, _) = run(&[]);
         assert_eq!(code, 0);
         assert!(out.contains("USAGE"));
-        let (code, out) = run(&argv(&["bogus"]));
+        let (code, _, err) = run(&argv(&["bogus"]));
         assert_eq!(code, 2);
-        assert!(out.contains("unknown command"));
+        assert!(err.contains("error: kind=usage"), "{err}");
+        assert!(err.contains("unknown command"));
     }
 
     #[test]
     fn synth_produces_a_code() {
-        let (code, out) = run(&argv(&[
+        let (code, out, err) = run(&argv(&[
             "synth",
             "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
             "--timeout=30",
         ]));
-        assert_eq!(code, 0, "{out}");
+        assert_eq!(code, 0, "{out}{err}");
         assert!(out.contains("(7, 4) code"), "{out}");
         assert!(out.contains("coeff (for --coeff):"));
+        assert!(err.is_empty(), "{err}");
     }
 
     #[test]
     fn synth_rejects_bad_property() {
-        let (code, out) = run(&argv(&["synth", "md(G0) ="]));
+        let (code, _, err) = run(&argv(&["synth", "md(G0) ="]));
         assert_eq!(code, 2);
-        assert!(out.contains("parse error"));
+        assert!(err.contains("error: kind=parse"), "{err}");
+        assert!(err.contains("parse error"), "{err}");
     }
 
     #[test]
     fn synth_reports_infeasible() {
-        let (code, out) = run(&argv(&[
+        let (code, _, err) = run(&argv(&[
             "synth",
             "len_d(G0) = 4 && len_c(G0) = 1 && md(G0) = 3",
             "--timeout=30",
         ]));
         assert_eq!(code, 1);
-        assert!(out.contains("no generator"));
+        assert!(err.contains("error: kind=no-solution"), "{err}");
+        assert!(err.contains("no generator"), "{err}");
+    }
+
+    #[test]
+    fn synth_timeout_exit_code() {
+        // a zero-second deadline forces SynthError::Timeout → exit 3
+        let (code, _, err) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 8 && len_c(G0) = 5 && md(G0) = 4",
+            "--timeout=0",
+        ]));
+        assert_eq!(code, 3, "{err}");
+        assert!(err.contains("error: kind=timeout"), "{err}");
     }
 
     #[test]
     fn verify_holds_and_fails() {
         let coeff = "101/110/111/011";
-        let (code, out) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
-        assert_eq!(code, 0, "{out}");
+        let (code, out, err) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
+        assert_eq!(code, 0, "{out}{err}");
         assert!(out.contains("HOLDS"));
-        let (code, out) = run(&argv(&["verify", "md(G0) = 4", "--coeff", coeff]));
+        let (code, out, _) = run(&argv(&["verify", "md(G0) = 4", "--coeff", coeff]));
         assert_eq!(code, 1);
         assert!(out.contains("FAILS"));
     }
@@ -354,38 +513,38 @@ mod tests {
     #[test]
     fn verify_with_proof_checking() {
         let coeff = "101/110/111/011";
-        let (code, out) = run(&argv(&[
+        let (code, out, err) = run(&argv(&[
             "verify",
             "md(G0) = 3",
             "--coeff",
             coeff,
             "--check-proofs",
         ]));
-        assert_eq!(code, 0, "{out}");
+        assert_eq!(code, 0, "{out}{err}");
         assert!(out.contains("HOLDS"), "{out}");
         assert!(out.contains("certificates:"), "{out}");
         assert!(out.contains("UNSAT answers certified"), "{out}");
         // without the flag no certificate line is printed
-        let (_, out) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
+        let (_, out, _) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
         assert!(!out.contains("certificates:"), "{out}");
     }
 
     #[test]
     fn synth_with_proof_checking() {
-        let (code, out) = run(&argv(&[
+        let (code, out, err) = run(&argv(&[
             "synth",
             "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
             "--timeout=30",
             "--check-proofs",
         ]));
-        assert_eq!(code, 0, "{out}");
+        assert_eq!(code, 0, "{out}{err}");
         assert!(out.contains("(7, 4) code"), "{out}");
     }
 
     #[test]
     fn verify_with_jobs_portfolio() {
         let coeff = "101/110/111/011";
-        let (code, out) = run(&argv(&[
+        let (code, out, err) = run(&argv(&[
             "verify",
             "md(G0) = 3",
             "--coeff",
@@ -393,31 +552,31 @@ mod tests {
             "--jobs=4",
             "--check-proofs",
         ]));
-        assert_eq!(code, 0, "{out}");
+        assert_eq!(code, 0, "{out}{err}");
         assert!(out.contains("HOLDS"), "{out}");
         assert!(out.contains("portfolio: 4 workers"), "{out}");
         assert!(out.contains("winner worker"), "{out}");
         assert!(out.contains("certificates:"), "{out}");
         // single mode prints no portfolio summary
-        let (_, out) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
+        let (_, out, _) = run(&argv(&["verify", "md(G0) = 3", "--coeff", coeff]));
         assert!(!out.contains("portfolio:"), "{out}");
     }
 
     #[test]
     fn synth_with_jobs_portfolio() {
-        let (code, out) = run(&argv(&[
+        let (code, out, err) = run(&argv(&[
             "synth",
             "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
             "--timeout=30",
             "--jobs=2",
         ]));
-        assert_eq!(code, 0, "{out}");
+        assert_eq!(code, 0, "{out}{err}");
         assert!(out.contains("(7, 4) code"), "{out}");
     }
 
     #[test]
     fn info_reports_distance() {
-        let (code, out) = run(&argv(&["info", "--coeff", "101/110/111/011"]));
+        let (code, out, _) = run(&argv(&["info", "--coeff", "101/110/111/011"]));
         assert_eq!(code, 0);
         assert!(out.contains("minimum distance 3"), "{out}");
         assert!(out.contains("corrects 1"));
@@ -425,19 +584,20 @@ mod tests {
 
     #[test]
     fn emit_c_and_rust() {
-        let (code, out) = run(&argv(&["emit", "--coeff", "11/01", "--lang=c"]));
+        let (code, out, _) = run(&argv(&["emit", "--coeff", "11/01", "--lang=c"]));
         assert_eq!(code, 0);
         assert!(out.contains("uint64_t encode_checks"));
-        let (code, out) = run(&argv(&["emit", "--coeff", "11/01", "--lang=rust"]));
+        let (code, out, _) = run(&argv(&["emit", "--coeff", "11/01", "--lang=rust"]));
         assert_eq!(code, 0);
         assert!(out.contains("pub fn encode_checks"));
-        let (code, _) = run(&argv(&["emit", "--coeff", "11/01", "--lang=go"]));
+        let (code, _, err) = run(&argv(&["emit", "--coeff", "11/01", "--lang=go"]));
         assert_eq!(code, 2);
+        assert!(err.contains("error: kind=usage"), "{err}");
     }
 
     #[test]
     fn encode_round_trip_with_fig2_data() {
-        let (code, out) = run(&argv(&[
+        let (code, out, _) = run(&argv(&[
             "encode",
             "--coeff",
             "101/110/111/011",
@@ -450,7 +610,7 @@ mod tests {
 
     #[test]
     fn encode_length_mismatch() {
-        let (code, out) = run(&argv(&[
+        let (code, _, err) = run(&argv(&[
             "encode",
             "--coeff",
             "101/110/111/011",
@@ -458,14 +618,87 @@ mod tests {
             "001",
         ]));
         assert_eq!(code, 2);
-        assert!(out.contains("expects 4"));
+        assert!(err.contains("expects 4"), "{err}");
     }
 
     #[test]
     fn coeff_parsing_errors() {
-        let (code, _) = run(&argv(&["info"]));
+        let (code, _, err) = run(&argv(&["info"]));
         assert_eq!(code, 2);
-        let (code, _) = run(&argv(&["info", "--coeff", "1x1"]));
+        assert!(err.contains("error: kind=usage"), "{err}");
+        let (code, _, _) = run(&argv(&["info", "--coeff", "1x1"]));
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn traced_verify_emits_valid_jsonl_and_metrics() {
+        let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let jsonl = tmp_path("verify.jsonl");
+        let metrics = tmp_path("verify-metrics.json");
+        let (code, out, err) = run(&argv(&[
+            "verify",
+            "md(G0) = 3",
+            "--coeff",
+            "101/110/111/011",
+            &format!("--trace-jsonl={}", jsonl.display()),
+            &format!("--metrics-out={}", metrics.display()),
+        ]));
+        assert_eq!(code, 0, "{out}{err}");
+        // the JSONL stream passes its own schema validator...
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let n = fec_trace::validate_jsonl(&text).expect("schema-valid JSONL");
+        assert!(n > 0, "expected events, got none");
+        assert!(text.contains("verify.query"), "{text}");
+        // ...and via the trace-validate subcommand
+        let (code, out, err) = run(&argv(&["trace-validate", jsonl.to_str().unwrap()]));
+        assert_eq!(code, 0, "{err}");
+        assert!(out.contains("schema OK"), "{out}");
+        // metrics report was written and mentions the verify span
+        let report = std::fs::read_to_string(&metrics).unwrap();
+        assert!(report.contains("verify.query"), "{report}");
+        let _ = std::fs::remove_file(&jsonl);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn traced_synth_writes_chrome_trace() {
+        let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let chrome = tmp_path("synth-chrome.json");
+        let (code, _, err) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
+            "--timeout=30",
+            &format!("--trace-out={}", chrome.display()),
+        ]));
+        assert_eq!(code, 0, "{err}");
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        // streaming Chrome trace: an array of trace_event objects
+        assert!(text.trim_start().starts_with('['), "{text}");
+        assert!(text.contains("\"ph\":"), "{text}");
+        assert!(text.contains("cegis.run"), "{text}");
+        let _ = std::fs::remove_file(&chrome);
+    }
+
+    #[test]
+    fn trace_validate_rejects_garbage() {
+        let path = tmp_path("garbage.jsonl");
+        std::fs::write(&path, "{\"not\": \"a trace record\"}\n").unwrap();
+        let (code, _, err) = run(&argv(&["trace-validate", path.to_str().unwrap()]));
+        assert_eq!(code, 1);
+        assert!(err.contains("error: kind=schema"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_trace_level_is_a_usage_error() {
+        let (code, _, err) = run(&argv(&[
+            "verify",
+            "md(G0) = 3",
+            "--coeff",
+            "101/110/111/011",
+            "--trace=loud",
+        ]));
+        assert_eq!(code, 2);
+        assert!(err.contains("bad --trace level"), "{err}");
     }
 }

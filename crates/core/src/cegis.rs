@@ -18,10 +18,12 @@
 //! (the paper's §4.4 uses exactly those 82 intermediate generators).
 
 use crate::encode::{CexMode, SymbolicGenerator};
+use crate::obs;
 use crate::spec::{CmpOp, Expr, GenFn, Prop};
 use fec_gf2::BitVec;
 use fec_hamming::Generator;
 use fec_smt::{Budget, CardEncoding, Lit, PortfolioConfig, SmtResult, SmtSolver, SolveBackend};
+use fec_trace::Level;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -52,6 +54,13 @@ pub struct SynthesisConfig {
     /// default) keeps the fully incremental single solvers (the CLI's
     /// `--jobs N`).
     pub jobs: usize,
+    /// Per-run cap on trace emission from this synthesis: a record is
+    /// emitted only if its level is within both this cap *and* the
+    /// globally installed `fec-trace` sink level. The default
+    /// (`Level::Trace`) defers entirely to the global level; set
+    /// `Level::Off` to silence one run (e.g. a bench baseline) while
+    /// tracing stays installed.
+    pub trace: fec_trace::Level,
 }
 
 impl Default for SynthesisConfig {
@@ -64,6 +73,7 @@ impl Default for SynthesisConfig {
             persist_counterexamples: true,
             check_certificates: false,
             jobs: 1,
+            trace: fec_trace::Level::Trace,
         }
     }
 }
@@ -82,6 +92,19 @@ pub enum SynthError {
     NoSolution,
     /// Budget exhausted before any solution was found.
     Timeout,
+}
+
+impl SynthError {
+    /// Stable machine-readable kind, used by the CLI's structured
+    /// error lines (`error kind=<kind> ...`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SynthError::Unsupported(_) => "unsupported",
+            SynthError::Inconsistent(_) => "inconsistent",
+            SynthError::NoSolution => "no-solution",
+            SynthError::Timeout => "timeout",
+        }
+    }
 }
 
 impl fmt::Display for SynthError {
@@ -427,6 +450,16 @@ impl Synthesizer {
     /// Runs synthesis for pre-extracted structural constraints.
     pub fn run_shape(&mut self, shape: &ProblemShape) -> Result<SynthesisResult, SynthError> {
         let start = Instant::now();
+        let _run = obs::span(
+            self.config.trace,
+            Level::Info,
+            "cegis.run",
+            &[
+                ("generators", shape.gens.len().into()),
+                ("optimizing", shape.objective.is_some().into()),
+                ("jobs", self.config.jobs.into()),
+            ],
+        );
         let mut syn = self.new_solver();
         let mut syms = Vec::with_capacity(shape.gens.len());
         for gs in &shape.gens {
@@ -499,6 +532,12 @@ impl Synthesizer {
                     if !bound_feasible(shape, obj, bound) {
                         break;
                     }
+                    obs::event(
+                        self.config.trace,
+                        Level::Info,
+                        "synth.bound",
+                        &[("bound", bound.into())],
+                    );
                     syn.push();
                     self.assert_bound(&mut syn, &syms, shape, obj, bound);
                     let deadline = Instant::now() + self.config.timeout;
@@ -508,6 +547,12 @@ impl Synthesizer {
                     match step {
                         CegisOutcome::Found(gens) => {
                             let achieved = objective_value(&gens, obj);
+                            obs::event(
+                                self.config.trace,
+                                Level::Info,
+                                "synth.optimum",
+                                &[("value", achieved.into())],
+                            );
                             intermediates.push((achieved, gens.clone()));
                             best = Some(gens);
                             // o.success(): tighten past the achieved value
@@ -525,6 +570,16 @@ impl Synthesizer {
             }
         }
 
+        obs::event(
+            self.config.trace,
+            Level::Info,
+            "cegis.done",
+            &[
+                ("iterations", iterations.into()),
+                ("intermediates", intermediates.len().into()),
+                ("elapsed_us", (start.elapsed().as_micros() as u64).into()),
+            ],
+        );
         Ok(SynthesisResult {
             generators: best.expect("checked above"),
             iterations,
@@ -583,12 +638,30 @@ impl Synthesizer {
             }
             let budget = Budget::with_timeout(deadline - now);
             *iterations += 1;
-            match syn.solve_with_budget(&[], budget) {
+            obs::counter(self.config.trace, Level::Info, "cegis.iterations", 1);
+            let synth_verdict = {
+                // "cegis.synth" vs "cegis.verify" span totals in the
+                // metrics report give the synthesis/verification split
+                let _sp = obs::span(
+                    self.config.trace,
+                    Level::Info,
+                    "cegis.synth",
+                    &[("iteration", (*iterations).into())],
+                );
+                syn.solve_with_budget(&[], budget)
+            };
+            match synth_verdict {
                 SmtResult::Unsat => return CegisOutcome::Exhausted,
                 SmtResult::Unknown => return CegisOutcome::Timeout,
                 SmtResult::Sat => {}
             }
             let candidates: Vec<Generator> = syms.iter().map(|s| s.extract(syn)).collect();
+            obs::event(
+                self.config.trace,
+                Level::Debug,
+                "cegis.candidate",
+                &[("iteration", (*iterations).into())],
+            );
             let mut all_verified = true;
             for (i, cand) in candidates.iter().enumerate() {
                 let Some(ver) = verifiers[i].as_mut() else {
@@ -600,11 +673,21 @@ impl Synthesizer {
                 }
                 let budget = Budget::with_timeout(deadline - now);
                 let pins = ver.sym.pin_assumptions(cand);
-                match ver.solver.solve_with_budget(&pins, budget) {
+                let verify_verdict = {
+                    let _sp = obs::span(
+                        self.config.trace,
+                        Level::Info,
+                        "cegis.verify",
+                        &[("generator", i.into())],
+                    );
+                    ver.solver.solve_with_budget(&pins, budget)
+                };
+                match verify_verdict {
                     SmtResult::Unsat => {} // verifier succeeded for this gen
                     SmtResult::Unknown => return CegisOutcome::Timeout,
                     SmtResult::Sat => {
                         all_verified = false;
+                        obs::counter(self.config.trace, Level::Info, "cegis.counterexamples", 1);
                         match self.config.cex_mode {
                             CexMode::BlockCandidate => {
                                 let clause = syms[i].blocking_clause(syn, cand);

@@ -40,6 +40,7 @@
 
 pub mod cegis;
 pub mod encode;
+mod obs;
 pub mod spec;
 pub mod verify;
 pub mod weights;

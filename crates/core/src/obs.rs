@@ -1,0 +1,29 @@
+//! Capped trace emission: instrumentation in this crate honors the
+//! per-run `trace` level carried by [`crate::cegis::SynthesisConfig`]
+//! and [`crate::verify::VerifyOptions`] *in addition to* the globally
+//! installed sink level, so one run (e.g. the baseline arm of an A/B
+//! bench) can silence itself while another traces fully. A cap of
+//! `Level::Trace` — the config default — defers entirely to the global
+//! level.
+
+use fec_trace::{Level, Span, Value};
+
+pub(crate) fn span(cap: Level, level: Level, name: &str, fields: &[(&str, Value)]) -> Span {
+    if fec_trace::enabled_at(cap, level) {
+        Span::enter(level, name, fields)
+    } else {
+        Span::none()
+    }
+}
+
+pub(crate) fn event(cap: Level, level: Level, name: &str, fields: &[(&str, Value)]) {
+    if fec_trace::enabled_at(cap, level) {
+        fec_trace::event(level, name, fields);
+    }
+}
+
+pub(crate) fn counter(cap: Level, level: Level, name: &str, delta: i64) {
+    if fec_trace::enabled_at(cap, level) {
+        fec_trace::counter(level, name, delta);
+    }
+}

@@ -8,10 +8,12 @@
 //! (128,120) code this way), plus full property checking where `md`
 //! sub-expressions are resolved by those queries.
 
+use crate::obs;
 use crate::spec::{EvalContext, Prop};
 use fec_gf2::BitVec;
 use fec_hamming::Generator;
 use fec_smt::{Budget, CardEncoding, Lit, PortfolioConfig, SmtResult, SmtSolver, SolveBackend};
+use fec_trace::Level;
 use std::time::{Duration, Instant};
 
 /// Outcome of a verification query.
@@ -60,6 +62,8 @@ pub struct PortfolioRunSummary {
     /// Clauses exported to / accepted from peers, summed over workers.
     pub exported: u64,
     pub imported: u64,
+    /// Imported clauses rejected by the importer's RUP filter.
+    pub rejected: u64,
 }
 
 impl VerifyStats {
@@ -90,6 +94,12 @@ pub struct VerifyOptions {
     /// default) keeps the single incremental solver. This is the CLI's
     /// `--jobs N` mode.
     pub jobs: usize,
+    /// Per-run trace cap: emission from this run is limited to
+    /// `min(trace, global level)`. The default (`Level::Trace`) defers
+    /// entirely to the globally installed sink level; `Level::Off`
+    /// silences this run even when tracing is on (used by the A/B
+    /// overhead bench).
+    pub trace: Level,
 }
 
 impl Default for VerifyOptions {
@@ -98,6 +108,7 @@ impl Default for VerifyOptions {
             budget: Budget::unlimited(),
             check_certificates: false,
             jobs: 1,
+            trace: Level::Trace,
         }
     }
 }
@@ -144,6 +155,17 @@ pub fn has_codeword_of_weight_at_most_with(
     opts: VerifyOptions,
 ) -> (SmtResult, Option<BitVec>, VerifyStats) {
     let start = Instant::now();
+    let _sp = obs::span(
+        opts.trace,
+        Level::Info,
+        "verify.query",
+        &[
+            ("weight", w.into()),
+            ("data_len", g.data_len().into()),
+            ("check_len", g.check_len().into()),
+            ("jobs", opts.jobs.into()),
+        ],
+    );
     let mut s = opts.solver();
     let k = g.data_len();
     let xs: Vec<Lit> = (0..k).map(|_| s.fresh_lit()).collect();
@@ -170,9 +192,28 @@ pub fn has_codeword_of_weight_at_most_with(
             per_worker_conflicts: run.workers.iter().map(|w| w.conflicts).collect(),
             exported: run.total.exported_clauses,
             imported: run.total.imported_clauses,
+            rejected: run.total.rejected_clauses,
         })
         .into_iter()
         .collect();
+    obs::event(
+        opts.trace,
+        Level::Info,
+        "verify.verdict",
+        &[
+            ("weight", w.into()),
+            (
+                "result",
+                match result {
+                    SmtResult::Sat => "sat",
+                    SmtResult::Unsat => "unsat",
+                    SmtResult::Unknown => "unknown",
+                }
+                .into(),
+            ),
+            ("conflicts", s.stats().conflicts.into()),
+        ],
+    );
     let stats = VerifyStats {
         elapsed: start.elapsed(),
         conflicts: s.stats().conflicts,
@@ -273,6 +314,15 @@ pub fn sat_min_distance(g: &Generator, budget: Budget) -> (Option<usize>, Verify
 
 /// [`sat_min_distance`] with full [`VerifyOptions`].
 pub fn sat_min_distance_with(g: &Generator, opts: VerifyOptions) -> (Option<usize>, VerifyStats) {
+    let _sp = obs::span(
+        opts.trace,
+        Level::Info,
+        "verify.min_distance",
+        &[
+            ("data_len", g.data_len().into()),
+            ("check_len", g.check_len().into()),
+        ],
+    );
     let mut stats = VerifyStats::default();
     for w in 1..=g.codeword_len() {
         let (r, _, s) = has_codeword_of_weight_at_most_with(g, w, opts);

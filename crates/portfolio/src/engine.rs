@@ -155,6 +155,14 @@ pub fn solve(
 ) -> PortfolioOutcome {
     let start = Instant::now();
     let n = config.jobs.max(1);
+    let _sp = fec_trace::span!(
+        fec_trace::Level::Trace,
+        "portfolio.solve",
+        "jobs" => n,
+        "clauses" => clauses.len(),
+        "vars" => num_vars,
+        "share_lbd_max" => config.share_lbd_max,
+    );
     let reports = if n == 1 {
         vec![run_single(num_vars, clauses, assumptions, budget, config)]
     } else if config.deterministic {
@@ -162,7 +170,39 @@ pub fn solve(
     } else {
         run_parallel(n, num_vars, clauses, assumptions, budget, config)
     };
-    assemble(reports, start.elapsed())
+    let out = assemble(reports, start.elapsed());
+    if fec_trace::enabled(fec_trace::Level::Debug) {
+        // per-call clause-sharing traffic (workers are fresh each call,
+        // so the totals are this query's traffic, not cumulative)
+        fec_trace::counter!(
+            fec_trace::Level::Debug,
+            "portfolio.shared.exported",
+            out.stats.total.exported_clauses
+        );
+        fec_trace::counter!(
+            fec_trace::Level::Debug,
+            "portfolio.shared.imported",
+            out.stats.total.imported_clauses
+        );
+        fec_trace::counter!(
+            fec_trace::Level::Debug,
+            "portfolio.shared.rejected",
+            out.stats.total.rejected_clauses
+        );
+        fec_trace::event!(
+            fec_trace::Level::Debug,
+            "portfolio.done",
+            "result" => match out.result {
+                SolveResult::Sat => "sat",
+                SolveResult::Unsat => "unsat",
+                SolveResult::Unknown => "unknown",
+            },
+            "winner" => out.stats.winner.map_or(-1i64, |w| w as i64),
+            "conflicts" => out.stats.total.conflicts,
+            "wall_us" => out.stats.wall.as_micros() as u64,
+        );
+    }
+    out
 }
 
 /// Fast path: one worker, no threads, no rings.
@@ -233,6 +273,12 @@ fn run_parallel(
             .map(|(i, (prods, cons))| {
                 let election = Arc::clone(&election);
                 scope.spawn(move || {
+                    fec_trace::set_thread_name(format!("pf-worker-{i}"));
+                    let _wsp = fec_trace::span!(
+                        fec_trace::Level::Trace,
+                        "portfolio.worker",
+                        "worker" => i,
+                    );
                     let (mut s, logger) = build_worker(i, num_vars, clauses, config);
                     s.set_stop_flag(election.stop_handle());
                     if sharing {
@@ -256,6 +302,14 @@ fn run_parallel(
                     // first verdict wins the election and cancels the
                     // rest; losers keep their stats but extract nothing
                     let won = result != SolveResult::Unknown && election.try_win(i);
+                    if won {
+                        fec_trace::event!(
+                            fec_trace::Level::Debug,
+                            "portfolio.win",
+                            "worker" => i,
+                            "conflicts" => s.stats().conflicts,
+                        );
+                    }
                     report(&s, result, num_vars, logger.as_ref(), won)
                 })
             })

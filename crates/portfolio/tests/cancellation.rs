@@ -163,5 +163,6 @@ fn sum_check(stats: &fec_portfolio::PortfolioStats) -> Vec<(&'static str, u64, u
         solve_calls,
         exported_clauses,
         imported_clauses,
+        rejected_clauses,
     )
 }

@@ -67,20 +67,45 @@ pub struct SolverStats {
     pub exported_clauses: u64,
     /// Shared clauses accepted from the import hook.
     pub imported_clauses: u64,
+    /// Shared clauses rejected because they failed the RUP admission
+    /// check under proof logging (see [`Solver::set_import_hook`]).
+    pub rejected_clauses: u64,
 }
+
+// every field is a u64 counter; if this fails, a field of another
+// width was added and the destructuring in `merge` needs review too
+const _: () = assert!(
+    std::mem::size_of::<SolverStats>() == 10 * std::mem::size_of::<u64>(),
+    "SolverStats gained or lost a field: update merge() and this assertion"
+);
 
 impl SolverStats {
     /// Field-wise sum — aggregates statistics across portfolio workers.
     pub fn merge(&mut self, other: &SolverStats) {
-        self.conflicts += other.conflicts;
-        self.decisions += other.decisions;
-        self.propagations += other.propagations;
-        self.restarts += other.restarts;
-        self.learnt_clauses += other.learnt_clauses;
-        self.deleted_clauses += other.deleted_clauses;
-        self.solve_calls += other.solve_calls;
-        self.exported_clauses += other.exported_clauses;
-        self.imported_clauses += other.imported_clauses;
+        // exhaustive destructuring: a new field that is not merged
+        // below is a compile error, not a silently-dropped statistic
+        let SolverStats {
+            conflicts,
+            decisions,
+            propagations,
+            restarts,
+            learnt_clauses,
+            deleted_clauses,
+            solve_calls,
+            exported_clauses,
+            imported_clauses,
+            rejected_clauses,
+        } = *other;
+        self.conflicts += conflicts;
+        self.decisions += decisions;
+        self.propagations += propagations;
+        self.restarts += restarts;
+        self.learnt_clauses += learnt_clauses;
+        self.deleted_clauses += deleted_clauses;
+        self.solve_calls += solve_calls;
+        self.exported_clauses += exported_clauses;
+        self.imported_clauses += imported_clauses;
+        self.rejected_clauses += rejected_clauses;
     }
 }
 
@@ -138,6 +163,10 @@ pub struct Solver {
     export: Option<ExportHook>,
     export_lbd_max: u32,
     import: Option<ImportHook>,
+    // LBD distribution of learned clauses (bucket 15 = "≥ 15"); only
+    // maintained while tracing is enabled at Debug, so the conflict
+    // path pays one predictable branch otherwise
+    lbd_hist: [u64; 16],
 }
 
 impl Default for Solver {
@@ -182,6 +211,7 @@ impl Solver {
             export: None,
             export_lbd_max: 0,
             import: None,
+            lbd_hist: [0; 16],
         }
     }
 
@@ -296,6 +326,51 @@ impl Solver {
     /// Cumulative statistics.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// LBD distribution of learned clauses (bucket 15 counts LBD ≥ 15).
+    /// Populated only while tracing is enabled at `Debug` level, so it
+    /// reads all-zero in untraced runs.
+    pub fn lbd_histogram(&self) -> &[u64; 16] {
+        &self.lbd_hist
+    }
+
+    #[inline]
+    fn record_lbd(&mut self, lbd: u32) {
+        // guarded by the same single relaxed load as every other site;
+        // the histogram write happens only when someone is listening
+        if fec_trace::enabled(fec_trace::Level::Debug) {
+            self.lbd_hist[(lbd as usize).min(15)] += 1;
+        }
+    }
+
+    /// Sampled hot-loop observability: one `sat.snapshot` event per
+    /// restart boundary (never inside the propagation loop), carrying
+    /// cumulative totals, the conflict rate, and the LBD histogram.
+    fn emit_snapshot(&self, start: Instant) {
+        let secs = start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 {
+            self.stats.conflicts as f64 / secs
+        } else {
+            0.0
+        };
+        let hist = self
+            .lbd_hist
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        fec_trace::event!(
+            fec_trace::Level::Debug,
+            "sat.snapshot",
+            "conflicts" => self.stats.conflicts,
+            "propagations" => self.stats.propagations,
+            "decisions" => self.stats.decisions,
+            "restarts" => self.stats.restarts,
+            "learnt" => self.stats.learnt_clauses,
+            "conflicts_per_s" => rate,
+            "lbd_hist" => hist,
+        );
     }
 
     /// `false` once the clause set is known unsatisfiable outright
@@ -727,7 +802,9 @@ impl Solver {
             return;
         }
         if self.proof.is_some() && !self.import_is_rup(&out) {
-            return; // not locally derivable: reject to keep the proof sound
+            // not locally derivable: reject to keep the proof sound
+            self.stats.rejected_clauses += 1;
+            return;
         }
         self.log_learn(&out);
         self.stats.imported_clauses += 1;
@@ -798,6 +875,9 @@ impl Solver {
                 SearchOutcome::Unsat => break SolveResult::Unsat,
                 SearchOutcome::Restart => {
                     self.stats.restarts += 1;
+                    if fec_trace::enabled(fec_trace::Level::Debug) {
+                        self.emit_snapshot(start);
+                    }
                     continue;
                 }
                 SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
@@ -848,6 +928,7 @@ impl Solver {
                 self.backtrack(bt_level);
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
+                    self.record_lbd(1);
                     self.export_learnt(&learnt, 1);
                     self.backtrack(0);
                     match self.lit_value(asserting) {
@@ -861,6 +942,7 @@ impl Solver {
                     }
                 } else {
                     let lbd = self.compute_lbd(&learnt);
+                    self.record_lbd(lbd);
                     self.export_learnt(&learnt, lbd);
                     let cref = self.attach_clause(Clause::new(learnt, true, lbd));
                     self.stats.learnt_clauses += 1;
@@ -1345,6 +1427,7 @@ mod tests {
         let b = SolverStats {
             conflicts: 4,
             imported_clauses: 2,
+            rejected_clauses: 5,
             ..SolverStats::default()
         };
         a.merge(&b);
@@ -1352,6 +1435,7 @@ mod tests {
         assert_eq!(a.propagations, 10);
         assert_eq!(a.exported_clauses, 1);
         assert_eq!(a.imported_clauses, 2);
+        assert_eq!(a.rejected_clauses, 5);
     }
 
     #[test]

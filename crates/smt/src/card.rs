@@ -29,10 +29,13 @@ impl SmtSolver {
     /// `out` has `out[j]` true iff at least `j+1` of the inputs are true,
     /// with monotonicity (`out[j+1] → out[j]`) enforced.
     pub fn counting_register(&mut self, lits: &[Lit], enc: CardEncoding) -> Vec<Lit> {
-        match enc {
-            CardEncoding::Totalizer => self.totalizer(lits),
-            CardEncoding::Sequential => self.sequential_register(lits),
-        }
+        let mark = self.enc_begin();
+        let (reg, family) = match enc {
+            CardEncoding::Totalizer => (self.totalizer(lits), "totalizer"),
+            CardEncoding::Sequential => (self.sequential_register(lits), "sequential"),
+        };
+        self.enc_end(family, mark);
+        reg
     }
 
     /// Asserts `Σ lits ≤ k` (default encoding).
@@ -105,11 +108,13 @@ impl SmtSolver {
     /// Pairwise at-most-one (efficient for small n, used for selector
     /// variables like the paper's `map(j)` assignment).
     pub fn at_most_one_pairwise(&mut self, lits: &[Lit]) {
+        let mark = self.enc_begin();
         for i in 0..lits.len() {
             for j in (i + 1)..lits.len() {
                 self.add_clause(&[!lits[i], !lits[j]]);
             }
         }
+        self.enc_end("pairwise", mark);
     }
 
     /// Exactly-one via pairwise AMO plus the covering clause.

@@ -66,6 +66,7 @@ impl SmtSolver {
             [] => self.lit_false(),
             [l] => *l,
             _ => {
+                let mark = self.enc_begin();
                 let mut layer: Vec<Lit> = lits.to_vec();
                 while layer.len() > 1 {
                     let mut next = Vec::with_capacity(layer.len().div_ceil(2));
@@ -78,6 +79,7 @@ impl SmtSolver {
                     }
                     layer = next;
                 }
+                self.enc_end("xor", mark);
                 layer[0]
             }
         }

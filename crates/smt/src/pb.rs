@@ -36,9 +36,11 @@ impl SmtSolver {
         if total <= bound {
             return; // vacuous
         }
+        let mark = self.enc_begin();
         let mut memo: HashMap<(usize, u64), Lit> = HashMap::new();
         let root = self.pb_node(&items, 0, bound, &mut memo);
         self.add_clause(&[root]);
+        self.enc_end("pb", mark);
     }
 
     /// Returns a literal that *implies* `Σ weights[i]·lits[i] ≤ bound`
@@ -62,8 +64,11 @@ impl SmtSolver {
         if total <= bound {
             return self.lit_true();
         }
+        let mark = self.enc_begin();
         let mut memo = HashMap::new();
-        self.pb_node(&items, 0, bound, &mut memo)
+        let root = self.pb_node(&items, 0, bound, &mut memo);
+        self.enc_end("pb", mark);
+        root
     }
 
     /// Asserts `Σ weights[i]·lits[i] ≥ bound` (via the complement sum).

@@ -50,6 +50,21 @@ pub struct SmtSolver {
     true_lit: Option<Lit>,
     cert: Option<Certifier>,
     portfolio: Option<Box<PortfolioState>>,
+    /// Clauses handed to `raw_add_clause` so far (encoding size metric).
+    clauses_added: u64,
+    /// Nesting depth of encoder attribution scopes (see `enc_begin`):
+    /// only the outermost constraint family claims the vars/clauses it
+    /// allocates, so a PB constraint built from ITE gadgets is counted
+    /// once, as PB.
+    enc_depth: u32,
+}
+
+/// Snapshot opening an encoding-attribution scope (see
+/// [`SmtSolver::enc_begin`]).
+pub(crate) struct EncMark {
+    vars: usize,
+    clauses: u64,
+    armed: bool,
 }
 
 /// State of the portfolio backend.
@@ -106,6 +121,8 @@ impl SmtSolver {
             true_lit: None,
             cert: None,
             portfolio: None,
+            clauses_added: 0,
+            enc_depth: 0,
         }
     }
 
@@ -191,6 +208,8 @@ impl SmtSolver {
                 stats: CertificateStats::default(),
             }),
             portfolio: None,
+            clauses_added: 0,
+            enc_depth: 0,
         }
     }
 
@@ -219,10 +238,54 @@ impl SmtSolver {
     /// Adds a clause to both the incremental core and (in portfolio
     /// mode) the verbatim mirror the workers re-solve.
     fn raw_add_clause(&mut self, lits: &[Lit]) {
+        self.clauses_added += 1;
         if let Some(p) = self.portfolio.as_mut() {
             p.mirror.push(lits.to_vec());
         }
         self.sat.add_clause(lits);
+    }
+
+    /// Total clauses added so far (before SAT-core simplification).
+    pub fn clauses_added(&self) -> u64 {
+        self.clauses_added
+    }
+
+    /// Opens an encoding-attribution scope for one constraint family.
+    /// Pair with [`SmtSolver::enc_end`]; the outermost scope emits
+    /// `smt.enc.<family>.{vars,clauses}` counters when tracing is on.
+    pub(crate) fn enc_begin(&mut self) -> EncMark {
+        let armed = self.enc_depth == 0 && fec_trace::enabled(fec_trace::Level::Debug);
+        self.enc_depth += 1;
+        EncMark {
+            vars: self.sat.num_vars(),
+            clauses: self.clauses_added,
+            armed,
+        }
+    }
+
+    /// Closes an encoding-attribution scope, attributing the variables
+    /// and clauses allocated since `mark` to `family`.
+    pub(crate) fn enc_end(&mut self, family: &str, mark: EncMark) {
+        self.enc_depth -= 1;
+        if !mark.armed {
+            return;
+        }
+        let vars = self.sat.num_vars() - mark.vars;
+        let clauses = self.clauses_added - mark.clauses;
+        if vars > 0 {
+            fec_trace::counter(
+                fec_trace::Level::Debug,
+                &format!("smt.enc.{family}.vars"),
+                vars as i64,
+            );
+        }
+        if clauses > 0 {
+            fec_trace::counter(
+                fec_trace::Level::Debug,
+                &format!("smt.enc.{family}.clauses"),
+                clauses as i64,
+            );
+        }
     }
 
     /// Replays the proof stream produced since the last call through
@@ -357,16 +420,35 @@ impl SmtSolver {
     pub fn solve_with_budget(&mut self, extra: &[Lit], budget: Budget) -> SmtResult {
         let mut assumptions = self.guards.clone();
         assumptions.extend_from_slice(extra);
-        if self.portfolio.is_some() {
-            return self.solve_portfolio(&assumptions, budget);
-        }
-        let verdict = self.sat.solve_with_budget(&assumptions, budget);
-        self.certify(verdict, &assumptions);
-        match verdict {
-            SolveResult::Sat => SmtResult::Sat,
-            SolveResult::Unsat => SmtResult::Unsat,
-            SolveResult::Unknown => SmtResult::Unknown,
-        }
+        let _sp = fec_trace::span!(
+            fec_trace::Level::Trace,
+            "smt.solve",
+            "vars" => self.sat.num_vars(),
+            "clauses" => self.clauses_added,
+            "assumptions" => assumptions.len(),
+            "backend" => if self.portfolio.is_some() { "portfolio" } else { "single" },
+        );
+        let result = if self.portfolio.is_some() {
+            self.solve_portfolio(&assumptions, budget)
+        } else {
+            let verdict = self.sat.solve_with_budget(&assumptions, budget);
+            self.certify(verdict, &assumptions);
+            match verdict {
+                SolveResult::Sat => SmtResult::Sat,
+                SolveResult::Unsat => SmtResult::Unsat,
+                SolveResult::Unknown => SmtResult::Unknown,
+            }
+        };
+        fec_trace::event!(
+            fec_trace::Level::Trace,
+            "smt.verdict",
+            "result" => match result {
+                SmtResult::Sat => "sat",
+                SmtResult::Unsat => "unsat",
+                SmtResult::Unknown => "unknown",
+            },
+        );
+        result
     }
 
     /// Answers one query by racing the portfolio over the mirrored

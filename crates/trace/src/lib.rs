@@ -1,0 +1,648 @@
+//! **fec-trace** — structured tracing, metrics, and profiling for the
+//! synthesis stack, with no dependencies outside `std`.
+//!
+//! The design follows the same discipline as the SAT core's
+//! `ProofLogger`: instrumentation must be *zero-cost when disabled*.
+//! Every emission site is guarded by [`enabled`], a single relaxed
+//! atomic load against the installed maximum level; with no collector
+//! installed (the default) that load reads `0` and the site costs one
+//! predictable branch. Hot paths (the CDCL conflict loop) are
+//! additionally *sampled* — they emit periodic snapshots at restart
+//! boundaries rather than per-event records, so even fully enabled
+//! tracing stays out of the propagation loop.
+//!
+//! # Model
+//!
+//! - an **event** is an instantaneous record: a level, a name
+//!   (dot-separated taxonomy, e.g. `cegis.counterexample`), and typed
+//!   key/value fields;
+//! - a **span** is a named duration: entered with [`Span::enter`] (or
+//!   the [`span!`] macro), closed on drop, timed with a monotonic
+//!   clock;
+//! - a **counter** is a named monotone accumulator; deltas are folded
+//!   into the end-of-run metrics report and graphed by the Chrome
+//!   sink.
+//!
+//! # Sinks
+//!
+//! [`TraceConfig`] installs any combination of:
+//!
+//! - **stderr**: human-readable log lines, filtered by the configured
+//!   level;
+//! - **JSONL**: one self-describing JSON object per record (schema
+//!   checked by [`validate_jsonl`]);
+//! - **Chrome `trace_event`**: a JSON array loadable in Perfetto /
+//!   `about:tracing`, with spans as `B`/`E` pairs, counters as `C`
+//!   tracks, and thread-name metadata — flamegraphs for free;
+//! - **metrics**: an in-memory aggregation (counter totals, span
+//!   count/total/min/max) rendered as a report by [`metrics`] /
+//!   written to a file by [`flush`].
+//!
+//! # Example
+//!
+//! ```
+//! use fec_trace::{Level, TraceConfig};
+//!
+//! let buf = fec_trace::test_support::SharedBuf::default();
+//! fec_trace::install(TraceConfig::new(Level::Debug).jsonl_writer(Box::new(buf.clone())));
+//! {
+//!     let _span = fec_trace::span!(Level::Info, "demo.work", "size" => 42u64);
+//!     fec_trace::counter!(Level::Info, "demo.items", 3);
+//! }
+//! let report = fec_trace::shutdown().expect("collector was installed");
+//! assert_eq!(report.counters["demo.items"], 3);
+//! assert_eq!(report.spans["demo.work"].count, 1);
+//! assert!(fec_trace::validate_jsonl(&buf.take_string()).unwrap() >= 3);
+//! ```
+
+mod json;
+mod metrics;
+mod sink;
+
+pub use json::{parse_json, Json, JsonError};
+pub use metrics::{MetricsReport, SpanAgg};
+pub use sink::validate_jsonl;
+
+use sink::{ChromeSink, JsonlSink, Sink, StderrSink};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Levels
+// ---------------------------------------------------------------------------
+
+/// Severity / verbosity of a record. `Off` disables everything.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+#[repr(u8)]
+pub enum Level {
+    /// No emission at all (the default global state).
+    #[default]
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious but non-fatal conditions.
+    Warn = 2,
+    /// Run-level progress: CEGIS iterations, bounds, verdicts.
+    Info = 3,
+    /// Subsystem detail: solver snapshots, encoding sizes.
+    Debug = 4,
+    /// Everything, including per-query portfolio breakdowns.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a CLI level name (`off|error|warn|info|debug|trace`).
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Level::Off,
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "trace" => Level::Trace,
+            _ => return None,
+        })
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Values and records
+// ---------------------------------------------------------------------------
+
+/// A typed field value attached to a record.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I64(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// What a record describes.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Kind {
+    /// A point-in-time event.
+    Event,
+    /// A span opening.
+    SpanBegin,
+    /// A span closing; `dur_us` is the measured duration.
+    SpanEnd { dur_us: u64 },
+    /// A counter increment.
+    Counter { delta: i64 },
+}
+
+/// One record as handed to sinks.
+pub struct Record<'a> {
+    /// Microseconds since the collector was installed.
+    pub ts_us: u64,
+    /// Dense per-thread id (1-based, in first-emission order).
+    pub tid: u64,
+    /// Thread name, when one was set (see [`set_thread_name`]).
+    pub thread_name: Option<&'a str>,
+    pub level: Level,
+    pub name: &'a str,
+    pub kind: Kind,
+    pub fields: &'a [(&'a str, Value)],
+}
+
+// ---------------------------------------------------------------------------
+// Global collector
+// ---------------------------------------------------------------------------
+
+/// Maximum level any installed sink accepts; 0 = nothing installed.
+/// This is the *only* state the disabled fast path reads.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static THREAD_NAME: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Names the current thread in trace output (Chrome metadata rows,
+/// JSONL `thread` field). Cheap; safe to call with tracing disabled.
+pub fn set_thread_name(name: impl Into<String>) {
+    THREAD_NAME.with(|n| *n.borrow_mut() = Some(name.into()));
+}
+
+/// `true` when a record at `level` would reach at least one sink.
+///
+/// This is the zero-cost-when-disabled guard: a single relaxed atomic
+/// load. Call it before building fields for an emission (the provided
+/// macros do so automatically).
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    let l = level as u8;
+    l != 0 && l <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// [`enabled`] with an additional per-run cap: a record passes only if
+/// it is within both the global sink level *and* `cap`. Lets one
+/// configuration (e.g. a baseline run in an A/B bench) silence its own
+/// instrumentation while another run traces fully.
+#[inline]
+pub fn enabled_at(cap: Level, level: Level) -> bool {
+    level <= cap && enabled(level)
+}
+
+struct Collector {
+    sinks: Vec<SinkEntry>,
+    metrics: metrics::Registry,
+    metrics_out: Option<PathBuf>,
+}
+
+struct SinkEntry {
+    /// Maximum level this sink accepts.
+    level: Level,
+    sink: Box<dyn Sink + Send>,
+}
+
+/// Configuration for [`install`]. Build with [`TraceConfig::new`], add
+/// sinks, then install. Installing replaces any previous collector.
+pub struct TraceConfig {
+    level: Level,
+    stderr: bool,
+    jsonl: Option<Box<dyn Write + Send>>,
+    chrome: Option<Box<dyn Write + Send>>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl TraceConfig {
+    /// A configuration whose stderr sink (if enabled) filters at
+    /// `level`. File sinks always record at `Trace` detail: they are
+    /// explicitly requested and post-processed, so more is better.
+    pub fn new(level: Level) -> TraceConfig {
+        TraceConfig {
+            level,
+            stderr: false,
+            jsonl: None,
+            chrome: None,
+            metrics_out: None,
+        }
+    }
+
+    /// Adds the human-readable stderr sink at the configured level.
+    pub fn stderr(mut self) -> Self {
+        self.stderr = true;
+        self
+    }
+
+    /// Streams JSONL records to `w` (schema: [`validate_jsonl`]).
+    pub fn jsonl_writer(mut self, w: Box<dyn Write + Send>) -> Self {
+        self.jsonl = Some(w);
+        self
+    }
+
+    /// Streams JSONL records to the file at `path`.
+    pub fn jsonl_path(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(self.jsonl_writer(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// Streams Chrome `trace_event` JSON to `w` (load in Perfetto).
+    pub fn chrome_writer(mut self, w: Box<dyn Write + Send>) -> Self {
+        self.chrome = Some(w);
+        self
+    }
+
+    /// Streams Chrome `trace_event` JSON to the file at `path`.
+    pub fn chrome_path(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(self.chrome_writer(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// Writes the aggregated metrics report (JSON) to `path` on
+    /// [`flush`] / [`shutdown`].
+    pub fn metrics_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_out = Some(path.into());
+        self
+    }
+}
+
+/// Installs the global collector described by `config`, replacing any
+/// previous one (whose sinks are flushed and dropped). Metrics are
+/// always aggregated while a collector is installed.
+pub fn install(config: TraceConfig) {
+    epoch(); // pin the timestamp origin before the first record
+    let mut sinks: Vec<SinkEntry> = Vec::new();
+    if config.stderr && config.level > Level::Off {
+        sinks.push(SinkEntry {
+            level: config.level,
+            sink: Box::new(StderrSink),
+        });
+    }
+    if let Some(w) = config.jsonl {
+        sinks.push(SinkEntry {
+            level: Level::Trace,
+            sink: Box::new(JsonlSink::new(w)),
+        });
+    }
+    if let Some(w) = config.chrome {
+        sinks.push(SinkEntry {
+            level: Level::Trace,
+            sink: Box::new(ChromeSink::new(w)),
+        });
+    }
+    let metrics_on = config.metrics_out.is_some();
+    let max = sinks
+        .iter()
+        .map(|s| s.level)
+        .max()
+        .unwrap_or(Level::Off)
+        .max(if metrics_on { Level::Trace } else { Level::Off });
+    let collector = Collector {
+        sinks,
+        metrics: metrics::Registry::default(),
+        metrics_out: config.metrics_out,
+    };
+    let mut guard = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(mut old) = guard.replace(collector) {
+        for s in &mut old.sinks {
+            s.sink.flush();
+        }
+    }
+    MAX_LEVEL.store(max as u8, Ordering::Relaxed);
+}
+
+/// `true` while a collector is installed.
+pub fn is_installed() -> bool {
+    MAX_LEVEL.load(Ordering::Relaxed) != 0
+}
+
+/// Flushes every sink and (if configured) writes the metrics report to
+/// the `metrics_path` file. The collector stays installed.
+pub fn flush() {
+    let mut guard = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(c) = guard.as_mut() {
+        for s in &mut c.sinks {
+            s.sink.flush();
+        }
+        if let Some(path) = &c.metrics_out {
+            let report = c.metrics.snapshot();
+            let _ = std::fs::write(path, report.to_json());
+        }
+    }
+}
+
+/// Flushes, uninstalls the collector, and returns the final metrics
+/// report (`None` when nothing was installed).
+pub fn shutdown() -> Option<MetricsReport> {
+    let taken = {
+        let mut guard = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+        MAX_LEVEL.store(0, Ordering::Relaxed);
+        guard.take()
+    };
+    let mut c = taken?;
+    for s in &mut c.sinks {
+        s.sink.flush();
+    }
+    let report = c.metrics.snapshot();
+    if let Some(path) = &c.metrics_out {
+        let _ = std::fs::write(path, report.to_json());
+    }
+    Some(report)
+}
+
+/// A snapshot of the aggregated metrics so far (`None` when no
+/// collector is installed).
+pub fn metrics() -> Option<MetricsReport> {
+    let guard = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().map(|c| c.metrics.snapshot())
+}
+
+fn dispatch(level: Level, name: &str, kind: Kind, fields: &[(&str, Value)]) {
+    let ts_us = now_us();
+    let tid = TID.with(|t| *t);
+    THREAD_NAME.with(|n| {
+        let n = n.borrow();
+        let record = Record {
+            ts_us,
+            tid,
+            thread_name: n.as_deref(),
+            level,
+            name,
+            kind,
+            fields,
+        };
+        let mut guard = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = guard.as_mut() {
+            c.metrics.record(&record);
+            for s in &mut c.sinks {
+                if level <= s.level {
+                    s.sink.record(&record);
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Emission API
+// ---------------------------------------------------------------------------
+
+/// Emits a point-in-time event. Callers should guard with [`enabled`]
+/// (or use [`event!`], which does) so field construction is skipped
+/// when tracing is off.
+pub fn event(level: Level, name: &str, fields: &[(&str, Value)]) {
+    if enabled(level) {
+        dispatch(level, name, Kind::Event, fields);
+    }
+}
+
+/// Adds `delta` to the counter `name` (metrics total + Chrome track).
+pub fn counter(level: Level, name: &str, delta: i64) {
+    if enabled(level) {
+        dispatch(level, name, Kind::Counter { delta }, &[]);
+    }
+}
+
+/// An RAII span: created by [`Span::enter`], emits `SpanEnd` with the
+/// measured duration on drop. When tracing is disabled at entry the
+/// span is a no-op shell (no allocation, no clock read).
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: String,
+    level: Level,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span; emits `SpanBegin` with `fields` if enabled.
+    pub fn enter(level: Level, name: &str, fields: &[(&str, Value)]) -> Span {
+        if !enabled(level) {
+            return Span { inner: None };
+        }
+        dispatch(level, name, Kind::SpanBegin, fields);
+        Span {
+            inner: Some(SpanInner {
+                name: name.to_string(),
+                level,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// A disabled span (useful to thread through APIs unconditionally).
+    pub fn none() -> Span {
+        Span { inner: None }
+    }
+
+    /// `true` when this span is live (tracing was enabled at entry).
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(s) = self.inner.take() {
+            let dur_us = s.start.elapsed().as_micros() as u64;
+            dispatch(s.level, &s.name, Kind::SpanEnd { dur_us }, &[]);
+        }
+    }
+}
+
+/// Emits an event, building fields only when the level is enabled:
+/// `event!(Level::Info, "name", "key" => value, ...)`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $name:expr $(, $k:literal => $v:expr)* $(,)?) => {
+        if $crate::enabled($level) {
+            $crate::event($level, $name, &[$(($k, $crate::Value::from($v))),*]);
+        }
+    };
+}
+
+/// Increments a counter: `counter!(Level::Debug, "name", delta)`.
+#[macro_export]
+macro_rules! counter {
+    ($level:expr, $name:expr, $delta:expr) => {
+        $crate::counter($level, $name, ($delta) as i64)
+    };
+}
+
+/// Opens a span bound to the enclosing scope:
+/// `let _s = span!(Level::Info, "name", "key" => value);`
+#[macro_export]
+macro_rules! span {
+    ($level:expr, $name:expr $(, $k:literal => $v:expr)* $(,)?) => {
+        if $crate::enabled($level) {
+            $crate::Span::enter($level, $name, &[$(($k, $crate::Value::from($v))),*])
+        } else {
+            $crate::Span::none()
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Test support
+// ---------------------------------------------------------------------------
+
+/// Helpers for tests and benches that need to capture sink output.
+pub mod test_support {
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+
+    /// A cloneable in-memory `Write` target.
+    #[derive(Clone, Default)]
+    pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        /// Takes the accumulated bytes as a UTF-8 string.
+        pub fn take_string(&self) -> String {
+            let mut b = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            String::from_utf8_lossy(&std::mem::take(&mut *b)).into_owned()
+        }
+
+        /// Bytes written so far.
+        pub fn len(&self) -> usize {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// `true` when nothing was written yet.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_order() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Error < Level::Trace);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        // the global default must be fully off: enabled() is the only
+        // thing hot paths consult
+        assert!(!enabled(Level::Error) || is_installed());
+    }
+
+    #[test]
+    fn enabled_at_caps_per_run() {
+        // regardless of global state, a cap below the record level wins
+        assert!(!enabled_at(Level::Info, Level::Debug));
+        assert!(!enabled_at(Level::Off, Level::Error));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-2i64), Value::I64(-2));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn span_none_is_inert() {
+        let s = Span::none();
+        assert!(!s.is_live());
+        drop(s); // must not emit or panic
+    }
+}

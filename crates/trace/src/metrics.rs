@@ -1,0 +1,188 @@
+//! End-of-run metrics aggregation: counter totals and span duration
+//! statistics, keyed by record name.
+
+use crate::json::escape_into;
+use crate::{Kind, Record};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate statistics of one span name.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpanAgg {
+    /// Completed spans.
+    pub count: u64,
+    /// Sum of durations, microseconds.
+    pub total_us: u64,
+    /// Shortest completed span, microseconds.
+    pub min_us: u64,
+    /// Longest completed span, microseconds.
+    pub max_us: u64,
+}
+
+impl SpanAgg {
+    fn add(&mut self, dur_us: u64) {
+        if self.count == 0 {
+            self.min_us = dur_us;
+            self.max_us = dur_us;
+        } else {
+            self.min_us = self.min_us.min(dur_us);
+            self.max_us = self.max_us.max(dur_us);
+        }
+        self.count += 1;
+        self.total_us += dur_us;
+    }
+}
+
+/// The live aggregation; snapshots become [`MetricsReport`]s.
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: BTreeMap<String, i64>,
+    spans: BTreeMap<String, SpanAgg>,
+    events: u64,
+}
+
+impl Registry {
+    pub(crate) fn record(&mut self, r: &Record<'_>) {
+        match r.kind {
+            Kind::Counter { delta } => {
+                *self.counters.entry(r.name.to_string()).or_insert(0) += delta;
+            }
+            Kind::SpanEnd { dur_us } => {
+                self.spans
+                    .entry(r.name.to_string())
+                    .or_default()
+                    .add(dur_us);
+            }
+            Kind::Event => self.events += 1,
+            Kind::SpanBegin => {}
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.clone(),
+            spans: self.spans.clone(),
+            events: self.events,
+        }
+    }
+}
+
+/// The aggregated end-of-run report.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MetricsReport {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, i64>,
+    /// Span statistics by name.
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Point events observed (any kind::Event record).
+    pub events: u64,
+}
+
+impl MetricsReport {
+    /// Renders the report as a deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            escape_into(&mut out, k);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            escape_into(&mut out, k);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"total_us\": {}, \"min_us\": {}, \"max_us\": {}}}",
+                s.count, s.total_us, s.min_us, s.max_us
+            );
+        }
+        let _ = write!(out, "\n  }},\n  \"events\": {}\n}}\n", self.events);
+        out
+    }
+
+    /// Renders a human-readable table (for stderr at end of run).
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("== metrics ==\n");
+        if !self.spans.is_empty() {
+            out.push_str("spans (count, total, mean):\n");
+            for (k, s) in &self.spans {
+                let mean = s.total_us as f64 / s.count.max(1) as f64;
+                let _ = writeln!(
+                    out,
+                    "  {k:<32} {:>8}  {:>12.3} ms  {:>10.1} us",
+                    s.count,
+                    s.total_us as f64 / 1e3,
+                    mean
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<32} {v:>12}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_json, Json, Level, Value};
+
+    fn rec(name: &'static str, kind: Kind) -> Record<'static> {
+        Record {
+            ts_us: 0,
+            tid: 1,
+            thread_name: None,
+            level: Level::Info,
+            name,
+            kind,
+            fields: &[],
+        }
+    }
+
+    #[test]
+    fn aggregates_counters_and_spans() {
+        let mut reg = Registry::default();
+        reg.record(&rec("c.x", Kind::Counter { delta: 2 }));
+        reg.record(&rec("c.x", Kind::Counter { delta: 3 }));
+        reg.record(&rec("s.y", Kind::SpanEnd { dur_us: 10 }));
+        reg.record(&rec("s.y", Kind::SpanEnd { dur_us: 4 }));
+        reg.record(&rec("e", Kind::Event));
+        let r = reg.snapshot();
+        assert_eq!(r.counters["c.x"], 5);
+        let s = r.spans["s.y"];
+        assert_eq!((s.count, s.total_us, s.min_us, s.max_us), (2, 14, 4, 10));
+        assert_eq!(r.events, 1);
+    }
+
+    #[test]
+    fn report_json_parses_and_matches() {
+        let mut reg = Registry::default();
+        reg.record(&rec("a.b", Kind::Counter { delta: 7 }));
+        reg.record(&rec("sp", Kind::SpanEnd { dur_us: 123 }));
+        let j = parse_json(&reg.snapshot().to_json()).expect("valid JSON");
+        assert_eq!(
+            j.get("counters").and_then(|c| c.get("a.b")),
+            Some(&Json::Num(7.0))
+        );
+        let sp = j.get("spans").and_then(|s| s.get("sp")).unwrap();
+        assert_eq!(sp.get("total_us").and_then(Json::as_num), Some(123.0));
+        // field values are exercised through Value conversions elsewhere;
+        // silence the unused-import lint meaningfully here
+        let _ = Value::from(1u64);
+    }
+
+    #[test]
+    fn render_text_mentions_every_name() {
+        let mut reg = Registry::default();
+        reg.record(&rec("cegis.iterations", Kind::Counter { delta: 4 }));
+        reg.record(&rec("sat.solve", Kind::SpanEnd { dur_us: 99 }));
+        let text = reg.snapshot().render_text();
+        assert!(text.contains("cegis.iterations"));
+        assert!(text.contains("sat.solve"));
+    }
+}

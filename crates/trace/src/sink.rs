@@ -1,0 +1,378 @@
+//! Output sinks: human-readable stderr, JSONL event stream, and Chrome
+//! `trace_event` JSON for Perfetto / `about:tracing`.
+
+use crate::json::{escape_into, parse_json, value_into, Json};
+use crate::{Kind, Record};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+
+pub(crate) trait Sink {
+    fn record(&mut self, r: &Record<'_>);
+    fn flush(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// stderr
+// ---------------------------------------------------------------------------
+
+/// `[   0.001234s INFO  cegis.candidate] iter=3 gens=1`
+pub(crate) struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&mut self, r: &Record<'_>) {
+        // span-begin lines duplicate span-end information; keep stderr
+        // readable by reporting spans once, on close, with duration
+        if matches!(r.kind, Kind::SpanBegin) {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "[{:>11.6}s {:<5} {}]",
+            r.ts_us as f64 / 1e6,
+            r.level.name().to_ascii_uppercase(),
+            r.name
+        );
+        match r.kind {
+            Kind::SpanEnd { dur_us } => {
+                let _ = write!(line, " dur={:.3}ms", dur_us as f64 / 1e3);
+            }
+            Kind::Counter { delta } => {
+                let _ = write!(line, " +{delta}");
+            }
+            Kind::Event | Kind::SpanBegin => {}
+        }
+        for (k, v) in r.fields {
+            let mut vs = String::new();
+            value_into(&mut vs, v);
+            let _ = write!(line, " {k}={vs}");
+        }
+        eprintln!("{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = std::io::stderr().flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+/// One JSON object per line; see [`validate_jsonl`] for the schema.
+pub(crate) struct JsonlSink {
+    w: Box<dyn Write + Send>,
+}
+
+impl JsonlSink {
+    pub(crate) fn new(w: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink { w }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, r: &Record<'_>) {
+        let mut line = String::with_capacity(128);
+        let kind = match r.kind {
+            Kind::Event => "event",
+            Kind::SpanBegin => "begin",
+            Kind::SpanEnd { .. } => "end",
+            Kind::Counter { .. } => "counter",
+        };
+        let _ = write!(
+            line,
+            "{{\"ts_us\": {}, \"tid\": {}, \"level\": \"{}\", \"kind\": \"{kind}\", \"name\": ",
+            r.ts_us,
+            r.tid,
+            r.level.name()
+        );
+        escape_into(&mut line, r.name);
+        if let Some(t) = r.thread_name {
+            line.push_str(", \"thread\": ");
+            escape_into(&mut line, t);
+        }
+        match r.kind {
+            Kind::SpanEnd { dur_us } => {
+                let _ = write!(line, ", \"dur_us\": {dur_us}");
+            }
+            Kind::Counter { delta } => {
+                let _ = write!(line, ", \"delta\": {delta}");
+            }
+            _ => {}
+        }
+        if !r.fields.is_empty() {
+            line.push_str(", \"fields\": {");
+            for (i, (k, v)) in r.fields.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(", ");
+                }
+                escape_into(&mut line, k);
+                line.push_str(": ");
+                value_into(&mut line, v);
+            }
+            line.push('}');
+        }
+        line.push_str("}\n");
+        let _ = self.w.write_all(line.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Validates a JSONL event stream against the fec-trace schema and
+/// returns the number of records.
+///
+/// Schema (per line, one JSON object):
+///
+/// - `ts_us`: number — microseconds since collector install
+/// - `tid`: number — dense thread id
+/// - `level`: string in `error|warn|info|debug|trace`
+/// - `kind`: string in `event|begin|end|counter`
+/// - `name`: non-empty string
+/// - `dur_us`: number, required iff `kind == "end"`
+/// - `delta`: number, required iff `kind == "counter"`
+/// - `thread`: optional string
+/// - `fields`: optional object of scalar values
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |m: &str| Err(format!("line {}: {m}", lineno + 1));
+        let v = match parse_json(line) {
+            Ok(v) => v,
+            Err(e) => return fail(&e.to_string()),
+        };
+        let Json::Obj(_) = v else {
+            return fail("record is not an object");
+        };
+        if v.get("ts_us").and_then(Json::as_num).is_none() {
+            return fail("missing numeric ts_us");
+        }
+        if v.get("tid").and_then(Json::as_num).is_none() {
+            return fail("missing numeric tid");
+        }
+        match v.get("level").and_then(Json::as_str) {
+            Some("error" | "warn" | "info" | "debug" | "trace") => {}
+            _ => return fail("missing or unknown level"),
+        }
+        let kind = v.get("kind").and_then(Json::as_str);
+        match kind {
+            Some("event" | "begin" | "end" | "counter") => {}
+            _ => return fail("missing or unknown kind"),
+        }
+        match v.get("name").and_then(Json::as_str) {
+            Some(n) if !n.is_empty() => {}
+            _ => return fail("missing or empty name"),
+        }
+        if kind == Some("end") && v.get("dur_us").and_then(Json::as_num).is_none() {
+            return fail("span end without numeric dur_us");
+        }
+        if kind == Some("counter") && v.get("delta").and_then(Json::as_num).is_none() {
+            return fail("counter without numeric delta");
+        }
+        if let Some(f) = v.get("fields") {
+            let Json::Obj(m) = f else {
+                return fail("fields is not an object");
+            };
+            if m.values().any(|x| matches!(x, Json::Arr(_) | Json::Obj(_))) {
+                return fail("field values must be scalars");
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event
+// ---------------------------------------------------------------------------
+
+/// Chrome `trace_event` JSON-array format. The array is intentionally
+/// left unterminated (the format's streaming mode, accepted by
+/// Perfetto and `about:tracing`), so a crashed run still yields a
+/// loadable trace.
+pub(crate) struct ChromeSink {
+    w: Box<dyn Write + Send>,
+    first: bool,
+    /// Threads already announced with a `thread_name` metadata record.
+    named: std::collections::BTreeSet<u64>,
+    /// Cumulative counter values (Chrome plots absolute track values).
+    counters: BTreeMap<String, i64>,
+}
+
+impl ChromeSink {
+    pub(crate) fn new(w: Box<dyn Write + Send>) -> ChromeSink {
+        ChromeSink {
+            w,
+            first: true,
+            named: std::collections::BTreeSet::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    fn emit(&mut self, obj: &str) {
+        let sep = if self.first { "[\n" } else { ",\n" };
+        self.first = false;
+        let _ = self.w.write_all(sep.as_bytes());
+        let _ = self.w.write_all(obj.as_bytes());
+    }
+}
+
+impl Sink for ChromeSink {
+    fn record(&mut self, r: &Record<'_>) {
+        if self.named.insert(r.tid) {
+            let name = r
+                .thread_name
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{}", r.tid));
+            let mut meta = String::new();
+            let _ = write!(
+                meta,
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {}, \"args\": {{\"name\": ",
+                r.tid
+            );
+            escape_into(&mut meta, &name);
+            meta.push_str("}}");
+            self.emit(&meta);
+        }
+        let mut obj = String::with_capacity(128);
+        let common = |obj: &mut String, name: &str, ph: char, ts: u64, tid: u64| {
+            let _ = write!(obj, "{{\"ph\": \"{ph}\", \"name\": ");
+            escape_into(obj, name);
+            let _ = write!(
+                obj,
+                ", \"cat\": \"fec\", \"ts\": {ts}, \"pid\": 1, \"tid\": {tid}"
+            );
+        };
+        let args_fields = |obj: &mut String, fields: &[(&str, crate::Value)]| {
+            obj.push_str(", \"args\": {");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    obj.push_str(", ");
+                }
+                escape_into(obj, k);
+                obj.push_str(": ");
+                value_into(obj, v);
+            }
+            obj.push('}');
+        };
+        match r.kind {
+            Kind::SpanBegin => {
+                common(&mut obj, r.name, 'B', r.ts_us, r.tid);
+                args_fields(&mut obj, r.fields);
+                obj.push('}');
+            }
+            Kind::SpanEnd { .. } => {
+                common(&mut obj, r.name, 'E', r.ts_us, r.tid);
+                obj.push('}');
+            }
+            Kind::Event => {
+                common(&mut obj, r.name, 'i', r.ts_us, r.tid);
+                obj.push_str(", \"s\": \"t\"");
+                args_fields(&mut obj, r.fields);
+                obj.push('}');
+            }
+            Kind::Counter { delta } => {
+                let total = self.counters.entry(r.name.to_string()).or_insert(0);
+                *total += delta;
+                let total = *total;
+                // counters live on pid-level tracks, not thread rows
+                let _ = write!(obj, "{{\"ph\": \"C\", \"name\": ");
+                escape_into(&mut obj, r.name);
+                let _ = write!(
+                    obj,
+                    ", \"cat\": \"fec\", \"ts\": {}, \"pid\": 1, \"args\": {{\"value\": {total}}}}}",
+                    r.ts_us
+                );
+            }
+        }
+        self.emit(&obj);
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Level, Value};
+
+    fn rec<'a>(name: &'a str, kind: Kind, fields: &'a [(&'a str, Value)]) -> Record<'a> {
+        Record {
+            ts_us: 42,
+            tid: 1,
+            thread_name: Some("main"),
+            level: Level::Info,
+            name,
+            kind,
+            fields,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_validate() {
+        let buf = crate::test_support::SharedBuf::default();
+        let mut sink = JsonlSink::new(Box::new(buf.clone()));
+        let fields = [("k", Value::U64(7)), ("s", Value::Str("a\"b".into()))];
+        sink.record(&rec("x.y", Kind::Event, &fields));
+        sink.record(&rec("x.y", Kind::SpanBegin, &[]));
+        sink.record(&rec("x.y", Kind::SpanEnd { dur_us: 5 }, &[]));
+        sink.record(&rec("c", Kind::Counter { delta: -2 }, &[]));
+        sink.flush();
+        let text = buf.take_string();
+        assert_eq!(validate_jsonl(&text), Ok(4), "{text}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_records() {
+        assert!(validate_jsonl("{\"ts_us\": 1}").is_err());
+        assert!(validate_jsonl("not json").is_err());
+        // span end without dur_us
+        let bad = r#"{"ts_us": 1, "tid": 1, "level": "info", "kind": "end", "name": "x"}"#;
+        assert!(validate_jsonl(bad).is_err());
+        // unknown level
+        let bad = r#"{"ts_us": 1, "tid": 1, "level": "loud", "kind": "event", "name": "x"}"#;
+        assert!(validate_jsonl(bad).is_err());
+        assert_eq!(validate_jsonl("\n\n"), Ok(0));
+    }
+
+    #[test]
+    fn chrome_stream_is_loadable_prefix() {
+        let buf = crate::test_support::SharedBuf::default();
+        let mut sink = ChromeSink::new(Box::new(buf.clone()));
+        let fields = [("n", Value::U64(3))];
+        sink.record(&rec("span", Kind::SpanBegin, &fields));
+        sink.record(&rec("span", Kind::SpanEnd { dur_us: 10 }, &[]));
+        sink.record(&rec("ctr", Kind::Counter { delta: 4 }, &[]));
+        sink.record(&rec("ctr", Kind::Counter { delta: 3 }, &[]));
+        sink.flush();
+        let text = buf.take_string();
+        assert!(text.starts_with("[\n"), "{text}");
+        // close the streaming array and it must parse as JSON
+        let closed = format!("{text}\n]");
+        let v = parse_json(&closed).expect("chrome trace parses");
+        let Json::Arr(events) = v else { panic!() };
+        // metadata + B + E + 2×C
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            events[0].get("ph").and_then(Json::as_str),
+            Some("M"),
+            "first record announces the thread name"
+        );
+        // the second counter sample carries the cumulative value
+        assert_eq!(
+            events[4]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_num),
+            Some(7.0)
+        );
+    }
+}

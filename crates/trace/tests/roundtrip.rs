@@ -1,0 +1,128 @@
+//! Round-trip: emit records through the public API, parse the JSONL
+//! sink output back, and assert the schema — the same schema the CI
+//! job and `fecsynth trace-validate` enforce.
+//!
+//! One process-global collector exists, so this file keeps everything
+//! in a single #[test] (integration tests run in their own process,
+//! but tests within a file run concurrently).
+
+use fec_trace::test_support::SharedBuf;
+use fec_trace::{parse_json, validate_jsonl, Json, Level, Span, TraceConfig};
+
+#[test]
+fn emit_parse_validate() {
+    let jsonl = SharedBuf::default();
+    let chrome = SharedBuf::default();
+    fec_trace::install(
+        TraceConfig::new(Level::Off)
+            .jsonl_writer(Box::new(jsonl.clone()))
+            .chrome_writer(Box::new(chrome.clone())),
+    );
+    fec_trace::set_thread_name("roundtrip-main");
+
+    {
+        let _sp = Span::enter(
+            Level::Info,
+            "rt.outer",
+            &[("answer", 42u64.into()), ("label", "x".into())],
+        );
+        fec_trace::event(
+            Level::Debug,
+            "rt.tick",
+            &[("neg", (-7i64).into()), ("frac", 0.5f64.into())],
+        );
+        fec_trace::counter(Level::Info, "rt.count", 3);
+        fec_trace::counter(Level::Info, "rt.count", -1);
+    }
+
+    let report = fec_trace::shutdown().expect("collector was installed");
+    let text = jsonl.take_string();
+
+    // 1. every line passes the shared schema validator
+    let n = validate_jsonl(&text).expect("schema-valid stream");
+    // begin + end + event + 2 counters
+    assert_eq!(n, 5, "{text}");
+
+    // 2. spot-check individual records with the bundled JSON parser
+    let records: Vec<Json> = text
+        .lines()
+        .map(|l| parse_json(l).expect("well-formed line"))
+        .collect();
+    let kinds: Vec<&str> = records
+        .iter()
+        .map(|r| r.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(kinds, ["begin", "event", "counter", "counter", "end"]);
+
+    let begin = &records[0];
+    assert_eq!(begin.get("name").unwrap().as_str(), Some("rt.outer"));
+    assert_eq!(begin.get("level").unwrap().as_str(), Some("info"));
+    assert_eq!(
+        begin.get("thread").and_then(|t| t.as_str()),
+        Some("roundtrip-main")
+    );
+    let fields = begin.get("fields").expect("span fields present");
+    assert_eq!(fields.get("answer").unwrap().as_num(), Some(42.0));
+    assert_eq!(fields.get("label").unwrap().as_str(), Some("x"));
+
+    let event = &records[1];
+    let fields = event.get("fields").unwrap();
+    assert_eq!(fields.get("neg").unwrap().as_num(), Some(-7.0));
+    assert_eq!(fields.get("frac").unwrap().as_num(), Some(0.5));
+
+    assert_eq!(records[2].get("delta").unwrap().as_num(), Some(3.0));
+    assert_eq!(records[3].get("delta").unwrap().as_num(), Some(-1.0));
+
+    let end = &records[4];
+    assert_eq!(end.get("name").unwrap().as_str(), Some("rt.outer"));
+    assert!(end.get("dur_us").unwrap().as_num().unwrap() >= 0.0);
+    // timestamps are monotone non-decreasing within one thread
+    let ts: Vec<f64> = records
+        .iter()
+        .map(|r| r.get("ts_us").unwrap().as_num().unwrap())
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+
+    // 3. the Chrome stream is a trace_event array (streaming, possibly
+    // unclosed — exactly what Perfetto accepts) whose every element is
+    // an object with ph/pid/ts
+    let mut chrome_text = chrome.take_string();
+    assert!(chrome_text.trim_start().starts_with('['), "{chrome_text}");
+    if !chrome_text.trim_end().ends_with(']') {
+        chrome_text = format!("{}]", chrome_text.trim_end().trim_end_matches(','));
+    }
+    let arr = parse_json(&chrome_text).expect("chrome JSON parses");
+    let Json::Arr(events) = arr else {
+        panic!("expected an array");
+    };
+    assert!(!events.is_empty());
+    for e in &events {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        assert!(matches!(ph, "B" | "E" | "i" | "C" | "M"), "{ph}");
+        assert!(e.get("pid").is_some());
+        if ph != "M" {
+            assert!(e.get("ts").is_some());
+        }
+    }
+    // the span appears as a B/E pair and the counter as a C event
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").unwrap().as_str() == Some("B")
+            && e.get("name").unwrap().as_str() == Some("rt.outer")));
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").unwrap().as_str() == Some("C")));
+
+    // 4. metrics aggregated everything regardless of sink levels
+    assert_eq!(report.counters.get("rt.count"), Some(&2i64));
+    let agg = report.spans.get("rt.outer").expect("span aggregated");
+    assert_eq!(agg.count, 1);
+    assert_eq!(report.events, 1);
+
+    // 5. the validator rejects records that drifted from the schema
+    assert!(validate_jsonl("{\"ts_us\":1}\n").is_err());
+    assert!(validate_jsonl(
+        "{\"ts_us\":1,\"tid\":0,\"level\":\"info\",\"kind\":\"end\",\"name\":\"x\"}\n"
+    )
+    .is_err()); // end without dur_us
+}
