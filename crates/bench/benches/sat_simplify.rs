@@ -1,0 +1,266 @@
+//! Preprocessing effect on the §4.1 verification instance.
+//!
+//! Measures the SatELite-style simplification pipeline on the 802.3df
+//! (128,120) minimum-distance CNF — the `md ≥ 3` UNSAT query of
+//! `verify_8023df` — at two layers:
+//!
+//! 1. **Raw CNF reduction.** The exact clause set the SMT shell hands
+//!    the SAT core is captured through the DRAT input log, loaded into
+//!    a raw `fec_sat::Solver`, and preprocessed once: the bench records
+//!    (and asserts) that active variables + live clauses drop by at
+//!    least 20%, and that the preprocessed formula then *solves* no
+//!    slower than the untouched one (the one-time preprocessing cost is
+//!    reported separately as `preprocess_secs`).
+//! 2. **End-to-end wall clock.** The full `md(G) = 3` verification runs
+//!    with and without `VerifyOptions::simplify`; both verdicts must
+//!    agree and the median times land in the JSON so regressions that
+//!    make simplification a net loss are visible.
+//!
+//! Results go to `BENCH_simplify.json` at the workspace root.
+//!
+//! ```text
+//! cargo bench -p fec-bench --bench sat_simplify
+//! ```
+
+use fec_hamming::standards;
+use fec_sat::{Budget as SatBudget, SimplifyConfig, SolveResult, Solver, SolverConfig};
+use fec_smt::{Budget, CardEncoding, Lit, SmtSolver};
+use fec_synth::verify::{verify_min_distance_at_least_with, VerifyOptions, VerifyOutcome};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const REPS: usize = 9;
+
+/// `Write` handle the DRAT logger can own while we keep a reader side.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Builds the `md(G) ≥ 3` query CNF (no non-zero codeword of weight
+/// ≤ 2) exactly as `fec_synth::verify` encodes it, and captures the
+/// input clauses from the solver's own DRAT stream.
+fn capture_verify_cnf() -> (usize, Vec<Vec<Lit>>) {
+    let g = standards::ieee_8023df_128_120();
+    let buf = SharedBuf::default();
+    let mut s = SmtSolver::new_certifying_with_drat(Box::new(buf.clone()));
+    let k = g.data_len();
+    let xs: Vec<Lit> = (0..k).map(|_| s.fresh_lit()).collect();
+    s.add_clause(&xs); // non-zero data word
+    let mut all = xs.clone();
+    for j in 0..g.check_len() {
+        let selected: Vec<Lit> = (0..k)
+            .filter(|&y| g.coefficients().get(y, j))
+            .map(|y| xs[y])
+            .collect();
+        all.push(s.xor_all(&selected));
+    }
+    s.at_most_k_with(&all, 2, CardEncoding::Totalizer);
+    let num_vars = s.num_vars();
+    drop(s);
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("DRAT text is UTF-8");
+    let clauses: Vec<Vec<Lit>> = fec_drat::parse_drat(&text)
+        .expect("solver-produced DRAT parses")
+        .into_iter()
+        .filter_map(|step| match step {
+            fec_sat::ProofStep::Input(lits) => Some(lits),
+            _ => None,
+        })
+        .collect();
+    assert!(!clauses.is_empty(), "no input clauses captured");
+    (num_vars, clauses)
+}
+
+fn load_raw(num_vars: usize, clauses: &[Vec<Lit>], simplify: SimplifyConfig) -> Solver {
+    let mut s = Solver::with_config(SolverConfig {
+        simplify,
+        ..SolverConfig::default()
+    });
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        if !s.add_clause(c) {
+            break;
+        }
+    }
+    s
+}
+
+fn median_secs(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let (num_vars, clauses) = capture_verify_cnf();
+    println!(
+        "802.3df (128,120) md >= 3 CNF: {num_vars} vars, {} clauses",
+        clauses.len()
+    );
+
+    // ---- layer 1: raw preprocessing reduction ----
+    let mut pre = load_raw(num_vars, &clauses, SimplifyConfig::on());
+    let vars_before = pre.num_active_vars();
+    let clauses_before = pre.num_clauses();
+    let t = Instant::now();
+    assert!(
+        pre.preprocess(&[]),
+        "preprocessing refuted an UNSAT-but-consistent CNF early"
+    );
+    let preprocess_secs = t.elapsed().as_secs_f64();
+    let vars_after = pre.num_active_vars();
+    let clauses_after = pre.num_clauses();
+    let before = (vars_before + clauses_before) as f64;
+    let after = (vars_after + clauses_after) as f64;
+    let reduction = 1.0 - after / before;
+    println!(
+        "  preprocess ({preprocess_secs:.3} s): vars {vars_before} -> {vars_after}, \
+         clauses {clauses_before} -> {clauses_after} ({:.1}% total reduction)",
+        reduction * 100.0
+    );
+    assert!(
+        reduction >= 0.20,
+        "preprocessing reduced vars+clauses by only {:.1}% (< 20%)",
+        reduction * 100.0
+    );
+
+    // ---- layer 1b: solve time with vs without preprocessing ----
+    // Preprocessing is a one-time cost (reported above as
+    // `preprocess_secs`); the comparison here is the *solve* time on
+    // the preprocessed vs the untouched formula. Reps are interleaved
+    // (one of each per iteration) so clock drift and cache warmth
+    // cancel instead of biasing one configuration.
+    let mut solve_off = Vec::with_capacity(REPS);
+    let mut solve_pre = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let mut s = load_raw(num_vars, &clauses, SimplifyConfig::off());
+        let t = Instant::now();
+        let r = s.solve_with_budget(&[], SatBudget::unlimited());
+        solve_off.push(t.elapsed().as_secs_f64());
+        assert_eq!(r, SolveResult::Unsat, "plain solve changed the verdict");
+
+        // preprocess first (outside the timed window), then solve; no
+        // inprocessing so the timed window is pure search
+        let mut s = load_raw(
+            num_vars,
+            &clauses,
+            SimplifyConfig {
+                inprocess_interval: 0,
+                ..SimplifyConfig::on()
+            },
+        );
+        assert!(s.preprocess(&[]));
+        let t = Instant::now();
+        let r = s.solve_with_budget(&[], SatBudget::unlimited());
+        solve_pre.push(t.elapsed().as_secs_f64());
+        assert_eq!(
+            r,
+            SolveResult::Unsat,
+            "preprocessed solve changed the verdict"
+        );
+    }
+    let solve_off = median_secs(solve_off);
+    let solve_pre = median_secs(solve_pre);
+    println!("  solve without preprocessing: {solve_off:.3} s");
+    println!("  solve after preprocessing:   {solve_pre:.3} s");
+    let no_slower = solve_pre <= solve_off * 1.05;
+    assert!(
+        no_slower,
+        "preprocessed formula solves slower: {solve_pre:.3} s vs {solve_off:.3} s"
+    );
+
+    // ---- layer 2: end-to-end verification (interleaved as above) ----
+    let g = standards::ieee_8023df_128_120();
+    let mut e2e_secs = [Vec::with_capacity(REPS), Vec::with_capacity(REPS)];
+    for _ in 0..REPS {
+        for (i, (label, simplify)) in [("off", false), ("on", true)].iter().enumerate() {
+            let opts = VerifyOptions {
+                budget: Budget::unlimited(),
+                simplify: *simplify,
+                ..VerifyOptions::default()
+            };
+            let t = Instant::now();
+            let (outcome, _) = verify_min_distance_at_least_with(&g, 3, opts);
+            e2e_secs[i].push(t.elapsed().as_secs_f64());
+            assert_eq!(
+                outcome,
+                VerifyOutcome::Holds,
+                "simplify={label} changed the verdict"
+            );
+        }
+    }
+    let mut e2e_rows = Vec::new();
+    for (i, label) in ["off", "on"].iter().enumerate() {
+        let median = median_secs(e2e_secs[i].clone());
+        println!("  end-to-end verify simplify={label}: {median:.3} s");
+        e2e_rows.push((*label, median));
+    }
+
+    // certified simplifying run: the simplifier's proof steps must
+    // survive the independent RUP checker
+    let opts = VerifyOptions {
+        budget: Budget::unlimited(),
+        check_certificates: true,
+        simplify: true,
+        ..VerifyOptions::default()
+    };
+    let (outcome, stats) = verify_min_distance_at_least_with(&g, 3, opts);
+    assert_eq!(outcome, VerifyOutcome::Holds);
+    assert!(
+        stats.unsat_certified >= 1,
+        "certified simplifying run produced no certificate"
+    );
+    println!(
+        "  certified simplifying run: {} lemmas RUP-checked, {} UNSAT answers certified",
+        stats.lemmas_checked, stats.unsat_certified
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"instance\": \"802.3df (128,120) md >= 3 (UNSAT query)\","
+    )
+    .unwrap();
+    writeln!(json, "  \"reps\": {REPS},").unwrap();
+    writeln!(json, "  \"vars_before\": {vars_before},").unwrap();
+    writeln!(json, "  \"vars_after\": {vars_after},").unwrap();
+    writeln!(json, "  \"clauses_before\": {clauses_before},").unwrap();
+    writeln!(json, "  \"clauses_after\": {clauses_after},").unwrap();
+    writeln!(json, "  \"total_reduction\": {reduction:.4},").unwrap();
+    writeln!(json, "  \"preprocess_secs\": {preprocess_secs:.6},").unwrap();
+    writeln!(
+        json,
+        "  \"solve_secs\": {{\"without_preprocessing\": {solve_off:.6}, \"after_preprocessing\": {solve_pre:.6}}},",
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"verify_secs\": {{\"off\": {:.6}, \"on\": {:.6}}},",
+        e2e_rows[0].1, e2e_rows[1].1
+    )
+    .unwrap();
+    writeln!(json, "  \"no_slower\": {no_slower},").unwrap();
+    writeln!(
+        json,
+        "  \"proof_certified\": true,\n  \"lemmas_rup_checked\": {}",
+        stats.lemmas_checked
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_simplify.json");
+    std::fs::write(&path, &json).expect("write BENCH_simplify.json");
+    println!("wrote {}", path.display());
+}

@@ -6,7 +6,8 @@
 //! hardware; the verdicts are what is reproduced.
 //!
 //! ```text
-//! cargo run -p fec-bench --release --bin verify_8023df [-- --check-proofs] [-- --jobs N]
+//! cargo run -p fec-bench --release --bin verify_8023df \
+//!     [-- --check-proofs] [-- --jobs N] [-- --simplify]
 //! ```
 //!
 //! With `--check-proofs`, every UNSAT answer is certified by the
@@ -14,6 +15,8 @@
 //! against the input clauses; the run aborts on any discrepancy.
 //! With `--jobs N`, every query races N diversified portfolio workers
 //! (certification then applies to the winning worker's proof).
+//! With `--simplify`, the backing solvers run the SatELite-style
+//! pre-/inprocessing pipeline (diversified per worker under `--jobs`).
 //!
 //! Observability (any flag enables the fec-trace collector):
 //! `--trace LEVEL` logs spans/events on stderr, `--trace-out PATH`
@@ -89,15 +92,17 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1);
+    let simplify = args.iter().any(|a| a == "--simplify");
     let opts = VerifyOptions {
         budget: Budget::unlimited(),
         check_certificates: check_proofs,
         jobs,
+        simplify,
         ..VerifyOptions::default()
     };
     let g = standards::ieee_8023df_128_120();
     println!(
-        "verifying the (128,120) inner Hamming code (k={}, c={}, {} coefficient ones){}{}",
+        "verifying the (128,120) inner Hamming code (k={}, c={}, {} coefficient ones){}{}{}",
         g.data_len(),
         g.check_len(),
         g.coefficient_ones(),
@@ -110,6 +115,11 @@ fn main() {
             format!(", {jobs}-worker portfolio")
         } else {
             String::new()
+        },
+        if simplify {
+            ", with simplification"
+        } else {
+            ""
         }
     );
 

@@ -25,8 +25,10 @@ pub const USAGE: &str = "\
 fecsynth — synthesize, verify, and export Hamming FEC generators
 
 USAGE:
-    fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs] [--jobs=N] [TRACE]
-    fecsynth verify \"<property>\" --coeff <rows> [--check-proofs] [--jobs=N] [TRACE]
+    fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs] [--jobs=N]
+                    [--simplify] [TRACE]
+    fecsynth verify \"<property>\" --coeff <rows> [--check-proofs] [--jobs=N]
+                    [--simplify] [TRACE]
                     (rows like 101/110/111/011)
     fecsynth info   --coeff <rows>
     fecsynth emit   --coeff <rows> [--lang=c|rust]
@@ -41,6 +43,12 @@ USAGE:
                     workers sharing low-LBD learned clauses (parallel
                     portfolio; composes with --check-proofs — the
                     winning worker's proof is certified)
+    --simplify      run SatELite-style pre-/inprocessing (bounded
+                    variable elimination, subsumption, failed-literal
+                    probing, vivification) in the backing solvers;
+                    composes with --jobs (workers get diversified
+                    technique mixes) and --check-proofs (simplifier
+                    steps are part of the checked DRAT stream)
 
 TRACE (observability; any of these enables the collector):
     --trace=LEVEL       live span/event log on stderr
@@ -213,6 +221,7 @@ fn cmd_synth(args: &[String], out: &mut String, err: &mut String) -> i32 {
         timeout: Duration::from_secs(timeout),
         check_certificates: has_flag(args, "check-proofs"),
         jobs: parse_jobs(args),
+        simplify: has_flag(args, "simplify"),
         ..Default::default()
     };
     match Synthesizer::new(config).run(&prop) {
@@ -264,6 +273,7 @@ fn cmd_verify(args: &[String], out: &mut String, err: &mut String) -> i32 {
         budget: Budget::unlimited(),
         check_certificates: has_flag(args, "check-proofs"),
         jobs: parse_jobs(args),
+        simplify: has_flag(args, "simplify"),
         ..VerifyOptions::default()
     };
     let (outcome, stats) = verify_props_with(&[g], &prop, opts);
@@ -569,6 +579,45 @@ mod tests {
             "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
             "--timeout=30",
             "--jobs=2",
+        ]));
+        assert_eq!(code, 0, "{out}{err}");
+        assert!(out.contains("(7, 4) code"), "{out}");
+    }
+
+    #[test]
+    fn verify_with_simplify() {
+        let coeff = "101/110/111/011";
+        // simplified answers must match plain ones, and proof checking
+        // must still pass (simplifier steps are part of the DRAT stream)
+        let (code, out, err) = run(&argv(&[
+            "verify",
+            "md(G0) = 3",
+            "--coeff",
+            coeff,
+            "--simplify",
+            "--check-proofs",
+        ]));
+        assert_eq!(code, 0, "{out}{err}");
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("certificates:"), "{out}");
+        let (code, out, _) = run(&argv(&[
+            "verify",
+            "md(G0) = 4",
+            "--coeff",
+            coeff,
+            "--simplify",
+        ]));
+        assert_eq!(code, 1);
+        assert!(out.contains("FAILS"), "{out}");
+    }
+
+    #[test]
+    fn synth_with_simplify() {
+        let (code, out, err) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
+            "--timeout=30",
+            "--simplify",
         ]));
         assert_eq!(code, 0, "{out}{err}");
         assert!(out.contains("(7, 4) code"), "{out}");

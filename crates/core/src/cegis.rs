@@ -54,6 +54,11 @@ pub struct SynthesisConfig {
     /// default) keeps the fully incremental single solvers (the CLI's
     /// `--jobs N`).
     pub jobs: usize,
+    /// Run the SatELite-style pre-/inprocessing pipeline in every
+    /// solver this synthesis creates (the CLI's `--simplify`).
+    /// Activation guards of the incremental push/pop layer are frozen,
+    /// so CEGIS refinement is unaffected by elimination.
+    pub simplify: bool,
     /// Per-run cap on trace emission from this synthesis: a record is
     /// emitted only if its level is within both this cap *and* the
     /// globally installed `fec-trace` sink level. The default
@@ -73,6 +78,7 @@ impl Default for SynthesisConfig {
             persist_counterexamples: true,
             check_certificates: false,
             jobs: 1,
+            simplify: false,
             trace: fec_trace::Level::Trace,
         }
     }
@@ -440,11 +446,15 @@ impl Synthesizer {
         } else {
             SolveBackend::Single
         };
-        if self.config.check_certificates {
+        let mut s = if self.config.check_certificates {
             SmtSolver::new_certifying_with_backend(backend)
         } else {
             SmtSolver::with_backend(backend)
+        };
+        if self.config.simplify {
+            s.set_simplify(true);
         }
+        s
     }
 
     /// Runs synthesis for pre-extracted structural constraints.

@@ -2,7 +2,7 @@
 
 use crate::cancel::Election;
 use crate::ring::{spsc, Consumer, Producer};
-use crate::{diversify, PortfolioConfig};
+use crate::{diversify, diversify_simplify, PortfolioConfig};
 use fec_sat::{Budget, Lit, MemoryProofLogger, ProofStep, SolveResult, Solver, SolverStats, Var};
 use std::sync::Arc;
 use std::thread;
@@ -69,7 +69,11 @@ fn build_worker(
     clauses: &[Vec<Lit>],
     config: &PortfolioConfig,
 ) -> (Solver, Option<MemoryProofLogger>) {
-    let mut s = Solver::with_config(diversify(worker, config.seed));
+    let mut cfg = diversify(worker, config.seed);
+    if config.simplify {
+        cfg.simplify = diversify_simplify(worker);
+    }
+    let mut s = Solver::with_config(cfg);
     // install the logger before the clauses so the stream records the
     // whole input formula
     let logger = if config.certify {

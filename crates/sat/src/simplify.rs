@@ -1,0 +1,359 @@
+//! Building blocks of the SatELite-style simplifier.
+//!
+//! This module holds the *pure* components of the pre-/inprocessing
+//! pipeline — the occurrence-list index, clause signatures, the
+//! subsumption/strengthening planner, bounded-variable-elimination
+//! resolvent construction, and the solution-reconstruction stack. They
+//! operate on plain literal vectors so they can be property-tested
+//! against naive oracles in isolation (`tests/simplify_props.rs`); the
+//! `Solver` applies their decisions to its clause database, watch
+//! lists, and proof stream (see `solver/inprocess.rs`).
+//!
+//! Every transformation planned here is DRAT-expressible without RAT
+//! steps: a strengthened clause and every BVE resolvent is RUP while
+//! its parent clauses are still live, so the plans are always "log the
+//! derived clauses as `Learn`, then `Delete` the originals" — the
+//! order the applier follows (see DESIGN.md § Simplification).
+
+use crate::types::{Lit, Var};
+
+/// 64-bit variable signature of a clause: bit `v % 64` is set for every
+/// variable `v` occurring in it. If `sig(C) & !sig(D) != 0` then `C`
+/// cannot subsume (or self-subsume) `D` — the classic SatELite filter
+/// that rejects most candidate pairs with one AND.
+pub fn signature(lits: &[Lit]) -> u64 {
+    lits.iter()
+        .fold(0u64, |s, l| s | 1u64 << (l.var().index() % 64))
+}
+
+/// `true` iff `small` ⊆ `big` as literal sets (order-independent).
+pub fn subsumes(small: &[Lit], big: &[Lit]) -> bool {
+    small.len() <= big.len() && small.iter().all(|l| big.contains(l))
+}
+
+/// Self-subsuming-resolution test: returns `Some(l)` when `small`
+/// strengthens `big` by resolving on `l` — i.e. `l ∈ small`,
+/// `¬l ∈ big`, and `small \ {l} ⊆ big`. The resolvent `big \ {¬l}`
+/// then subsumes `big`, so `¬l` can be removed from it. Returns `None`
+/// when `small` plainly subsumes `big` or does neither.
+pub fn strengthens_on(small: &[Lit], big: &[Lit]) -> Option<Lit> {
+    if small.len() > big.len() {
+        return None;
+    }
+    let mut pivot = None;
+    for &l in small {
+        if big.contains(&l) {
+            continue;
+        }
+        if big.contains(&!l) {
+            if pivot.is_some() {
+                return None; // two flipped literals: resolvent is no subset
+            }
+            pivot = Some(l);
+        } else {
+            return None; // literal of `small` missing from `big` entirely
+        }
+    }
+    pivot
+}
+
+/// Occurrence-list index: for each literal, the ids of the clauses
+/// containing it. Ids are caller-chosen `u32`s (the solver uses clause
+/// database indices, the planner uses snapshot positions).
+#[derive(Clone, Debug, Default)]
+pub struct OccIndex {
+    occs: Vec<Vec<u32>>,
+}
+
+impl OccIndex {
+    /// An empty index over `num_vars` variables.
+    pub fn new(num_vars: usize) -> OccIndex {
+        OccIndex {
+            occs: vec![Vec::new(); 2 * num_vars],
+        }
+    }
+
+    /// Registers clause `id` under every literal of `lits`.
+    pub fn insert(&mut self, id: u32, lits: &[Lit]) {
+        for &l in lits {
+            self.occs[l.index()].push(id);
+        }
+    }
+
+    /// Removes clause `id` from every literal of `lits`.
+    pub fn remove(&mut self, id: u32, lits: &[Lit]) {
+        for &l in lits {
+            self.remove_lit(id, l);
+        }
+    }
+
+    /// Removes clause `id` from the occurrence list of `l` alone (used
+    /// when a single literal is stripped by strengthening).
+    pub fn remove_lit(&mut self, id: u32, l: Lit) {
+        let list = &mut self.occs[l.index()];
+        if let Some(p) = list.iter().position(|&x| x == id) {
+            list.swap_remove(p);
+        }
+    }
+
+    /// Ids of the clauses containing `l`.
+    pub fn occs(&self, l: Lit) -> &[u32] {
+        &self.occs[l.index()]
+    }
+
+    /// Number of clauses containing `l`.
+    pub fn count(&self, l: Lit) -> usize {
+        self.occs[l.index()].len()
+    }
+}
+
+/// One planned backward-subsumption or strengthening step, in the
+/// order the planner discovered (and the applier must replay) them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubsumeAction {
+    /// Clause `by` is redundant (learnt) but subsumes the irredundant
+    /// clause it is about to delete: it must be promoted to an
+    /// original clause, or a later learnt-DB reduction could drop the
+    /// only remaining witness of that constraint.
+    Promote { target: u32 },
+    /// Clause `target` is subsumed by clause `by`: delete it.
+    Delete { target: u32, by: u32 },
+    /// Clause `target` is strengthened by removing `drop`
+    /// (self-subsuming resolution with clause `by`).
+    Strengthen { target: u32, drop: Lit, by: u32 },
+}
+
+/// Plans backward subsumption and self-subsuming resolution to a
+/// budgeted fixpoint.
+///
+/// `clauses[i] = None` marks an absent slot; `learnt[i]` tags
+/// redundant clauses (used for promotion decisions). The vector is
+/// mutated to the post-plan state, and the returned actions, applied
+/// in order to the *original* state, reproduce it — the contract the
+/// solver relies on to keep its clause database, proof stream, and
+/// this plan in sync. `budget` counts candidate signature checks and
+/// is decremented in place; planning stops when it hits zero.
+pub fn plan_subsumption(
+    clauses: &mut [Option<Vec<Lit>>],
+    learnt: &mut [bool],
+    num_vars: usize,
+    budget: &mut u64,
+) -> Vec<SubsumeAction> {
+    debug_assert_eq!(clauses.len(), learnt.len());
+    let mut occ = OccIndex::new(num_vars);
+    let mut sigs = vec![0u64; clauses.len()];
+    for (i, c) in clauses.iter().enumerate() {
+        if let Some(lits) = c {
+            occ.insert(i as u32, lits);
+            sigs[i] = signature(lits);
+        }
+    }
+    let mut actions = Vec::new();
+    let mut queue: std::collections::VecDeque<u32> = (0..clauses.len() as u32).collect();
+    let mut queued = vec![true; clauses.len()];
+    while let Some(i) = queue.pop_front() {
+        queued[i as usize] = false;
+        if *budget == 0 {
+            break;
+        }
+        let Some(c) = clauses[i as usize].clone() else {
+            continue;
+        };
+        if c.is_empty() {
+            continue;
+        }
+        // a clause c subsumes or strengthens only holds d that contain
+        // every variable of c, so scanning both phases of c's
+        // least-frequent variable covers all candidates: a subsumed d
+        // contains `best` itself, a strengthened one `best` or `¬best`
+        let best = c
+            .iter()
+            .copied()
+            .min_by_key(|&l| occ.count(l) + occ.count(!l))
+            .unwrap();
+        let mut cand: Vec<u32> = Vec::with_capacity(occ.count(best) + occ.count(!best));
+        cand.extend_from_slice(occ.occs(best));
+        cand.extend_from_slice(occ.occs(!best));
+        for j in cand {
+            if j == i || clauses[j as usize].is_none() {
+                continue;
+            }
+            if *budget == 0 {
+                break;
+            }
+            *budget -= 1;
+            if sigs[i as usize] & !sigs[j as usize] != 0 {
+                continue; // signature filter: c has a var d lacks
+            }
+            let d = clauses[j as usize].as_ref().unwrap();
+            if subsumes(&c, d) {
+                if learnt[i as usize] && !learnt[j as usize] {
+                    learnt[i as usize] = false;
+                    actions.push(SubsumeAction::Promote { target: i });
+                }
+                actions.push(SubsumeAction::Delete { target: j, by: i });
+                occ.remove(j, clauses[j as usize].as_ref().unwrap());
+                clauses[j as usize] = None;
+            } else if let Some(pivot) = strengthens_on(&c, d) {
+                actions.push(SubsumeAction::Strengthen {
+                    target: j,
+                    drop: !pivot,
+                    by: i,
+                });
+                let dd = clauses[j as usize].as_mut().unwrap();
+                dd.retain(|&l| l != !pivot);
+                occ.remove_lit(j, !pivot);
+                sigs[j as usize] = signature(dd);
+                if !queued[j as usize] {
+                    queued[j as usize] = true;
+                    queue.push_back(j); // may now subsume others
+                }
+            }
+        }
+    }
+    actions
+}
+
+/// All non-tautological resolvents of `pos` × `neg` on `v`, or `None`
+/// when the elimination is rejected: more resolvents than
+/// `pos.len() + neg.len() + max_growth`, or any resolvent longer than
+/// `clause_limit`. Resolvents come back sorted and deduplicated.
+pub fn bve_resolvents(
+    v: Var,
+    pos: &[Vec<Lit>],
+    neg: &[Vec<Lit>],
+    max_growth: usize,
+    clause_limit: usize,
+) -> Option<Vec<Vec<Lit>>> {
+    let limit = pos.len() + neg.len() + max_growth;
+    let mut out: Vec<Vec<Lit>> = Vec::new();
+    for p in pos {
+        debug_assert!(p.contains(&Lit::pos(v)));
+        for n in neg {
+            debug_assert!(n.contains(&Lit::neg(v)));
+            let mut r: Vec<Lit> = p
+                .iter()
+                .chain(n.iter())
+                .copied()
+                .filter(|&l| l.var() != v)
+                .collect();
+            r.sort_unstable();
+            r.dedup();
+            // adjacent sorted literals of one variable ⇒ tautology
+            if r.windows(2).any(|w| w[1] == !w[0]) {
+                continue;
+            }
+            if r.len() > clause_limit {
+                return None;
+            }
+            out.push(r);
+        }
+    }
+    out.sort();
+    out.dedup();
+    if out.len() > limit {
+        return None;
+    }
+    Some(out)
+}
+
+/// The solution-reconstruction stack (MiniSat `SimpSolver`-style
+/// "elimination table").
+///
+/// Each eliminated variable pushes a record holding *every* original
+/// clause that contained it at elimination time. Extending a model of
+/// the post-elimination formula in **reverse** elimination order —
+/// choosing for each variable a value satisfying all of its stored
+/// clauses (one always exists because all non-tautological resolvents
+/// were added) — yields a model of the pre-elimination formula.
+///
+/// Records are deactivated when a variable is *restored* (re-added for
+/// incremental use); `extend_model` skips them.
+#[derive(Clone, Debug, Default)]
+pub struct ReconStack {
+    records: Vec<ReconRecord>,
+    active: usize,
+}
+
+#[derive(Clone, Debug)]
+struct ReconRecord {
+    var: Var,
+    clauses: Vec<Vec<Lit>>,
+    active: bool,
+}
+
+impl ReconStack {
+    /// An empty stack.
+    pub fn new() -> ReconStack {
+        ReconStack::default()
+    }
+
+    /// Number of active (non-restored) elimination records.
+    pub fn active_records(&self) -> usize {
+        self.active
+    }
+
+    /// Pushes the elimination record of `var`: the original clauses
+    /// containing it (either phase) at elimination time.
+    pub fn push(&mut self, var: Var, clauses: Vec<Vec<Lit>>) {
+        debug_assert!(clauses.iter().all(|c| c.iter().any(|l| l.var() == var)));
+        self.records.push(ReconRecord {
+            var,
+            clauses,
+            active: true,
+        });
+        self.active += 1;
+    }
+
+    /// Deactivates the most recent active record of `var` and returns
+    /// its stored clauses (for re-adding them to the solver). `None`
+    /// when no active record for `var` exists.
+    pub fn deactivate(&mut self, var: Var) -> Option<Vec<Vec<Lit>>> {
+        let rec = self
+            .records
+            .iter_mut()
+            .rev()
+            .find(|r| r.active && r.var == var)?;
+        rec.active = false;
+        self.active -= 1;
+        Some(std::mem::take(&mut rec.clauses))
+    }
+
+    /// Extends `model` (indexed by variable) over the eliminated
+    /// variables, newest elimination first. Entries of eliminated
+    /// variables are overwritten; all other entries are read-only.
+    /// Unassigned (`None`) literals evaluate as false, matching the
+    /// solver's treatment of don't-care variables.
+    pub fn extend_model(&self, model: &mut [Option<bool>]) {
+        for rec in self.records.iter().rev().filter(|r| r.active) {
+            let vi = rec.var.index();
+            let satisfied_with = |val: bool| {
+                rec.clauses.iter().all(|c| {
+                    c.iter().any(|&l| {
+                        if l.var() == rec.var {
+                            l.is_pos() == val
+                        } else {
+                            model.get(l.var().index()).copied().flatten() == Some(l.is_pos())
+                        }
+                    })
+                })
+            };
+            // one of the two values always works: a model of the
+            // resolvents cannot falsify a pos- and a neg-clause pair
+            // simultaneously (their resolvent would be falsified too)
+            let val = if satisfied_with(false) {
+                false
+            } else {
+                debug_assert!(
+                    satisfied_with(true),
+                    "reconstruction failed for {:?}",
+                    rec.var
+                );
+                true
+            };
+            if vi < model.len() {
+                model[vi] = Some(val);
+            }
+        }
+    }
+}

@@ -1,9 +1,12 @@
 //! The CDCL search engine.
 
+mod inprocess;
+
 use crate::clause::{Clause, ClauseRef, Watcher};
-use crate::config::{PhaseInit, SolverConfig, XorShift64};
+use crate::config::{PhaseInit, SimplifyConfig, SolverConfig, XorShift64};
 use crate::heap::ActivityHeap;
 use crate::proof::ProofLogger;
+use crate::simplify::ReconStack;
 use crate::types::{LBool, Lit, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -70,12 +73,25 @@ pub struct SolverStats {
     /// Shared clauses rejected because they failed the RUP admission
     /// check under proof logging (see [`Solver::set_import_hook`]).
     pub rejected_clauses: u64,
+    /// Variables eliminated by bounded variable elimination (cumulative;
+    /// restored variables are not subtracted).
+    pub eliminated_vars: u64,
+    /// Clauses deleted because another live clause subsumes them.
+    pub subsumed_clauses: u64,
+    /// Clauses shortened by self-subsuming resolution.
+    pub strengthened_clauses: u64,
+    /// Failed literals found by probing (each yields a level-0 unit).
+    pub failed_literals: u64,
+    /// Clauses shortened by vivification.
+    pub vivified_clauses: u64,
+    /// Completed pre-/inprocessing passes.
+    pub simplify_passes: u64,
 }
 
 // every field is a u64 counter; if this fails, a field of another
 // width was added and the destructuring in `merge` needs review too
 const _: () = assert!(
-    std::mem::size_of::<SolverStats>() == 10 * std::mem::size_of::<u64>(),
+    std::mem::size_of::<SolverStats>() == 16 * std::mem::size_of::<u64>(),
     "SolverStats gained or lost a field: update merge() and this assertion"
 );
 
@@ -95,6 +111,12 @@ impl SolverStats {
             exported_clauses,
             imported_clauses,
             rejected_clauses,
+            eliminated_vars,
+            subsumed_clauses,
+            strengthened_clauses,
+            failed_literals,
+            vivified_clauses,
+            simplify_passes,
         } = *other;
         self.conflicts += conflicts;
         self.decisions += decisions;
@@ -106,6 +128,12 @@ impl SolverStats {
         self.exported_clauses += exported_clauses;
         self.imported_clauses += imported_clauses;
         self.rejected_clauses += rejected_clauses;
+        self.eliminated_vars += eliminated_vars;
+        self.subsumed_clauses += subsumed_clauses;
+        self.strengthened_clauses += strengthened_clauses;
+        self.failed_literals += failed_literals;
+        self.vivified_clauses += vivified_clauses;
+        self.simplify_passes += simplify_passes;
     }
 }
 
@@ -167,6 +195,23 @@ pub struct Solver {
     // maintained while tracing is enabled at Debug, so the conflict
     // path pays one predictable branch otherwise
     lbd_hist: [u64; 16],
+    // --- simplification state (see solver/inprocess.rs) ---
+    // frozen[v]: never eliminate v (assumption / activation variables)
+    frozen: Vec<bool>,
+    // eliminated[v]: removed by BVE; no live clause mentions v and the
+    // decision loop skips it until restored
+    eliminated: Vec<bool>,
+    // count of currently-eliminated variables (fast-path guard)
+    num_eliminated: usize,
+    // solution reconstruction records, replayed in reverse on each Sat
+    recon: ReconStack,
+    // clauses arrived since the last pass ⇒ preprocessing is due
+    simplify_dirty: bool,
+    // restarts since the last pass ⇒ inprocessing cadence
+    restarts_since_simplify: u64,
+    // completed inprocessing runs: the cadence doubles after each, so
+    // total inprocessing cost is a geometric series of the search time
+    inprocess_runs: u32,
 }
 
 impl Default for Solver {
@@ -212,6 +257,13 @@ impl Solver {
             export_lbd_max: 0,
             import: None,
             lbd_hist: [0; 16],
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            num_eliminated: 0,
+            recon: ReconStack::new(),
+            simplify_dirty: false,
+            restarts_since_simplify: 0,
+            inprocess_runs: 0,
         }
     }
 
@@ -309,6 +361,8 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.heap.push_new_var(v, &self.activity);
         v
     }
@@ -321,6 +375,54 @@ impl Solver {
     /// Number of live problem + learnt clauses.
     pub fn num_clauses(&self) -> usize {
         self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Number of variables currently eliminated by the simplifier.
+    pub fn num_eliminated(&self) -> usize {
+        self.num_eliminated
+    }
+
+    /// Number of variables still in play: neither eliminated nor fixed
+    /// by a level-0 assignment (size metric for preprocessing claims).
+    pub fn num_active_vars(&self) -> usize {
+        self.assigns.iter().filter(|&&a| a == LBool::Undef).count() - self.num_eliminated
+    }
+
+    /// Marks `v` as frozen: the simplifier will never eliminate it.
+    /// Required for variables used as assumptions or activation
+    /// literals *outside* `solve` calls (assumption variables of the
+    /// current call are frozen automatically).
+    pub fn freeze_var(&mut self, v: Var) {
+        if self.eliminated[v.index()] {
+            self.restore_var(v);
+        }
+        self.frozen[v.index()] = true;
+    }
+
+    /// Releases a [`Solver::freeze_var`] mark.
+    pub fn unfreeze_var(&mut self, v: Var) {
+        self.frozen[v.index()] = false;
+    }
+
+    /// `true` when `v` is frozen against elimination.
+    pub fn is_frozen(&self, v: Var) -> bool {
+        self.frozen[v.index()]
+    }
+
+    /// `true` while `v` is eliminated (restored automatically when a
+    /// new clause or assumption mentions it).
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.index()]
+    }
+
+    /// Replaces the simplification configuration (effective at the
+    /// next `solve` / [`Solver::preprocess`] call).
+    pub fn set_simplify(&mut self, cfg: SimplifyConfig) {
+        self.config.simplify = cfg;
+        if cfg.enabled() {
+            // clauses may have been added before the switch
+            self.simplify_dirty = true;
+        }
     }
 
     /// Cumulative statistics.
@@ -389,25 +491,54 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        // a clause over an eliminated variable re-introduces it: undo
+        // the elimination (and, transitively, any elimination its
+        // stored clauses depend on) before the clause is recorded
+        if self.num_eliminated > 0 {
+            for &l in lits {
+                if l.var().index() < self.num_vars() && self.eliminated[l.var().index()] {
+                    self.restore_var(l.var());
+                }
+            }
+            if !self.ok {
+                return false;
+            }
+        }
         // record the clause as given, before any simplification: the
         // proof stream doubles as the checker's input formula
         if let Some(p) = self.proof.as_deref_mut() {
             p.input(lits);
         }
-        // normalize: sort, dedup, drop tautologies and false-at-level-0 lits
+        self.simplify_dirty = true;
+        self.add_normalized(lits)
+    }
+
+    /// Normalizes and attaches one clause already recorded in the proof
+    /// stream (shared by [`Solver::add_clause`] and variable
+    /// restoration): sort, dedup, drop tautologies, satisfied clauses,
+    /// and false-at-level-0 literals.
+    fn add_normalized(&mut self, lits: &[Lit]) -> bool {
         let mut ls: Vec<Lit> = lits.to_vec();
         ls.sort_unstable();
         ls.dedup();
         let mut out: Vec<Lit> = Vec::with_capacity(ls.len());
+        let mut dropped_false = false;
         for (i, &l) in ls.iter().enumerate() {
             if i + 1 < ls.len() && ls[i + 1] == !l {
                 return true; // tautology: contains both l and ¬l
             }
             match self.lit_value(l) {
-                LBool::True => return true, // already satisfied at level 0
-                LBool::False => {}          // drop falsified literal
+                LBool::True => return true,           // already satisfied at level 0
+                LBool::False => dropped_false = true, // drop falsified literal
                 LBool::Undef => out.push(l),
             }
+        }
+        if dropped_false && !out.is_empty() {
+            // the attached clause differs from the recorded input, so a
+            // later deletion of it would not match any checker clause;
+            // log the shortened form as a lemma (RUP: its negation
+            // plus the level-0 units falsify the input clause)
+            self.log_learn(&out);
         }
         match out.len() {
             0 => {
@@ -789,6 +920,12 @@ impl Solver {
             if l.var().index() >= self.num_vars() {
                 return;
             }
+            // a peer's clause may mention a variable this worker has
+            // eliminated; attaching it would break the elimination
+            // invariant, so drop the import instead
+            if self.eliminated[l.var().index()] {
+                return;
+            }
             match self.lit_value(l) {
                 LBool::True => return, // satisfied at level 0
                 LBool::False => {}     // drop falsified literal
@@ -858,6 +995,27 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        // an assumption over an eliminated variable re-introduces it
+        if self.num_eliminated > 0 {
+            for &a in assumptions {
+                if a.var().index() < self.num_vars() && self.eliminated[a.var().index()] {
+                    self.restore_var(a.var());
+                }
+            }
+            if !self.ok {
+                return SolveResult::Unsat;
+            }
+        }
+        // preprocessing: simplify once per batch of new clauses
+        if self.config.simplify.preprocess && self.simplify_dirty {
+            self.simplify_dirty = false;
+            if !self.simplify_run(assumptions) {
+                return SolveResult::Unsat;
+            }
+            if self.should_stop() {
+                return SolveResult::Unknown;
+            }
+        }
         let start = Instant::now();
         let conflict_budget = self.stats.conflicts.saturating_add(budget.max_conflicts);
         let mut restart_idx = 0u64;
@@ -870,11 +1028,13 @@ impl Solver {
             match self.search(assumptions, limit, conflict_budget, start, budget.timeout) {
                 SearchOutcome::Sat => {
                     self.model = self.assigns.clone();
+                    self.extend_model();
                     break SolveResult::Sat;
                 }
                 SearchOutcome::Unsat => break SolveResult::Unsat,
                 SearchOutcome::Restart => {
                     self.stats.restarts += 1;
+                    self.restarts_since_simplify += 1;
                     if fec_trace::enabled(fec_trace::Level::Debug) {
                         self.emit_snapshot(start);
                     }
@@ -900,6 +1060,24 @@ impl Solver {
         self.import_shared();
         if !self.ok {
             return SearchOutcome::Unsat;
+        }
+        // inprocessing: run the simplifier after `inprocess_interval`
+        // restarts, then double the spacing after each run — easy
+        // instances pay for at most one pass, long searches still get
+        // periodic cleaning at geometrically bounded total cost
+        let interval = self.config.simplify.inprocess_interval;
+        if interval > 0 {
+            let due = interval.saturating_mul(1u64 << self.inprocess_runs.min(20));
+            if self.restarts_since_simplify >= due {
+                self.restarts_since_simplify = 0;
+                self.inprocess_runs += 1;
+                if !self.simplify_run(assumptions) {
+                    return SearchOutcome::Unsat;
+                }
+                if self.should_stop() {
+                    return SearchOutcome::BudgetExhausted;
+                }
+            }
         }
         let mut conflicts_this_restart = 0u64;
         loop {
@@ -995,7 +1173,12 @@ impl Solver {
                 let next = loop {
                     match self.heap.pop_max(&self.activity) {
                         None => return SearchOutcome::Sat, // everything assigned
-                        Some(v) if self.assigns[v.index()] == LBool::Undef => break v,
+                        Some(v)
+                            if self.assigns[v.index()] == LBool::Undef
+                                && !self.eliminated[v.index()] =>
+                        {
+                            break v
+                        }
                         Some(_) => continue,
                     }
                 };
@@ -1070,14 +1253,24 @@ impl Solver {
     /// - trail/assignment agreement: exactly the trail literals are
     ///   assigned, all true, at plausible levels, with well-formed
     ///   reasons (a reason clause's slot 0 is the literal it implied);
-    /// - watched-literal integrity: every live clause of length ≥ 2 is
-    ///   watched on exactly its first two literals, each watcher's
-    ///   blocker is a literal of its clause, and no live clause has
-    ///   stray watcher entries.
+    /// - watched-literal integrity: every live clause has length ≥ 2,
+    ///   is watched on exactly its first two literals — once *each*,
+    ///   so a strengthening that re-attaches a clause cannot leave two
+    ///   watchers on one literal and none on the other — each
+    ///   watcher's blocker is a literal of its clause, and no live
+    ///   clause has stray watcher entries;
+    /// - elimination integrity: no live clause mentions an eliminated
+    ///   variable, and eliminated variables are unassigned, unfrozen,
+    ///   and covered by an active reconstruction record count;
+    /// - at a level-0 propagation fixpoint additionally: a live clause
+    ///   with a falsified watched literal must be satisfied (otherwise
+    ///   propagation missed a unit or conflict after the simplifier
+    ///   rebuilt part of the database).
     ///
     /// Runs in O(clauses + watchers); debug builds invoke it on a
-    /// sample of conflicts (see `debug_check_after_conflict`), tests
-    /// and external tools may call it at any point outside `propagate`.
+    /// sample of conflicts (see `debug_check_after_conflict`) and after
+    /// every simplification pass, tests and external tools may call it
+    /// at any point outside `propagate`.
     pub fn check_invariants(&self) {
         // --- trail / assignment agreement ---
         let assigned = self.assigns.iter().filter(|&&a| a != LBool::Undef).count();
@@ -1120,22 +1313,37 @@ impl Solver {
             }
         }
         // --- watched-literal integrity ---
-        let mut watch_count = vec![0u32; self.clauses.len()];
+        // tracked per watch slot, not just per clause: two watchers on
+        // lits[0] and none on lits[1] also totals 2, and that is
+        // exactly the corruption a buggy strengthening re-attach
+        // would produce
+        let mut watch_seen = vec![[false; 2]; self.clauses.len()];
         for (wi, ws) in self.watches.iter().enumerate() {
             // watches[l.index()] fires when l becomes true, i.e. holds
             // the clauses currently watching ¬l
             let watched = !Lit(wi as u32);
             for w in ws {
+                assert!(
+                    (w.cref.0 as usize) < self.clauses.len(),
+                    "watcher references clause {} beyond the database",
+                    w.cref.0
+                );
                 let c = &self.clauses[w.cref.0 as usize];
                 if c.deleted {
                     continue; // stale entries of tombstones are dropped lazily
                 }
-                watch_count[w.cref.0 as usize] += 1;
                 assert!(
                     c.lits[0] == watched || c.lits[1] == watched,
                     "clause {:?} watched on {watched:?}, not one of its first two literals",
                     c.lits
                 );
+                let slot = usize::from(c.lits[1] == watched);
+                assert!(
+                    !watch_seen[w.cref.0 as usize][slot],
+                    "clause {:?} watched twice on {watched:?}",
+                    c.lits
+                );
+                watch_seen[w.cref.0 as usize][slot] = true;
                 assert!(
                     c.lits.contains(&w.blocker),
                     "watcher blocker {:?} not in clause {:?}",
@@ -1144,13 +1352,60 @@ impl Solver {
                 );
             }
         }
+        let at_fixpoint = self.decision_level() == 0 && self.qhead == self.trail.len() && self.ok;
         for (i, c) in self.clauses.iter().enumerate() {
-            if !c.deleted {
-                assert_eq!(
-                    watch_count[i], 2,
-                    "clause {:?} has {} watcher entries, expected 2",
-                    c.lits, watch_count[i]
+            if c.deleted {
+                continue;
+            }
+            assert!(
+                c.len() >= 2,
+                "live clause {:?} shorter than 2 literals",
+                c.lits
+            );
+            assert!(
+                watch_seen[i][0] && watch_seen[i][1],
+                "clause {:?} watched on {:?} of its first two literals",
+                c.lits,
+                watch_seen[i]
+            );
+            for &l in &c.lits {
+                assert!(
+                    !self.eliminated[l.var().index()],
+                    "live clause {:?} mentions eliminated {:?}",
+                    c.lits,
+                    l.var()
                 );
+            }
+            if at_fixpoint
+                && (self.lit_value(c.lits[0]) == LBool::False
+                    || self.lit_value(c.lits[1]) == LBool::False)
+            {
+                assert!(
+                    c.lits.iter().any(|&l| self.lit_value(l) == LBool::True),
+                    "clause {:?} has a falsified watch at a level-0 fixpoint \
+                     but is not satisfied",
+                    c.lits
+                );
+            }
+        }
+        // --- elimination bookkeeping ---
+        let eliminated = self.eliminated.iter().filter(|&&e| e).count();
+        assert_eq!(
+            eliminated, self.num_eliminated,
+            "eliminated-variable count out of sync"
+        );
+        assert!(
+            self.recon.active_records() >= eliminated,
+            "fewer reconstruction records than eliminated variables"
+        );
+        for v in 0..self.num_vars() {
+            if self.eliminated[v] {
+                assert_eq!(
+                    self.assigns[v],
+                    LBool::Undef,
+                    "eliminated variable {v} is assigned"
+                );
+                assert!(!self.frozen[v], "frozen variable {v} was eliminated");
             }
         }
     }

@@ -1,0 +1,679 @@
+//! The simplification applier: runs the SatELite-style pipeline
+//! (cleanup, subsumption/strengthening, bounded variable elimination,
+//! failed-literal probing, clause vivification) against the solver's
+//! clause database, watch lists, and proof stream.
+//!
+//! The *planning* logic lives in [`crate::simplify`] as pure functions
+//! over literal vectors; this module owns the stateful half: replaying
+//! plans onto the attached clauses, keeping the DRAT stream sound
+//! (every derived clause is logged as a `Learn` *while its parents are
+//! still live*, and only then are the parents deleted — so every step
+//! is RUP and the checker needs no RAT support), maintaining the
+//! solution-reconstruction stack, and restoring eliminated variables
+//! when incremental use re-introduces them.
+//!
+//! Every pass runs at decision level 0 on a propagation fixpoint.
+//! Level-0 reasons are cleared before each phase so clauses can be
+//! deleted or rebuilt without dangling reason references — conflict
+//! analysis never resolves on level-0 literals, so the cleared reasons
+//! are never read by the search.
+
+use super::*;
+use crate::simplify::{bve_resolvents, plan_subsumption, SubsumeAction};
+
+impl Solver {
+    /// Runs one simplification pass on demand, independent of the
+    /// `solve` loop (used by preprocessing benchmarks and tests).
+    ///
+    /// `frozen` literals — e.g. assumptions of a *future* `solve` call
+    /// or activation literals — are protected from elimination for
+    /// this pass; variables frozen via [`Solver::freeze_var`] are
+    /// always protected. Returns `false` when simplification refutes
+    /// the clause set outright.
+    pub fn preprocess(&mut self, frozen: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        for &l in frozen {
+            if l.var().index() < self.num_vars() && self.eliminated[l.var().index()] {
+                self.restore_var(l.var());
+            }
+        }
+        if !self.ok {
+            return false;
+        }
+        self.simplify_dirty = false;
+        self.simplify_run(frozen)
+    }
+
+    /// One full pipeline pass. `assumptions` are protected from
+    /// elimination (they must remain decidable literals). Returns
+    /// `false` iff the clause set became unsatisfiable.
+    pub(super) fn simplify_run(&mut self, assumptions: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let cfg = self.config.simplify;
+        if !(cfg.bve || cfg.subsume || cfg.probe || cfg.vivify) {
+            return true;
+        }
+        let _span = fec_trace::span!(fec_trace::Level::Debug, "sat.simplify");
+        let before = self.stats;
+        // reach the level-0 fixpoint before looking at any clause
+        if self.propagate().is_some() {
+            self.log_learn(&[]);
+            self.ok = false;
+            return false;
+        }
+        if self.should_stop() {
+            return true;
+        }
+        // assumption variables of this call are frozen for the pass
+        let mut protect = self.frozen.clone();
+        for &a in assumptions {
+            if a.var().index() < protect.len() {
+                protect[a.var().index()] = true;
+            }
+        }
+        let mut cleaned_at = usize::MAX; // force the first cleanup
+        for _ in 0..cfg.rounds.max(1) {
+            if self.should_stop() {
+                return true;
+            }
+            let mut changed = false;
+            if !self.cleanup_pass(&mut cleaned_at) {
+                return false;
+            }
+            if cfg.subsume && !self.subsume_pass(&mut changed) {
+                return false;
+            }
+            if self.should_stop() {
+                return true;
+            }
+            if cfg.bve && !self.bve_pass(&protect, &mut changed) {
+                return false;
+            }
+            if !changed {
+                break;
+            }
+        }
+        if cfg.probe && !self.should_stop() && !self.probe_pass() {
+            return false;
+        }
+        if cfg.vivify && !self.should_stop() && !self.vivify_pass() {
+            return false;
+        }
+        if !self.cleanup_pass(&mut cleaned_at) {
+            return false;
+        }
+        self.stats.simplify_passes += 1;
+        fec_trace::counter!(
+            fec_trace::Level::Debug,
+            "sat.simplify.eliminated_vars",
+            self.stats.eliminated_vars - before.eliminated_vars
+        );
+        fec_trace::counter!(
+            fec_trace::Level::Debug,
+            "sat.simplify.subsumed",
+            self.stats.subsumed_clauses - before.subsumed_clauses
+        );
+        fec_trace::counter!(
+            fec_trace::Level::Debug,
+            "sat.simplify.strengthened",
+            self.stats.strengthened_clauses - before.strengthened_clauses
+        );
+        fec_trace::counter!(
+            fec_trace::Level::Debug,
+            "sat.simplify.failed_literals",
+            self.stats.failed_literals - before.failed_literals
+        );
+        fec_trace::counter!(
+            fec_trace::Level::Debug,
+            "sat.simplify.vivified",
+            self.stats.vivified_clauses - before.vivified_clauses
+        );
+        fec_trace::event!(
+            fec_trace::Level::Debug,
+            "sat.simplify",
+            "eliminated_vars" => self.stats.eliminated_vars,
+            "subsumed" => self.stats.subsumed_clauses,
+            "strengthened" => self.stats.strengthened_clauses,
+            "failed_literals" => self.stats.failed_literals,
+            "vivified" => self.stats.vivified_clauses,
+            "passes" => self.stats.simplify_passes,
+            "active_vars" => self.num_active_vars() as u64,
+            "live_clauses" => self.num_clauses() as u64,
+        );
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+        self.ok
+    }
+
+    /// Level-0 facts need no reasons; clearing them lets a pass delete
+    /// or rebuild any clause without leaving dangling reason refs.
+    /// Safe because conflict analysis, minimization, and assumption
+    /// tracing all skip level-0 literals before reading a reason.
+    fn clear_level0_reasons(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            self.reason[v] = INVALID_CLAUSE;
+        }
+    }
+
+    /// Tombstones clause `idx`, emitting the proof deletion. Only
+    /// learnt deletions count into `deleted_clauses` — that statistic
+    /// drives the learnt-DB reduction schedule.
+    fn simplify_delete(&mut self, idx: usize) {
+        debug_assert!(!self.clauses[idx].deleted);
+        if self.proof.is_some() {
+            let lits = self.clauses[idx].lits.clone();
+            if let Some(p) = self.proof.as_deref_mut() {
+                p.delete(&lits);
+            }
+        }
+        self.clauses[idx].deleted = true;
+        if self.clauses[idx].learnt {
+            self.stats.deleted_clauses += 1;
+        }
+    }
+
+    /// Removes clauses satisfied at level 0 and strips falsified
+    /// literals from the rest. At a level-0 fixpoint an unsatisfied
+    /// live clause has both watched literals unassigned, so the strip
+    /// never produces a unit; the stripped clause replaces the
+    /// original via tombstone + re-attach, keeping watcher blockers
+    /// pointing at literals the clause still contains.
+    fn cleanup_pass(&mut self, cleaned_at: &mut usize) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        // satisfied clauses and false literals only appear when the
+        // level-0 trail grows; an unchanged trail means the previous
+        // cleanup's work still stands and the full DB rebuild can be
+        // skipped (deletions by subsumption/BVE are already tombstoned)
+        if *cleaned_at == self.trail.len() {
+            return self.ok;
+        }
+        self.clear_level0_reasons();
+        for idx in 0..self.clauses.len() {
+            if self.clauses[idx].deleted {
+                continue;
+            }
+            if self.clauses[idx]
+                .lits
+                .iter()
+                .any(|&l| self.lit_value(l) == LBool::True)
+            {
+                self.simplify_delete(idx);
+                continue;
+            }
+            if self.clauses[idx]
+                .lits
+                .iter()
+                .any(|&l| self.lit_value(l) == LBool::False)
+            {
+                let kept: Vec<Lit> = self.clauses[idx]
+                    .lits
+                    .iter()
+                    .copied()
+                    .filter(|&l| self.lit_value(l) != LBool::False)
+                    .collect();
+                debug_assert!(
+                    kept.len() >= 2,
+                    "watched literals of an unsatisfied clause are unassigned at a fixpoint"
+                );
+                // RUP: the kept form plus the level-0 units falsify
+                // the original clause
+                self.log_learn(&kept);
+                let learnt = self.clauses[idx].learnt;
+                let lbd = self.clauses[idx].lbd.min(kept.len() as u32);
+                self.simplify_delete(idx);
+                self.attach_clause(Clause::new(kept, learnt, lbd));
+            }
+        }
+        *cleaned_at = self.trail.len();
+        self.ok
+    }
+
+    /// Backward subsumption + self-subsuming resolution: snapshots the
+    /// live clauses, lets [`plan_subsumption`] compute a fixpoint plan,
+    /// and replays it onto the database in plan order — which is
+    /// exactly the order that keeps every `Learn` RUP over the live
+    /// checker state.
+    fn subsume_pass(&mut self, changed: &mut bool) -> bool {
+        self.clear_level0_reasons();
+        let mut attached: Vec<Option<usize>> = Vec::new();
+        let mut cur: Vec<Vec<Lit>> = Vec::new();
+        let mut snap: Vec<Option<Vec<Lit>>> = Vec::new();
+        let mut learnt: Vec<bool> = Vec::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.deleted {
+                continue;
+            }
+            attached.push(Some(i));
+            cur.push(c.lits.clone());
+            snap.push(Some(c.lits.clone()));
+            learnt.push(c.learnt);
+        }
+        let mut budget = self.config.simplify.subsume_budget;
+        let actions = plan_subsumption(&mut snap, &mut learnt, self.num_vars(), &mut budget);
+        if actions.is_empty() {
+            return true;
+        }
+        *changed = true;
+        let mut pending_units: Vec<Lit> = Vec::new();
+        for act in actions {
+            match act {
+                SubsumeAction::Promote { target } => {
+                    // a learnt clause about to erase an irredundant one
+                    // becomes irredundant itself, or a later learnt-DB
+                    // reduction could drop the only remaining witness
+                    if let Some(idx) = attached[target as usize] {
+                        self.clauses[idx].learnt = false;
+                    }
+                }
+                SubsumeAction::Delete { target, .. } => {
+                    self.stats.subsumed_clauses += 1;
+                    // a slot already reduced to a pending unit has no
+                    // attached clause left to delete; the unit stands
+                    if let Some(idx) = attached[target as usize].take() {
+                        self.simplify_delete(idx);
+                    }
+                }
+                SubsumeAction::Strengthen { target, drop, .. } => {
+                    let t = target as usize;
+                    self.stats.strengthened_clauses += 1;
+                    let mut kept = cur[t].clone();
+                    kept.retain(|&l| l != drop);
+                    if kept.is_empty() {
+                        // strengthening a pending unit against its own
+                        // negation: the formula is refuted
+                        self.log_learn(&[]);
+                        self.ok = false;
+                        return false;
+                    }
+                    // Learn first (RUP while the strengthener and the
+                    // old form are both live), then delete the old form
+                    self.log_learn(&kept);
+                    if let Some(p) = self.proof.as_deref_mut() {
+                        p.delete(&cur[t]);
+                    }
+                    if let Some(idx) = attached[t].take() {
+                        let learnt_flag = self.clauses[idx].learnt;
+                        let lbd = self.clauses[idx].lbd.min(kept.len() as u32);
+                        self.clauses[idx].deleted = true;
+                        if self.clauses[idx].learnt {
+                            self.stats.deleted_clauses += 1;
+                        }
+                        if kept.len() >= 2 {
+                            let cref = self.attach_clause(Clause::new(
+                                kept.clone(),
+                                learnt_flag,
+                                lbd.max(1),
+                            ));
+                            attached[t] = Some(cref.0 as usize);
+                        } else {
+                            pending_units.push(kept[0]);
+                        }
+                    } else if kept.len() == 1 {
+                        pending_units.push(kept[0]);
+                    }
+                    cur[t] = kept;
+                }
+            }
+        }
+        for l in pending_units {
+            match self.lit_value(l) {
+                LBool::True => {}
+                LBool::False => {
+                    self.log_learn(&[]);
+                    self.ok = false;
+                    return false;
+                }
+                LBool::Undef => self.uncheck_enqueue(l, INVALID_CLAUSE),
+            }
+        }
+        if self.propagate().is_some() {
+            self.log_learn(&[]);
+            self.ok = false;
+            return false;
+        }
+        self.ok
+    }
+
+    /// Bounded variable elimination. Candidates are tried cheapest
+    /// first (smallest pos×neg occurrence product); an elimination is
+    /// taken only when [`bve_resolvents`] accepts it under the growth
+    /// and clause-size cutoffs. Learnt clauses over the variable are
+    /// not resolved — they are consequences, so they are simply
+    /// deleted with it. A unit resolvent ends the pass early (the
+    /// outer rounds loop re-runs cleanup and subsumption first).
+    fn bve_pass(&mut self, protect: &[bool], changed: &mut bool) -> bool {
+        self.clear_level0_reasons();
+        let cfg = self.config.simplify;
+        let mut occ = crate::simplify::OccIndex::new(self.num_vars());
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.deleted {
+                occ.insert(i as u32, &c.lits);
+            }
+        }
+        let mut cands: Vec<Var> = (0..self.num_vars())
+            .map(Var::from_index)
+            .filter(|v| {
+                let i = v.index();
+                !protect[i] && !self.eliminated[i] && self.assigns[i] == LBool::Undef
+            })
+            .collect();
+        cands.sort_by_key(|&v| occ.count(Lit::pos(v)) * occ.count(Lit::neg(v)));
+        for v in cands {
+            if self.should_stop() {
+                return true;
+            }
+            if self.assigns[v.index()] != LBool::Undef {
+                continue; // assigned by an earlier unit resolvent
+            }
+            let mut pos: Vec<Vec<Lit>> = Vec::new();
+            let mut neg: Vec<Vec<Lit>> = Vec::new();
+            let mut parents: Vec<u32> = Vec::new();
+            let mut redundant: Vec<u32> = Vec::new();
+            for &phase in &[Lit::pos(v), Lit::neg(v)] {
+                for &ci in occ.occs(phase) {
+                    let c = &self.clauses[ci as usize];
+                    debug_assert!(!c.deleted);
+                    if c.learnt {
+                        redundant.push(ci);
+                    } else {
+                        parents.push(ci);
+                        if phase.is_pos() {
+                            pos.push(c.lits.clone());
+                        } else {
+                            neg.push(c.lits.clone());
+                        }
+                    }
+                }
+            }
+            if pos.len() > cfg.bve_occ_limit || neg.len() > cfg.bve_occ_limit {
+                continue;
+            }
+            let Some(resolvents) =
+                bve_resolvents(v, &pos, &neg, cfg.bve_grow, cfg.bve_clause_limit)
+            else {
+                continue;
+            };
+            // derived clauses first: every resolvent is RUP while both
+            // parents are still live (negating it makes them unit on v
+            // and ¬v), the parent deletions follow
+            let mut unit_resolvents: Vec<Lit> = Vec::new();
+            for r in &resolvents {
+                self.log_learn(r);
+                if r.len() >= 2 {
+                    let cref = self.attach_clause(Clause::new(r.clone(), false, 0));
+                    occ.insert(cref.0, r);
+                } else {
+                    unit_resolvents.push(r[0]);
+                }
+            }
+            let mut stored: Vec<Vec<Lit>> = Vec::with_capacity(pos.len() + neg.len());
+            stored.extend(pos);
+            stored.extend(neg);
+            for &ci in parents.iter().chain(&redundant) {
+                let lits = self.clauses[ci as usize].lits.clone();
+                occ.remove(ci, &lits);
+                self.simplify_delete(ci as usize);
+            }
+            self.recon.push(v, stored);
+            self.eliminated[v.index()] = true;
+            self.num_eliminated += 1;
+            self.stats.eliminated_vars += 1;
+            *changed = true;
+            if !unit_resolvents.is_empty() {
+                for l in unit_resolvents {
+                    match self.lit_value(l) {
+                        LBool::True => {}
+                        LBool::False => {
+                            self.log_learn(&[]);
+                            self.ok = false;
+                            return false;
+                        }
+                        LBool::Undef => self.uncheck_enqueue(l, INVALID_CLAUSE),
+                    }
+                }
+                if self.propagate().is_some() {
+                    self.log_learn(&[]);
+                    self.ok = false;
+                    return false;
+                }
+                // the assignment invalidated the occurrence snapshot
+                // for every satisfied/shortened clause — restart the
+                // round instead of resolving against stale lists
+                return self.ok;
+            }
+        }
+        self.ok
+    }
+
+    /// Failed-literal probing: assume each unassigned literal on a
+    /// scratch decision level; a conflict proves its negation as a
+    /// level-0 unit (RUP by the very propagation that found it).
+    fn probe_pass(&mut self) -> bool {
+        self.clear_level0_reasons();
+        // Only a probe that immediately forces another literal can
+        // fail, and at a level-0 fixpoint the only clauses one fresh
+        // assignment can reduce to units are binary ones — so the
+        // worthwhile probes are exactly the negations of literals
+        // occurring in live binary clauses. Everything else would pay
+        // a full propagate to learn nothing.
+        let mut worthwhile = vec![false; 2 * self.num_vars()];
+        for c in &self.clauses {
+            if c.deleted || c.lits.len() != 2 {
+                continue;
+            }
+            for &l in &c.lits {
+                worthwhile[(!l).index()] = true;
+            }
+        }
+        let mut budget = self.config.simplify.probe_budget;
+        for vi in 0..self.num_vars() {
+            if budget == 0 || self.should_stop() {
+                break;
+            }
+            if self.assigns[vi] != LBool::Undef || self.eliminated[vi] {
+                continue;
+            }
+            let v = Var::from_index(vi);
+            for &probe in &[Lit::pos(v), Lit::neg(v)] {
+                if budget == 0 {
+                    break;
+                }
+                if !worthwhile[probe.index()] {
+                    continue;
+                }
+                budget -= 1;
+                if self.lit_value(probe) != LBool::Undef {
+                    break; // fixed by the failure of the other phase
+                }
+                self.trail_lim.push(self.trail.len());
+                self.uncheck_enqueue(probe, INVALID_CLAUSE);
+                let conflicted = self.propagate().is_some();
+                self.backtrack(0);
+                if self.should_stop() {
+                    return true;
+                }
+                if conflicted {
+                    self.stats.failed_literals += 1;
+                    let unit = !probe;
+                    self.log_learn(&[unit]);
+                    match self.lit_value(unit) {
+                        LBool::True => {}
+                        LBool::False => {
+                            self.log_learn(&[]);
+                            self.ok = false;
+                            return false;
+                        }
+                        LBool::Undef => self.uncheck_enqueue(unit, INVALID_CLAUSE),
+                    }
+                    if self.propagate().is_some() {
+                        self.log_learn(&[]);
+                        self.ok = false;
+                        return false;
+                    }
+                }
+            }
+        }
+        self.ok
+    }
+
+    /// Clause vivification (distillation): assume the negations of a
+    /// clause's literals one at a time; a conflict or an implied
+    /// literal proves a shorter (or at worst equal) clause that is RUP
+    /// by construction, and a literal implied *false* can be dropped.
+    fn vivify_pass(&mut self) -> bool {
+        self.clear_level0_reasons();
+        let mut budget = self.config.simplify.vivify_budget;
+        for idx in 0..self.clauses.len() {
+            if budget == 0 || self.should_stop() {
+                break;
+            }
+            {
+                let c = &self.clauses[idx];
+                if c.deleted || c.learnt || c.len() < 3 {
+                    continue;
+                }
+            }
+            let lits = self.clauses[idx].lits.clone();
+            if lits.iter().any(|&l| self.lit_value(l) != LBool::Undef) {
+                continue; // will be handled by the next cleanup
+            }
+            budget -= 1;
+            self.trail_lim.push(self.trail.len());
+            let mut kept: Vec<Lit> = Vec::new();
+            let mut dropped = false;
+            let mut decided = false;
+            for &l in &lits {
+                match self.lit_value(l) {
+                    // l is implied by the negations assumed so far:
+                    // kept ∪ {l} already covers the clause
+                    LBool::True => {
+                        kept.push(l);
+                        decided = true;
+                        break;
+                    }
+                    // ¬l is implied: l contributes nothing
+                    LBool::False => {
+                        dropped = true;
+                    }
+                    LBool::Undef => {
+                        kept.push(l);
+                        self.uncheck_enqueue(!l, INVALID_CLAUSE);
+                        if self.propagate().is_some() {
+                            decided = true;
+                            break;
+                        }
+                        if self.should_stop() {
+                            self.backtrack(0);
+                            return true;
+                        }
+                    }
+                }
+            }
+            self.backtrack(0);
+            let adopt = if decided {
+                kept.len() < lits.len()
+            } else {
+                dropped
+            };
+            if !adopt {
+                continue;
+            }
+            self.stats.vivified_clauses += 1;
+            self.log_learn(&kept);
+            if let Some(p) = self.proof.as_deref_mut() {
+                p.delete(&lits);
+            }
+            self.clauses[idx].deleted = true;
+            if kept.len() >= 2 {
+                let lbd = self.clauses[idx].lbd.min(kept.len() as u32);
+                self.attach_clause(Clause::new(kept, false, lbd));
+            } else {
+                match self.lit_value(kept[0]) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.log_learn(&[]);
+                        self.ok = false;
+                        return false;
+                    }
+                    LBool::Undef => self.uncheck_enqueue(kept[0], INVALID_CLAUSE),
+                }
+                if self.propagate().is_some() {
+                    self.log_learn(&[]);
+                    self.ok = false;
+                    return false;
+                }
+            }
+        }
+        self.ok
+    }
+
+    /// Undoes the elimination of `v` (and, transitively, of every
+    /// variable its stored clauses mention): the variable re-enters
+    /// the branching heap and its original clauses are re-added, each
+    /// re-recorded as a proof *input* — they were deleted from the
+    /// proof stream when `v` was eliminated, and re-deriving them is
+    /// not possible in general (elimination is an equisatisfiability
+    /// step, not an equivalence).
+    pub(super) fn restore_var(&mut self, v: Var) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut work = vec![v];
+        while let Some(v) = work.pop() {
+            if !self.eliminated[v.index()] {
+                continue;
+            }
+            self.eliminated[v.index()] = false;
+            self.num_eliminated -= 1;
+            self.heap.insert(v, &self.activity);
+            let Some(clauses) = self.recon.deactivate(v) else {
+                continue;
+            };
+            for lits in clauses {
+                for &l in &lits {
+                    if self.eliminated[l.var().index()] {
+                        work.push(l.var());
+                    }
+                }
+                if let Some(p) = self.proof.as_deref_mut() {
+                    p.input(&lits);
+                }
+                self.add_normalized(&lits);
+                if !self.ok {
+                    return;
+                }
+            }
+        }
+        self.simplify_dirty = true;
+    }
+
+    /// Extends the model snapshot over the eliminated variables by
+    /// replaying the reconstruction stack (newest elimination first),
+    /// so [`Solver::value`] answers for every variable of the
+    /// *original* formula.
+    pub(super) fn extend_model(&mut self) {
+        if self.recon.active_records() == 0 {
+            return;
+        }
+        let mut m: Vec<Option<bool>> = self
+            .model
+            .iter()
+            .map(|&a| match a {
+                LBool::True => Some(true),
+                LBool::False => Some(false),
+                LBool::Undef => None,
+            })
+            .collect();
+        self.recon.extend_model(&mut m);
+        for (slot, val) in self.model.iter_mut().zip(m) {
+            if let Some(b) = val {
+                *slot = LBool::from_bool(b);
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Differential fuzzing of the simplification pipeline.
+//!
+//! 500 seeded instances — a mix of random 3-SAT near the phase
+//! transition and small CEGIS-shaped cardinality/parity encodings like
+//! the ones `fec-smt` emits — are solved three ways:
+//!
+//! 1. CDCL with the full simplifier on (aggressive cadence so
+//!    *inprocessing*, not just preprocessing, is exercised),
+//! 2. CDCL with simplification off,
+//! 3. the reference DPLL oracle.
+//!
+//! All three verdicts must agree. Every SAT model coming out of the
+//! simplified solver is reconstructed (eliminated variables re-valued
+//! from the reconstruction stack) and validated against the *original*
+//! clause set, and every UNSAT run's DRAT stream is replayed by the
+//! independent `fec-drat` checker — which also proves that BVE
+//! resolvents, strengthened clauses, probing units, and vivified
+//! clauses are all RUP, i.e. the checker needs no RAT support.
+
+use fec_drat::Checker;
+use fec_sat::reference;
+use fec_sat::{
+    Budget, Lit, MemoryProofLogger, RestartPolicy, SimplifyConfig, SolveResult, Solver,
+    SolverConfig, Var,
+};
+
+/// Deterministic xorshift64, same shape as the solver's internal rng.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n
+    }
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
+
+/// Random 3-SAT at clause/variable ratio ≈ 4.2 (the phase transition,
+/// where both verdicts occur and instances are hardest for their size).
+fn random_3sat(rng: &mut Rng, nv: usize) -> Vec<Vec<Lit>> {
+    let nc = (nv as f64 * 4.2).round() as usize;
+    (0..nc)
+        .map(|_| {
+            (0..3)
+                .map(|_| Lit::with_sign(Var::from_index(rng.below(nv)), rng.flag()))
+                .collect()
+        })
+        .collect()
+}
+
+/// A small CEGIS-shaped instance: XOR chains (parity constraints like
+/// eq. 2 of the paper's verify encoding) plus a pairwise at-most-k
+/// cardinality bound over the chain outputs — the clause shapes
+/// `fec-smt` feeds the solver, with the auxiliary-variable structure
+/// BVE thrives on.
+fn cegis_shaped(rng: &mut Rng, inputs: usize) -> (usize, Vec<Vec<Lit>>) {
+    let mut nv = inputs;
+    let mut fresh = || {
+        let v = Var::from_index(nv);
+        nv += 1;
+        v
+    };
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let chains = 2 + rng.below(3);
+    let mut outs: Vec<Lit> = Vec::new();
+    for _ in 0..chains {
+        // out = x_a ⊕ x_b via the usual 4-clause Tseitin encoding
+        let a = Lit::with_sign(Var::from_index(rng.below(inputs)), rng.flag());
+        let b = Lit::with_sign(Var::from_index(rng.below(inputs)), rng.flag());
+        let o = Lit::pos(fresh());
+        clauses.push(vec![!a, !b, !o]);
+        clauses.push(vec![a, b, !o]);
+        clauses.push(vec![!a, b, o]);
+        clauses.push(vec![a, !b, o]);
+        outs.push(o);
+    }
+    // pairwise at-most-1 over the chain outputs
+    for i in 0..outs.len() {
+        for j in i + 1..outs.len() {
+            clauses.push(vec![!outs[i], !outs[j]]);
+        }
+    }
+    // force some outputs on to make a fraction of the instances UNSAT
+    for o in outs.iter().take(1 + rng.below(2)) {
+        clauses.push(vec![*o]);
+    }
+    // a couple of random ternary clauses over everything for noise
+    for _ in 0..rng.below(4) {
+        clauses.push(
+            (0..3)
+                .map(|_| Lit::with_sign(Var::from_index(rng.below(nv)), rng.flag()))
+                .collect(),
+        );
+    }
+    (nv, clauses)
+}
+
+/// Simplification forced on with an aggressive inprocessing cadence:
+/// tiny restart base + interval 1 means the pipeline re-runs at
+/// essentially every restart, so inprocessing (not just the initial
+/// preprocessing pass) is exercised even on these small instances.
+fn simplifying_config(seed: u64) -> SolverConfig {
+    SolverConfig {
+        restart: RestartPolicy::Luby { base: 8 },
+        seed,
+        simplify: SimplifyConfig {
+            inprocess_interval: 1,
+            rounds: 2,
+            ..SimplifyConfig::on()
+        },
+        ..SolverConfig::default()
+    }
+}
+
+enum Mode {
+    Plain,
+    Assumptions(Vec<Lit>),
+}
+
+fn run_case(case: u64, num_vars: usize, clauses: &[Vec<Lit>], mode: &Mode) -> fec_sat::SolverStats {
+    let assumptions: &[Lit] = match mode {
+        Mode::Plain => &[],
+        Mode::Assumptions(a) => a,
+    };
+    // reference verdict on the original formula (+ assumptions as units)
+    let mut with_assumptions = clauses.to_vec();
+    for &a in assumptions {
+        with_assumptions.push(vec![a]);
+    }
+    let oracle = reference::solve(num_vars, &with_assumptions);
+
+    // simplification off
+    let mut plain = Solver::new();
+    for _ in 0..num_vars {
+        plain.new_var();
+    }
+    let mut ok = true;
+    for c in clauses {
+        ok = plain.add_clause(c);
+        if !ok {
+            break;
+        }
+    }
+    let plain_verdict = if ok {
+        plain.solve(assumptions)
+    } else {
+        SolveResult::Unsat
+    };
+
+    // simplification on, with proof logging
+    let proof = MemoryProofLogger::new();
+    let mut simp = Solver::with_config(simplifying_config(case));
+    simp.set_proof_logger(Box::new(proof.clone()));
+    for _ in 0..num_vars {
+        simp.new_var();
+    }
+    let mut ok = true;
+    for c in clauses {
+        ok = simp.add_clause(c);
+        if !ok {
+            break;
+        }
+    }
+    let simp_verdict = if ok {
+        simp.solve_with_budget(assumptions, Budget::unlimited())
+    } else {
+        SolveResult::Unsat
+    };
+
+    assert_eq!(
+        plain_verdict, simp_verdict,
+        "case {case}: simplification flipped the verdict"
+    );
+    assert_eq!(
+        oracle.is_some(),
+        simp_verdict == SolveResult::Sat,
+        "case {case}: simplified solver disagrees with reference DPLL"
+    );
+
+    match simp_verdict {
+        SolveResult::Sat => {
+            // the reconstructed model must satisfy the ORIGINAL clause
+            // set — eliminated variables included
+            let model: Vec<bool> = (0..num_vars)
+                .map(|i| simp.value(Var::from_index(i)).unwrap_or(false))
+                .collect();
+            assert!(
+                reference::check_model(&with_assumptions, &model),
+                "case {case}: reconstructed model violates the original formula"
+            );
+            simp.check_invariants();
+        }
+        SolveResult::Unsat => {
+            if assumptions.is_empty() {
+                // a refutation must certify through the independent
+                // checker: every simplifier-derived clause is RUP
+                let steps = proof.take_steps();
+                let mut checker = Checker::new();
+                checker
+                    .process_all(steps.iter())
+                    .unwrap_or_else(|e| panic!("case {case}: proof rejected: {e}"));
+                assert!(
+                    checker.is_refuted(),
+                    "case {case}: UNSAT verdict but the proof derives no refutation"
+                );
+            } else {
+                // assumption-UNSAT emits no refutation; the failed
+                // subset must consist of actual assumptions
+                for l in simp.failed_assumptions() {
+                    assert!(
+                        assumptions.contains(l),
+                        "case {case}: failed-assumption literal {l:?} was never assumed"
+                    );
+                }
+            }
+        }
+        SolveResult::Unknown => panic!("case {case}: unlimited budget returned Unknown"),
+    }
+    simp.stats()
+}
+
+#[test]
+fn differential_500_instances() {
+    let mut rng = Rng::new(0xFEC5);
+    let mut totals = fec_sat::SolverStats::default();
+    for case in 0..500u64 {
+        let (num_vars, clauses, mode) = match case % 5 {
+            // random 3-SAT at the phase transition
+            0 | 1 => {
+                let nv = 5 + rng.below(8);
+                (nv, random_3sat(&mut rng, nv), Mode::Plain)
+            }
+            // CEGIS-shaped cardinality/parity encodings
+            2 | 3 => {
+                let inputs = 4 + rng.below(4);
+                let (nv, cs) = cegis_shaped(&mut rng, inputs);
+                (nv, cs, Mode::Plain)
+            }
+            // 3-SAT under assumptions: frozen-variable handling on the
+            // solve path (assumption vars must survive simplification)
+            _ => {
+                let nv = 5 + rng.below(8);
+                let cs = random_3sat(&mut rng, nv);
+                let a = Lit::with_sign(Var::from_index(rng.below(nv)), rng.flag());
+                let b = Lit::with_sign(Var::from_index(rng.below(nv)), rng.flag());
+                let assumptions = if a.var() == b.var() {
+                    vec![a]
+                } else {
+                    vec![a, b]
+                };
+                (nv, cs, Mode::Assumptions(assumptions))
+            }
+        };
+        totals.merge(&run_case(case, num_vars, &clauses, &mode));
+    }
+    // the harness must exercise the pipeline, not merely tolerate it:
+    // across 500 instances every technique has to have fired
+    assert!(totals.simplify_passes > 0, "no simplification pass ran");
+    assert!(
+        totals.eliminated_vars > 0,
+        "BVE never eliminated a variable"
+    );
+    assert!(totals.subsumed_clauses > 0, "subsumption never fired");
+    assert!(
+        totals.strengthened_clauses > 0,
+        "self-subsuming resolution never fired"
+    );
+    assert!(
+        totals.failed_literals > 0,
+        "probing never found a failed literal"
+    );
+    assert!(
+        totals.vivified_clauses > 0,
+        "vivification never shortened a clause"
+    );
+}
+
+/// Incremental use across simplification: clauses added *after* a
+/// simplified solve may re-introduce eliminated variables, and the
+/// answers must stay consistent with a fresh solver on the union.
+#[test]
+fn incremental_after_simplification() {
+    let mut rng = Rng::new(0xD1FF);
+    for case in 0..60u64 {
+        let nv = 6 + rng.below(6);
+        let first = random_3sat(&mut rng, nv);
+        let second = random_3sat(&mut rng, nv);
+
+        let mut s = Solver::with_config(simplifying_config(case));
+        for _ in 0..nv {
+            s.new_var();
+        }
+        let mut ok = true;
+        for c in &first {
+            ok = s.add_clause(c);
+            if !ok {
+                break;
+            }
+        }
+        let v1 = if ok { s.solve(&[]) } else { SolveResult::Unsat };
+        assert_eq!(
+            v1 == SolveResult::Sat,
+            reference::solve(nv, &first).is_some(),
+            "case {case}: first batch verdict wrong"
+        );
+        if v1 == SolveResult::Unsat {
+            continue;
+        }
+        for c in &second {
+            if !s.add_clause(c) {
+                break;
+            }
+        }
+        let v2 = s.solve(&[]);
+        let mut all = first.clone();
+        all.extend(second.iter().cloned());
+        assert_eq!(
+            v2 == SolveResult::Sat,
+            reference::solve(nv, &all).is_some(),
+            "case {case}: verdict wrong after incremental batch"
+        );
+        if v2 == SolveResult::Sat {
+            let model: Vec<bool> = (0..nv)
+                .map(|i| s.value(Var::from_index(i)).unwrap_or(false))
+                .collect();
+            assert!(
+                reference::check_model(&all, &model),
+                "case {case}: incremental model violates the combined formula"
+            );
+        }
+        s.check_invariants();
+    }
+}
+
+/// The on-demand [`Solver::preprocess`] entry must preserve
+/// satisfiability and keep solving correct afterwards.
+#[test]
+fn explicit_preprocess_roundtrip() {
+    let mut rng = Rng::new(0xBEEF);
+    for case in 0..60u64 {
+        let nv = 6 + rng.below(6);
+        let clauses = random_3sat(&mut rng, nv);
+        let oracle = reference::solve(nv, &clauses);
+
+        let mut s = Solver::with_config(simplifying_config(case));
+        for _ in 0..nv {
+            s.new_var();
+        }
+        let mut ok = true;
+        for c in &clauses {
+            ok = s.add_clause(c);
+            if !ok {
+                break;
+            }
+        }
+        if ok {
+            ok = s.preprocess(&[]);
+            s.check_invariants();
+        }
+        let verdict = if ok { s.solve(&[]) } else { SolveResult::Unsat };
+        assert_eq!(
+            verdict == SolveResult::Sat,
+            oracle.is_some(),
+            "case {case}: preprocess changed satisfiability"
+        );
+        if verdict == SolveResult::Sat {
+            let model: Vec<bool> = (0..nv)
+                .map(|i| s.value(Var::from_index(i)).unwrap_or(false))
+                .collect();
+            assert!(
+                reference::check_model(&clauses, &model),
+                "case {case}: model after explicit preprocess is invalid"
+            );
+        }
+    }
+}

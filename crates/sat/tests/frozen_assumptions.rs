@@ -1,0 +1,144 @@
+//! Regression tests for the frozen-variable contract: assumption
+//! literals and externally-frozen activation variables must survive
+//! simplification. A frozen-var leak would not crash — it would
+//! silently mis-answer incremental (push/pop-style) queries — so these
+//! tests are written to *fail* on a leak, not to tolerate it.
+
+use fec_sat::{Lit, SimplifyConfig, SolveResult, Solver, SolverConfig, Var};
+
+fn aggressive() -> SolverConfig {
+    SolverConfig {
+        restart: fec_sat::RestartPolicy::Luby { base: 8 },
+        simplify: SimplifyConfig {
+            inprocess_interval: 1,
+            // generous budgets: on these tiny instances the simplifier
+            // would eliminate everything it is allowed to
+            bve_occ_limit: 1000,
+            bve_clause_limit: 1000,
+            ..SimplifyConfig::on()
+        },
+        ..SolverConfig::default()
+    }
+}
+
+/// Activation-literal pattern (what `fec-smt`'s push/pop layer does):
+/// guard variables tag clauses, assumptions enable/disable them. The
+/// guard variable occurs in one phase only — prime pure-literal /
+/// BVE fodder — so without freezing, preprocessing would eliminate it
+/// and later assumption-driven queries would be answered on a formula
+/// that no longer contains the guard.
+#[test]
+fn frozen_activation_literals_survive_preprocessing() {
+    let mut s = Solver::with_config(aggressive());
+    let g = s.new_var(); // guard
+    let x = s.new_var();
+    let y = s.new_var();
+    s.freeze_var(g);
+    // guarded constraints: g → (x ∧ ¬y)
+    s.add_clause(&[Lit::neg(g), Lit::pos(x)]);
+    s.add_clause(&[Lit::neg(g), Lit::neg(y)]);
+    // unguarded noise the simplifier may chew on freely
+    s.add_clause(&[Lit::pos(x), Lit::pos(y)]);
+
+    assert!(s.preprocess(&[]), "preprocessing refuted a SAT instance");
+    assert!(
+        !s.is_eliminated(g),
+        "frozen guard variable was eliminated by preprocessing"
+    );
+
+    // the guarded query must still see the guarded clauses
+    assert_eq!(s.solve(&[Lit::pos(g), Lit::pos(y)]), SolveResult::Unsat);
+    let failed = s.failed_assumptions().to_vec();
+    assert!(
+        !failed.is_empty(),
+        "assumption-UNSAT must name the failing assumptions"
+    );
+    // disabling the guard re-enables y
+    assert_eq!(s.solve(&[Lit::neg(g), Lit::pos(y)]), SolveResult::Sat);
+    assert_eq!(s.value(y), Some(true));
+}
+
+/// Assumption variables of the current solve call are frozen
+/// automatically — even without an explicit `freeze_var`.
+#[test]
+fn solve_assumptions_are_frozen_automatically() {
+    let mut s = Solver::with_config(aggressive());
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    // a occurs only positively: pure-literal elimination bait
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    s.add_clause(&[Lit::pos(a), Lit::neg(c)]);
+    s.add_clause(&[Lit::pos(b), Lit::pos(c)]);
+
+    // solving under ¬a forces b and breaks c's escape: still SAT
+    assert_eq!(s.solve(&[Lit::neg(a)]), SolveResult::Sat);
+    assert_eq!(
+        s.value(a),
+        Some(false),
+        "assumption not honoured in the model"
+    );
+    assert_eq!(s.value(b), Some(true));
+
+    // and the solver remains usable for the flipped assumption
+    assert_eq!(s.solve(&[Lit::pos(a)]), SolveResult::Sat);
+    assert_eq!(
+        s.value(a),
+        Some(true),
+        "assumption not honoured after re-solve"
+    );
+}
+
+/// An eliminated variable used by a *later* solve call's assumptions
+/// must be restored transparently, and the answers must match a
+/// never-simplified solver.
+#[test]
+fn eliminated_variable_restored_by_assumption() {
+    let mut s = Solver::with_config(aggressive());
+    let vs: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+    // chain x0 → x1 → ... → x5; interior variables are BVE targets
+    for w in vs.windows(2) {
+        s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+    }
+    assert!(s.preprocess(&[]));
+    assert!(
+        (0..6).any(|i| s.is_eliminated(vs[i])),
+        "aggressive BVE should eliminate part of an implication chain"
+    );
+    // pick an eliminated interior variable and assume it: the chain
+    // tail must still be implied, exactly as without simplification
+    let v = (0..6).map(|i| vs[i]).find(|&v| s.is_eliminated(v)).unwrap();
+    assert_eq!(s.solve(&[Lit::pos(v)]), SolveResult::Sat);
+    assert!(!s.is_eliminated(v), "assumed variable still eliminated");
+    assert_eq!(
+        s.value(vs[5]),
+        Some(true),
+        "restored chain lost the implication to the tail"
+    );
+    s.check_invariants();
+}
+
+/// Freezing after elimination restores the variable immediately.
+#[test]
+fn freeze_restores_eliminated_variable() {
+    let mut s = Solver::with_config(aggressive());
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+    s.add_clause(&[Lit::neg(b), Lit::pos(c)]);
+    assert!(s.preprocess(&[]));
+    if s.is_eliminated(b) {
+        s.freeze_var(b);
+        assert!(!s.is_eliminated(b), "freeze_var must restore first");
+        assert!(s.is_frozen(b));
+    }
+    // either way the semantics are intact
+    assert_eq!(s.solve(&[Lit::pos(a)]), SolveResult::Sat);
+    assert_eq!(s.value(c), Some(true));
+    // and a later pass must not eliminate the now-frozen variable
+    s.add_clause(&[Lit::pos(a), Lit::pos(b), Lit::pos(c)]);
+    assert!(s.preprocess(&[]));
+    assert!(!s.is_eliminated(b));
+    s.check_invariants();
+}

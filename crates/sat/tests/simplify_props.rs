@@ -1,0 +1,289 @@
+//! Property tests for the pure simplification components
+//! (`fec_sat::simplify`), cross-checked against naive O(n²) oracles.
+
+use fec_sat::simplify::{
+    bve_resolvents, plan_subsumption, signature, strengthens_on, subsumes, OccIndex, ReconStack,
+    SubsumeAction,
+};
+use fec_sat::{Lit, Var};
+use proptest::prelude::*;
+
+/// A random clause over `nv` variables, sorted + deduped + tautology-free
+/// (the normal form every attached solver clause has).
+fn random_clause(rng: &mut proptest::TestRng, nv: usize, max_len: usize) -> Vec<Lit> {
+    let len = 1 + rng.below(max_len as u64) as usize;
+    let mut lits: Vec<Lit> = (0..len)
+        .map(|_| {
+            Lit::with_sign(
+                Var::from_index(rng.below(nv as u64) as usize),
+                rng.below(2) == 0,
+            )
+        })
+        .collect();
+    lits.sort_unstable();
+    lits.dedup();
+    // drop one phase of any complementary pair to avoid tautologies
+    let mut out: Vec<Lit> = Vec::with_capacity(lits.len());
+    for l in lits {
+        if out.last() == Some(&!l) {
+            continue;
+        }
+        out.push(l);
+    }
+    out
+}
+
+fn random_formula(rng: &mut proptest::TestRng, nv: usize, nc: usize) -> Vec<Vec<Lit>> {
+    (0..nc).map(|_| random_clause(rng, nv, 4)).collect()
+}
+
+/// Truth-value of a clause under a total assignment.
+fn clause_sat(c: &[Lit], model: &[bool]) -> bool {
+    c.iter().any(|l| model[l.var().index()] == l.is_pos())
+}
+
+fn formula_sat(f: &[Vec<Lit>], model: &[bool]) -> bool {
+    f.iter().all(|c| clause_sat(c, model))
+}
+
+/// Exhaustive model enumeration (instances stay ≤ 12 variables).
+fn all_models(nv: usize) -> impl Iterator<Item = Vec<bool>> {
+    (0u32..(1 << nv)).map(move |bits| (0..nv).map(|i| bits >> i & 1 == 1).collect())
+}
+
+#[test]
+fn occ_index_tracks_inserts_and_removals() {
+    let mut rng = proptest::TestRng::deterministic("occ_index_tracks");
+    for _ in 0..200 {
+        let nv = 2 + rng.below(8) as usize;
+        let nc = 1 + rng.below(12) as usize;
+        let formula = random_formula(&mut rng, nv, nc);
+        let mut occ = OccIndex::new(nv);
+        for (i, c) in formula.iter().enumerate() {
+            occ.insert(i as u32, c);
+        }
+        // oracle: counts and memberships against a direct scan
+        for vi in 0..nv {
+            for l in [Lit::pos(Var::from_index(vi)), Lit::neg(Var::from_index(vi))] {
+                let expect: Vec<u32> = formula
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.contains(&l))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(occ.count(l), expect.len());
+                let mut got: Vec<u32> = occ.occs(l).to_vec();
+                got.sort_unstable();
+                assert_eq!(got, expect);
+            }
+        }
+        // removals: drop half the clauses, then every list must shrink
+        for (i, c) in formula.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+            occ.remove(i as u32, c);
+        }
+        for vi in 0..nv {
+            for l in [Lit::pos(Var::from_index(vi)), Lit::neg(Var::from_index(vi))] {
+                let expect: Vec<u32> = formula
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| i % 2 == 1 && c.contains(&l))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                let mut got: Vec<u32> = occ.occs(l).to_vec();
+                got.sort_unstable();
+                assert_eq!(got, expect, "stale occurrence after removal");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// The signature filter is sound: a clause whose signature has a
+    /// bit outside another's can never subsume or strengthen it.
+    #[test]
+    fn prop_signature_filter_sound(seed in any::<u64>()) {
+        let mut rng = proptest::TestRng::deterministic(&format!("sig{seed}"));
+        let nv = 2 + rng.below(70) as usize; // > 64 exercises bit aliasing
+        let c = random_clause(&mut rng, nv, 5);
+        let d = random_clause(&mut rng, nv, 5);
+        if signature(&c) & !signature(&d) != 0 {
+            prop_assert!(!subsumes(&c, &d), "filter rejected a real subsumption");
+            prop_assert!(
+                strengthens_on(&c, &d).is_none(),
+                "filter rejected a real strengthening"
+            );
+        }
+    }
+
+    /// `plan_subsumption` deletes a clause only when some other live
+    /// clause really subsumes it (naive O(n²) oracle over the original
+    /// formula + planned strengthenings), and the surviving set is
+    /// logically equivalent to the original (exhaustive models).
+    #[test]
+    fn prop_subsumption_never_removes_nonsubsumed(seed in any::<u64>()) {
+        let mut rng = proptest::TestRng::deterministic(&format!("sub{seed}"));
+        let nv = 2 + rng.below(6) as usize;
+        let nc = 1 + rng.below(10) as usize;
+        let original = random_formula(&mut rng, nv, nc);
+        let mut planned: Vec<Option<Vec<Lit>>> = original.iter().cloned().map(Some).collect();
+        let mut learnt = vec![false; planned.len()];
+        let mut budget = u64::MAX;
+        let actions = plan_subsumption(&mut planned, &mut learnt, nv, &mut budget);
+
+        // replay the actions on an oracle copy, checking each one
+        let mut state: Vec<Option<Vec<Lit>>> = original.iter().cloned().map(Some).collect();
+        for act in &actions {
+            match *act {
+                SubsumeAction::Promote { .. } => {}
+                SubsumeAction::Delete { target, by } => {
+                    let t = state[target as usize].take().expect("deleting absent clause");
+                    let b = state[by as usize].as_ref().expect("subsumer absent");
+                    prop_assert!(
+                        subsumes(b, &t),
+                        "planned deletion of a non-subsumed clause: {b:?} vs {t:?}"
+                    );
+                }
+                SubsumeAction::Strengthen { target, drop, by } => {
+                    let b = state[by as usize].clone().expect("strengthener absent");
+                    let t = state[target as usize].as_mut().expect("strengthening absent clause");
+                    let pivot = strengthens_on(&b, t);
+                    prop_assert_eq!(
+                        pivot.map(|p| !p), Some(drop),
+                        "planned strengthening is not self-subsuming resolution"
+                    );
+                    t.retain(|&l| l != drop);
+                }
+            }
+        }
+        // replay must land exactly on the planner's final state
+        prop_assert_eq!(&state, &planned, "actions do not reproduce the planned state");
+        // and the survivors must be logically equivalent to the input
+        let survivors: Vec<Vec<Lit>> = planned.iter().flatten().cloned().collect();
+        for m in all_models(nv) {
+            prop_assert_eq!(
+                formula_sat(&original, &m),
+                formula_sat(&survivors, &m),
+                "subsumption changed the formula on model {:?}", m
+            );
+        }
+    }
+
+    /// BVE + reconstruction: eliminating a variable and extending any
+    /// model of the resolvent formula yields a model of the original.
+    #[test]
+    fn prop_bve_reconstruction_total(seed in any::<u64>()) {
+        let mut rng = proptest::TestRng::deterministic(&format!("bve{seed}"));
+        let nv = 3 + rng.below(5) as usize;
+        let nc = 2 + rng.below(10) as usize;
+        let formula = random_formula(&mut rng, nv, nc);
+        let v = Var::from_index(rng.below(nv as u64) as usize);
+        let pos: Vec<Vec<Lit>> = formula
+            .iter()
+            .filter(|c| c.contains(&Lit::pos(v)))
+            .cloned()
+            .collect();
+        let neg: Vec<Vec<Lit>> = formula
+            .iter()
+            .filter(|c| c.contains(&Lit::neg(v)))
+            .cloned()
+            .collect();
+        // unbounded limits: never rejected
+        let resolvents = bve_resolvents(v, &pos, &neg, 1000, 1000).unwrap();
+        // the post-elimination formula: untouched clauses + resolvents
+        let mut rest: Vec<Vec<Lit>> = formula
+            .iter()
+            .filter(|c| !c.iter().any(|l| l.var() == v))
+            .cloned()
+            .collect();
+        rest.extend(resolvents);
+        let mut stack = ReconStack::new();
+        let mut stored = pos.clone();
+        stored.extend(neg.clone());
+        stack.push(v, stored);
+        prop_assert_eq!(stack.active_records(), 1);
+        for m in all_models(nv) {
+            if !formula_sat(&rest, &m) {
+                continue;
+            }
+            let mut extended: Vec<Option<bool>> =
+                m.iter().copied().map(Some).collect();
+            extended[v.index()] = None; // v is eliminated: value unknown
+            stack.extend_model(&mut extended);
+            let full: Vec<bool> = extended.iter().map(|o| o.unwrap_or(false)).collect();
+            prop_assert!(
+                formula_sat(&formula, &full),
+                "reconstructed model fails the pre-elimination formula"
+            );
+        }
+        // deactivation empties the stack and returns the stored clauses
+        let mut stack2 = stack.clone();
+        let back = stack2.deactivate(v).expect("active record vanished");
+        prop_assert_eq!(back.len(), pos.len() + neg.len());
+        prop_assert_eq!(stack2.active_records(), 0);
+        prop_assert!(stack2.deactivate(v).is_none());
+    }
+
+    /// Nested eliminations reconstruct in reverse order: eliminate two
+    /// variables in sequence (the second elimination sees the first's
+    /// resolvents) and extend a model of the final formula back over
+    /// both.
+    #[test]
+    fn prop_bve_reconstruction_nested(seed in any::<u64>()) {
+        let mut rng = proptest::TestRng::deterministic(&format!("bve2-{seed}"));
+        let nv = 4 + rng.below(4) as usize;
+        let nc = 3 + rng.below(10) as usize;
+        let formula = random_formula(&mut rng, nv, nc);
+        let v1 = Var::from_index(rng.below(nv as u64) as usize);
+        let mut v2 = Var::from_index(rng.below(nv as u64) as usize);
+        if v2 == v1 {
+            v2 = Var::from_index((v1.index() + 1) % nv);
+        }
+        let mut stack = ReconStack::new();
+        let mut current = formula.clone();
+        for &v in &[v1, v2] {
+            let pos: Vec<Vec<Lit>> =
+                current.iter().filter(|c| c.contains(&Lit::pos(v))).cloned().collect();
+            let neg: Vec<Vec<Lit>> =
+                current.iter().filter(|c| c.contains(&Lit::neg(v))).cloned().collect();
+            let resolvents = bve_resolvents(v, &pos, &neg, 1000, 1000).unwrap();
+            current.retain(|c| !c.iter().any(|l| l.var() == v));
+            current.extend(resolvents);
+            let mut stored = pos;
+            stored.extend(neg);
+            stack.push(v, stored);
+        }
+        for m in all_models(nv) {
+            if !formula_sat(&current, &m) {
+                continue;
+            }
+            let mut extended: Vec<Option<bool>> = m.iter().copied().map(Some).collect();
+            extended[v1.index()] = None;
+            extended[v2.index()] = None;
+            stack.extend_model(&mut extended);
+            let full: Vec<bool> = extended.iter().map(|o| o.unwrap_or(false)).collect();
+            prop_assert!(
+                formula_sat(&formula, &full),
+                "nested reconstruction fails the original formula"
+            );
+        }
+    }
+
+    /// `subsumes` / `strengthens_on` against literal set definitions.
+    #[test]
+    fn prop_subsume_strengthen_definitions(seed in any::<u64>()) {
+        let mut rng = proptest::TestRng::deterministic(&format!("def{seed}"));
+        let nv = 2 + rng.below(5) as usize;
+        let c = random_clause(&mut rng, nv, 4);
+        let d = random_clause(&mut rng, nv, 4);
+        let naive_subsumes = c.iter().all(|l| d.contains(l));
+        prop_assert_eq!(subsumes(&c, &d), naive_subsumes);
+        if let Some(p) = strengthens_on(&c, &d) {
+            prop_assert!(c.contains(&p));
+            prop_assert!(d.contains(&!p));
+            prop_assert!(c.iter().all(|&l| l == p || d.contains(&l)));
+            prop_assert!(!naive_subsumes);
+        }
+    }
+}

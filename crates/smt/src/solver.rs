@@ -3,8 +3,8 @@
 use fec_drat::Checker;
 use fec_portfolio::{PortfolioConfig, PortfolioStats};
 use fec_sat::{
-    Budget, DratTextLogger, Lit, MemoryProofLogger, SolveResult, Solver, SolverStats,
-    TeeProofLogger,
+    Budget, DratTextLogger, Lit, MemoryProofLogger, SimplifyConfig, SolveResult, Solver,
+    SolverStats, TeeProofLogger,
 };
 
 /// Which solve engine answers [`SmtSolver`] queries.
@@ -213,6 +213,25 @@ impl SmtSolver {
         }
     }
 
+    /// Enables (or disables) the SAT core's SatELite-style
+    /// pre-/inprocessing pipeline for this solver's queries.
+    ///
+    /// In single mode the incremental core simplifies in place
+    /// (activation literals of open scopes are frozen, see
+    /// [`SmtSolver::push`]); in portfolio mode the flag is forwarded to
+    /// the worker configuration, where the pipeline is *diversified*
+    /// per worker (`fec_portfolio::diversify_simplify`).
+    pub fn set_simplify(&mut self, on: bool) {
+        if let Some(p) = self.portfolio.as_mut() {
+            p.config.simplify = on;
+        }
+        self.sat.set_simplify(if on {
+            SimplifyConfig::on()
+        } else {
+            SimplifyConfig::off()
+        });
+    }
+
     /// `true` when this solver certifies its answers.
     pub fn is_certifying(&self) -> bool {
         self.cert.is_some() || self.portfolio.as_ref().is_some_and(|p| p.config.certify)
@@ -393,6 +412,13 @@ impl SmtSolver {
     /// Opens a new scope.
     pub fn push(&mut self) {
         let g = self.fresh_lit();
+        // the frozen-variable contract with the SAT core's simplifier:
+        // activation literals are assumed by every future solve call,
+        // so bounded variable elimination must never remove them —
+        // solve-time assumption freezing covers queries, this covers
+        // the gaps *between* queries (preprocess runs, inprocessing of
+        // an earlier solve that had not seen this guard yet)
+        self.sat.freeze_var(g.var());
         self.guards.push(g);
     }
 

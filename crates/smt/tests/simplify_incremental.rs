@@ -1,0 +1,111 @@
+//! Regression tests: the SAT core's simplification pipeline must be
+//! transparent to the SMT shell's incremental push/pop layer.
+//!
+//! The shell implements scopes with activation guards — fresh literals
+//! assumed by every solve call. Bounded variable elimination sees a
+//! guard as prime fodder (it occurs in one phase in the guarded
+//! clauses), and eliminating one would silently corrupt every later
+//! scoped query. `SmtSolver::push` therefore freezes guard variables;
+//! these tests fail if that contract ever leaks.
+
+use fec_smt::{CardEncoding, Lit, SmtResult, SmtSolver, UnaryInt};
+
+/// Runs the same scripted incremental session on one solver and
+/// returns the verdict sequence.
+fn scripted_session(s: &mut SmtSolver) -> Vec<SmtResult> {
+    let mut verdicts = Vec::new();
+    let xs: Vec<Lit> = (0..8).map(|_| s.fresh_lit()).collect();
+
+    // base constraints: a small cardinality structure the simplifier
+    // can chew on (Tseitin auxiliaries, implication chains)
+    let count = UnaryInt::from_register(s.counting_register(&xs, CardEncoding::Totalizer));
+    count.assert_le(s, 5);
+    for w in xs.windows(2) {
+        s.add_clause(&[!w[0], w[1]]); // x_i → x_{i+1}
+    }
+    verdicts.push(s.solve(&[]));
+
+    // scope 1: force a prefix true — the chain propagates it forward
+    s.push();
+    s.add_clause(&[xs[0]]);
+    verdicts.push(s.solve(&[]));
+    // monotone chain + x0 means ≥ 8 true, contradicting ≤ 5
+    verdicts.push(s.solve(&[xs[7]]));
+
+    // nested scope 2: cap harder, still inside scope 1
+    s.push();
+    count.assert_le(s, 3);
+    verdicts.push(s.solve(&[]));
+    s.pop();
+
+    // scope 1 alone again
+    verdicts.push(s.solve(&[]));
+    s.pop();
+
+    // root: the forced prefix is gone, x7 alone is fine
+    verdicts.push(s.solve(&[xs[7]]));
+    verdicts
+}
+
+#[test]
+fn push_pop_answers_match_with_simplification() {
+    let mut plain = SmtSolver::new();
+    let mut simplified = SmtSolver::new();
+    simplified.set_simplify(true);
+    let a = scripted_session(&mut plain);
+    let b = scripted_session(&mut simplified);
+    assert_eq!(a, b, "simplification changed incremental verdicts");
+    // sanity: the script exercises both verdicts
+    assert!(a.contains(&SmtResult::Sat));
+    assert!(a.contains(&SmtResult::Unsat));
+}
+
+/// The certifying shell replays every model and RUP-checks every
+/// learned clause (panicking on discrepancy), so simply completing the
+/// session proves the simplifier's proof stream is sound end to end.
+#[test]
+fn certifying_session_with_simplification() {
+    let mut s = SmtSolver::new_certifying();
+    s.set_simplify(true);
+    let verdicts = scripted_session(&mut s);
+    assert!(verdicts.contains(&SmtResult::Sat));
+    assert!(verdicts.contains(&SmtResult::Unsat));
+    let cs = s.certificate_stats().expect("certifying solver has stats");
+    assert!(cs.unsat_certified > 0, "no UNSAT answer was certified");
+}
+
+/// Portfolio backend with per-worker diversified simplifier mixes must
+/// agree with the plain single solver on the same script.
+#[test]
+fn portfolio_session_with_simplification() {
+    use fec_smt::{PortfolioConfig, SolveBackend};
+    let mut plain = SmtSolver::new();
+    let mut port = SmtSolver::with_backend(SolveBackend::Portfolio(PortfolioConfig::with_jobs(3)));
+    port.set_simplify(true);
+    let a = scripted_session(&mut plain);
+    let b = scripted_session(&mut port);
+    assert_eq!(a, b, "simplifying portfolio changed incremental verdicts");
+}
+
+/// A variable eliminated before a scope is opened must still be usable
+/// inside that scope (the solve-time assumption restores it).
+#[test]
+fn scope_over_previously_eliminated_variable() {
+    let mut s = SmtSolver::new();
+    s.set_simplify(true);
+    let a = s.fresh_lit();
+    let b = s.fresh_lit();
+    let c = s.fresh_lit();
+    s.add_clause(&[!a, b]);
+    s.add_clause(&[!b, c]);
+    // an unscoped solve may preprocess and eliminate the chain interior
+    assert_eq!(s.solve(&[]), SmtResult::Sat);
+    s.push();
+    s.add_clause(&[b]); // constrain the (possibly eliminated) interior
+    assert_eq!(s.solve(&[]), SmtResult::Sat);
+    assert!(s.model_lit(b), "scoped clause on restored variable ignored");
+    assert!(s.model_lit(c), "implication from restored variable lost");
+    assert_eq!(s.solve(&[!c]), SmtResult::Unsat);
+    s.pop();
+    assert_eq!(s.solve(&[!c]), SmtResult::Sat);
+}
