@@ -5,6 +5,8 @@
 //! runs) and prints the same rows/series the paper reports; see
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 /// Parses `--name=value` from the command line, with a default.

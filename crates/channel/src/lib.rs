@@ -11,6 +11,8 @@
 //! - [`experiment`]: the trial harnesses that regenerate Fig. 4 and
 //!   Table 2, with a multi-threaded runner.
 
+#![forbid(unsafe_code)]
+
 pub mod awgn;
 pub mod bsc;
 pub mod burst;

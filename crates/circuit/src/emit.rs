@@ -1,0 +1,196 @@
+//! Source emission from the circuit IR.
+//!
+//! Unlike the legacy per-column emitters in `fec-codegen` (capped at
+//! `k ≤ 64`), these walk an arbitrary [`Circuit`]: gates become
+//! named single-assignment temporaries, and generators wider than one
+//! word take their data as a word array (`const uint64_t d[W]` /
+//! `d: &[u64; W]`). Each temporary's *bit 0* carries the gate's value —
+//! the upper bits are whatever the shifts drag along, exactly like the
+//! legacy sparse emission — and the accumulator masks with `& 1`
+//! before placing each check bit. Both shapes round-trip through the
+//! `fec-circ` parser and symbolic validator.
+
+use crate::ir::{Circuit, Node, Output};
+use std::fmt::Write;
+
+/// Number of 64-bit data words the circuit's inputs occupy.
+fn words(c: &Circuit) -> usize {
+    c.inputs().div_ceil(64)
+}
+
+/// The C expression for a node as a full word whose bit 0 is the
+/// node's value.
+fn c_term(c: &Circuit, n: Node) -> String {
+    match n {
+        Node::Gate(g) => format!("t{g}"),
+        Node::Input(i) => {
+            let (w, b) = (i as usize / 64, i % 64);
+            if words(c) == 1 {
+                if b == 0 {
+                    "d".to_string()
+                } else {
+                    format!("(d >> {b})")
+                }
+            } else if b == 0 {
+                format!("d[{w}]")
+            } else {
+                format!("(d[{w}] >> {b})")
+            }
+        }
+    }
+}
+
+fn rust_term(c: &Circuit, n: Node) -> String {
+    // identical surface syntax for the subset we emit
+    c_term(c, n)
+}
+
+/// Emits a self-contained C translation unit computing the circuit:
+/// `encode_checks` plus the standard `syndrome` helper.
+///
+/// # Panics
+/// Panics if the circuit has more than 64 outputs.
+pub fn emit_c_circuit(c: &Circuit) -> String {
+    assert!(
+        c.outputs().len() <= 64,
+        "emit_c_circuit packs checks into a u64"
+    );
+    let w = words(c);
+    let mut out = String::new();
+    out.push_str("#include <stdint.h>\n\n");
+    let _ = writeln!(
+        out,
+        "/* generated encoder (circuit form): ({}, {}) code, {} XOR gates */",
+        c.inputs() + c.outputs().len(),
+        c.inputs(),
+        c.xor_count()
+    );
+    let param = if w == 1 {
+        "uint64_t d".to_string()
+    } else {
+        format!("const uint64_t d[{w}]")
+    };
+    let _ = writeln!(out, "uint64_t encode_checks({param}) {{");
+    for (g, gate) in c.gates().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    uint64_t t{g} = {} ^ {};",
+            c_term(c, gate.a),
+            c_term(c, gate.b)
+        );
+    }
+    out.push_str("    uint64_t c = 0;\n");
+    for (j, o) in c.outputs().iter().enumerate() {
+        match *o {
+            Output::Unbound => panic!("emit_c_circuit: output {j} unbound"),
+            Output::Zero => {}
+            Output::Node(n) => {
+                let _ = writeln!(out, "    c |= ({} & 1) << {j};", c_term(c, n));
+            }
+        }
+    }
+    out.push_str("    return c;\n}\n\n");
+    let _ = writeln!(
+        out,
+        "uint64_t syndrome({param}, uint64_t checks) {{\n    \
+         return encode_checks(d) ^ checks;\n}}"
+    );
+    out
+}
+
+/// Emits a Rust module computing the circuit, mirroring
+/// [`emit_c_circuit`].
+///
+/// # Panics
+/// Panics if the circuit has more than 64 outputs.
+pub fn emit_rust_circuit(c: &Circuit) -> String {
+    assert!(
+        c.outputs().len() <= 64,
+        "emit_rust_circuit packs checks into a u64"
+    );
+    let w = words(c);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/// Generated encoder (circuit form): ({}, {}) code, {} XOR gates.",
+        c.inputs() + c.outputs().len(),
+        c.inputs(),
+        c.xor_count()
+    );
+    let param = if w == 1 {
+        "d: u64".to_string()
+    } else {
+        format!("d: &[u64; {w}]")
+    };
+    let _ = writeln!(out, "pub fn encode_checks({param}) -> u64 {{");
+    for (g, gate) in c.gates().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    let t{g} = {} ^ {};",
+            rust_term(c, gate.a),
+            rust_term(c, gate.b)
+        );
+    }
+    out.push_str("    let mut c = 0u64;\n");
+    for (j, o) in c.outputs().iter().enumerate() {
+        match *o {
+            Output::Unbound => panic!("emit_rust_circuit: output {j} unbound"),
+            Output::Zero => {}
+            Output::Node(n) => {
+                let _ = writeln!(out, "    c |= ({} & 1) << {j};", rust_term(c, n));
+            }
+        }
+    }
+    out.push_str("    c\n}\n\n");
+    let _ = writeln!(
+        out,
+        "pub fn syndrome({param}, checks: u64) -> u64 {{\n    encode_checks(d) ^ checks\n}}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{validate_source, Lang};
+    use crate::minimize::minimize;
+    use fec_hamming::standards;
+
+    #[test]
+    fn circuit_emissions_round_trip_through_the_validator() {
+        for g in [
+            standards::hamming_7_4(),
+            standards::hamming_extended_8_4(),
+            standards::shortened_hamming(32, 6).unwrap(),
+        ] {
+            let c = Circuit::from_generator(&g);
+            let rc = validate_source(&emit_c_circuit(&c), Lang::C, &g);
+            assert!(rc.is_valid(), "C {:?}: {:?}", g, rc.diags);
+            let rr = validate_source(&emit_rust_circuit(&c), Lang::Rust, &g);
+            assert!(rr.is_valid(), "Rust {:?}: {:?}", g, rr.diags);
+        }
+    }
+
+    #[test]
+    fn wide_flagship_emission_validates_in_both_languages() {
+        let g = standards::ieee_8023df_128_120();
+        let c = Circuit::from_generator(&g);
+        let csrc = emit_c_circuit(&c);
+        assert!(csrc.contains("const uint64_t d[2]"));
+        assert!(validate_source(&csrc, Lang::C, &g).is_valid());
+        let rsrc = emit_rust_circuit(&c);
+        assert!(rsrc.contains("d: &[u64; 2]"));
+        assert!(validate_source(&rsrc, Lang::Rust, &g).is_valid());
+    }
+
+    #[test]
+    fn minimized_emission_validates_in_both_languages() {
+        let g = standards::ieee_8023df_128_120();
+        let m = minimize(&g);
+        let rc = validate_source(&emit_c_circuit(&m.circuit), Lang::C, &g);
+        assert!(rc.is_valid(), "{:?}", rc.diags);
+        assert_eq!(rc.xor_count, m.xor_count());
+        let rr = validate_source(&emit_rust_circuit(&m.circuit), Lang::Rust, &g);
+        assert!(rr.is_valid(), "{:?}", rr.diags);
+    }
+}

@@ -10,6 +10,8 @@
 //! failure class (0 success, 1 property fails / no solution, 2 usage
 //! or unsupported input, 3 budget/timeout exhausted).
 
+#![forbid(unsafe_code)]
+
 use fec_gf2::BitVec;
 use fec_hamming::{distance, Generator};
 use fec_smt::Budget;
@@ -31,8 +33,9 @@ USAGE:
                     [--simplify] [TRACE]
                     (rows like 101/110/111/011)
     fecsynth info   --coeff <rows>
-    fecsynth emit   --coeff <rows> [--lang=c|rust]
+    fecsynth emit   --coeff <rows> [--lang=c|rust] [--minimize]
     fecsynth encode --coeff <rows> --data <bits>
+    fecsynth lint-kernel --coeff <rows> [--lang=c|rust] [--file PATH]
     fecsynth trace-validate <file.jsonl>
 
     --check-proofs  certify every solver answer: learned clauses are
@@ -49,6 +52,18 @@ USAGE:
                     composes with --jobs (workers get diversified
                     technique mixes) and --check-proofs (simplifier
                     steps are part of the checked DRAT stream)
+    --minimize      (emit) run the cancellation-aware CSE minimizer and
+                    emit the certified circuit instead of the sparse
+                    per-column form; the output is accepted only if the
+                    static validator proves it equal to the matrix
+
+lint-kernel statically validates encoder artifacts against the matrix:
+    without --file, every internal backend form (kernels, emitted C,
+    emitted Rust, minimized circuit) is symbolically proved equivalent;
+    with --file PATH, the given emitted source is parsed and proved
+    instead. Diagnostics carry stable classes (missing-term,
+    extra-term, shift-range, non-linear-op, …); exit 1 on any
+    error-class lint.
 
 TRACE (observability; any of these enables the collector):
     --trace=LEVEL       live span/event log on stderr
@@ -95,6 +110,7 @@ pub fn run(args: &[String]) -> (i32, String, String) {
         Some("info") => cmd_info(args, &mut out, &mut err),
         Some("emit") => cmd_emit(args, &mut out, &mut err),
         Some("encode") => cmd_encode(args, &mut out, &mut err),
+        Some("lint-kernel") => cmd_lint_kernel(args, &mut out, &mut err),
         Some("trace-validate") => cmd_trace_validate(args, &mut out, &mut err),
         Some("--help") | Some("-h") | None => {
             out.push_str(USAGE);
@@ -351,19 +367,141 @@ fn cmd_emit(args: &[String], out: &mut String, err: &mut String) -> i32 {
             return 2;
         }
     };
-    match flag_value(args, "lang").unwrap_or("c") {
-        "c" => out.push_str(&fec_codegen::emit_c(&g, false)),
-        "rust" => out.push_str(&fec_codegen::emit_rust(&g)),
-        other => {
-            fail(
-                err,
-                "usage",
-                &format!("unknown language {other:?} (use c or rust)"),
-            );
+    if g.check_len() > 64 {
+        fail(err, "usage", "emit supports at most 64 check bits");
+        return 2;
+    }
+    let lang: fec_circ::Lang = match flag_value(args, "lang").unwrap_or("c").parse() {
+        Ok(l) => l,
+        Err(e) => {
+            fail(err, "usage", &e);
             return 2;
         }
-    }
+    };
+    let circuit = if has_flag(args, "minimize") {
+        // certified: minimize() falls back to the sparse circuit unless
+        // the validator proves the optimized one equivalent
+        Some(fec_circ::minimize(&g).circuit)
+    } else if g.data_len() > 64 {
+        // the legacy scalar emitters cap at one data word; wide codes
+        // go through the circuit emitter (word-array parameter)
+        Some(fec_circ::Circuit::from_generator(&g))
+    } else {
+        None
+    };
+    let src = match (circuit, lang) {
+        (Some(c), fec_circ::Lang::C) => fec_circ::emit_c_circuit(&c),
+        (Some(c), fec_circ::Lang::Rust) => fec_circ::emit_rust_circuit(&c),
+        (None, fec_circ::Lang::C) => fec_codegen::emit_c(&g, false),
+        (None, fec_circ::Lang::Rust) => fec_codegen::emit_rust(&g),
+    };
+    out.push_str(&src);
     0
+}
+
+/// One verdict line for `lint-kernel`; returns whether the report was
+/// error-free.
+fn lint_verdict(out: &mut String, form: &str, report: &fec_circ::Report) -> bool {
+    if report.is_valid() {
+        let _ = writeln!(
+            out,
+            "{form}: OK ({} xors proved equal to G)",
+            report.xor_count
+        );
+    } else {
+        let _ = writeln!(out, "{form}: FAIL");
+    }
+    for d in &report.diags {
+        let _ = writeln!(out, "  {d}");
+    }
+    report.is_valid()
+}
+
+fn cmd_lint_kernel(args: &[String], out: &mut String, err: &mut String) -> i32 {
+    let g = match parse_coeff(args) {
+        Ok(g) => g,
+        Err(e) => {
+            fail(err, "usage", &e);
+            return 2;
+        }
+    };
+    if g.check_len() > 64 {
+        fail(err, "usage", "lint-kernel supports at most 64 check bits");
+        return 2;
+    }
+    let lang: fec_circ::Lang = match flag_value(args, "lang").unwrap_or("c").parse() {
+        Ok(l) => l,
+        Err(e) => {
+            fail(err, "usage", &e);
+            return 2;
+        }
+    };
+    if let Some(path) = flag_value(args, "file") {
+        // validate one emitted source file against the matrix
+        let src = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                fail(err, "usage", &format!("cannot read {path:?}: {e}"));
+                return 2;
+            }
+        };
+        let report = fec_circ::validate_source(&src, lang, &g);
+        let ok = lint_verdict(out, path, &report);
+        return i32::from(!ok);
+    }
+    // no --file: prove every internal backend form
+    let mut all_ok = true;
+    let wide = g.data_len() > 64;
+    let sparse_circuit = fec_circ::Circuit::from_generator(&g);
+    all_ok &= lint_verdict(
+        out,
+        "generator-circuit",
+        &fec_circ::validate_circuit(&sparse_circuit, &g),
+    );
+    if wide {
+        out.push_str("mask-kernel: skipped (runtime kernels cap at 64 data bits)\n");
+        out.push_str("sparse-kernel: skipped\n");
+        out.push_str("naive-kernel: skipped\n");
+    } else {
+        let mask = fec_circ::Circuit::from_mask_kernel(&fec_codegen::MaskKernel::new(&g));
+        all_ok &= lint_verdict(out, "mask-kernel", &fec_circ::validate_circuit(&mask, &g));
+        let sparse = fec_circ::Circuit::from_sparse_kernel(&fec_codegen::SparseKernel::new(&g));
+        all_ok &= lint_verdict(
+            out,
+            "sparse-kernel",
+            &fec_circ::validate_circuit(&sparse, &g),
+        );
+        let naive = fec_circ::Circuit::from_naive_kernel(&fec_codegen::NaiveKernel::new(&g));
+        all_ok &= lint_verdict(out, "naive-kernel", &fec_circ::validate_circuit(&naive, &g));
+    }
+    let (c_src, rust_src) = if wide {
+        (
+            fec_circ::emit_c_circuit(&sparse_circuit),
+            fec_circ::emit_rust_circuit(&sparse_circuit),
+        )
+    } else {
+        (fec_codegen::emit_c(&g, true), fec_codegen::emit_rust(&g))
+    };
+    all_ok &= lint_verdict(
+        out,
+        "emitted-c",
+        &fec_circ::validate_source(&c_src, fec_circ::Lang::C, &g),
+    );
+    all_ok &= lint_verdict(
+        out,
+        "emitted-rust",
+        &fec_circ::validate_source(&rust_src, fec_circ::Lang::Rust, &g),
+    );
+    let m = fec_circ::minimize(&g);
+    all_ok &= lint_verdict(out, "minimized-circuit", &m.report);
+    let _ = writeln!(
+        out,
+        "minimizer: {} → {} xors ({:.1}% reduction vs sparse)",
+        m.sparse_xor_count,
+        m.xor_count(),
+        m.reduction() * 100.0
+    );
+    i32::from(!all_ok)
 }
 
 fn cmd_encode(args: &[String], out: &mut String, err: &mut String) -> i32 {
@@ -642,6 +780,101 @@ mod tests {
         let (code, _, err) = run(&argv(&["emit", "--coeff", "11/01", "--lang=go"]));
         assert_eq!(code, 2);
         assert!(err.contains("error: kind=usage"), "{err}");
+    }
+
+    #[test]
+    fn emit_minimize_is_certified_and_parseable() {
+        // (12,5) shortened Hamming: enough overlap for real sharing
+        let coeff = "10011/11010/01101/10110/01011/11100/00111/11001/10101/01110/11111/00011";
+        let (code, out, _) = run(&argv(&["emit", "--coeff", coeff, "--minimize"]));
+        assert_eq!(code, 0);
+        assert!(out.contains("circuit form"), "{out}");
+        // the emitted text itself re-validates
+        let g = Generator::from_coeff_str(&coeff.replace('/', "\n")).unwrap();
+        let rep = fec_circ::validate_source(&out, fec_circ::Lang::C, &g);
+        assert!(rep.is_valid(), "{:?}", rep.diags);
+        let (code, out, _) = run(&argv(&[
+            "emit",
+            "--coeff",
+            coeff,
+            "--minimize",
+            "--lang=rust",
+        ]));
+        assert_eq!(code, 0);
+        let rep = fec_circ::validate_source(&out, fec_circ::Lang::Rust, &g);
+        assert!(rep.is_valid(), "{:?}", rep.diags);
+    }
+
+    #[test]
+    fn lint_kernel_proves_all_internal_forms() {
+        let (code, out, err) = run(&argv(&["lint-kernel", "--coeff", "101/110/111/011"]));
+        assert_eq!(code, 0, "{out}{err}");
+        for form in [
+            "generator-circuit",
+            "mask-kernel",
+            "sparse-kernel",
+            "naive-kernel",
+            "emitted-c",
+            "emitted-rust",
+            "minimized-circuit",
+        ] {
+            assert!(
+                out.contains(&format!("{form}: OK")),
+                "{form} missing in {out}"
+            );
+        }
+        assert!(out.contains("minimizer:"), "{out}");
+    }
+
+    #[test]
+    fn lint_kernel_file_flags_defect_with_class_and_exit_1() {
+        let g = Generator::from_coeff_str("101\n110\n111\n011").unwrap();
+        let good = fec_codegen::emit_c(&g, false);
+        let path = tmp_path("lint-good.c");
+        std::fs::write(&path, &good).unwrap();
+        let (code, out, _) = run(&argv(&[
+            "lint-kernel",
+            "--coeff",
+            "101/110/111/011",
+            "--file",
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("OK"), "{out}");
+        // tamper: drop one term → missing-term, exit 1
+        let bad = good.replacen("(d >> 0) ^ ", "", 1);
+        assert_ne!(bad, good);
+        std::fs::write(&path, &bad).unwrap();
+        let (code, out, _) = run(&argv(&[
+            "lint-kernel",
+            "--coeff",
+            "101/110/111/011",
+            "--file",
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("FAIL"), "{out}");
+        assert!(out.contains("class=missing-term"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lint_kernel_usage_errors() {
+        let (code, _, err) = run(&argv(&["lint-kernel"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("error: kind=usage"), "{err}");
+        let (code, _, err) = run(&argv(&[
+            "lint-kernel",
+            "--coeff",
+            "11/01",
+            "--file",
+            "/nonexistent/kernel.c",
+        ]));
+        assert_eq!(code, 2);
+        assert!(err.contains("cannot read"), "{err}");
+        let (code, _, err) = run(&argv(&["lint-kernel", "--coeff", "11/01", "--lang=go"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("unknown language"), "{err}");
     }
 
     #[test]

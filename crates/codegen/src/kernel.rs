@@ -47,6 +47,14 @@ impl MaskKernel {
         self.masks.len()
     }
 
+    /// The per-check-column data-bit masks (mask `j` selects the data
+    /// bits XORed into check bit `j`) — the kernel's entire linear
+    /// structure, exposed so external validators (fec-circ) can prove
+    /// it equivalent to the generator matrix.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
     /// Computes the check bits for a data word (bit `i` of the result
     /// is check bit `i`).
     #[inline]
@@ -84,6 +92,7 @@ pub struct SparseKernel {
     /// For each check column, the data-bit indices with a set
     /// coefficient.
     terms: Vec<Vec<u8>>,
+    data_len: usize,
 }
 
 impl SparseKernel {
@@ -99,12 +108,31 @@ impl SparseKernel {
                     .collect()
             })
             .collect();
-        SparseKernel { terms }
+        SparseKernel {
+            terms,
+            data_len: g.data_len(),
+        }
+    }
+
+    /// Number of data bits.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Number of check bits.
+    pub fn check_len(&self) -> usize {
+        self.terms.len()
     }
 
     /// Total number of shift+XOR terms (= `len_1`).
     pub fn term_count(&self) -> usize {
         self.terms.iter().map(Vec::len).sum()
+    }
+
+    /// The per-check-column term lists (data-bit indices XORed into
+    /// each check bit) — exposed for external validation (fec-circ).
+    pub fn terms(&self) -> &[Vec<u8>] {
+        &self.terms
     }
 
     /// Computes the check bits term by term, exactly like the emitted C.
@@ -141,6 +169,12 @@ impl NaiveKernel {
         assert!(g.data_len() <= 64, "naive kernel supports k ≤ 64");
         assert!(g.check_len() <= 64, "naive kernel supports c ≤ 64");
         NaiveKernel { g: g.clone() }
+    }
+
+    /// The wrapped generator — exposed for external validation
+    /// (fec-circ rebuilds the kernel's circuit from it).
+    pub fn generator(&self) -> &Generator {
+        &self.g
     }
 
     /// Computes the check bits bit by bit.

@@ -17,6 +17,14 @@
 //! - [`emit_c`] / [`emit_rust`]: source emission mirroring the paper's
 //!   generated C (`&` + `^` only), for inspection or out-of-tree
 //!   compilation.
+//!
+//! Every form this crate produces is statically validated against the
+//! generator matrix by the `fec-circ` crate (XOR-circuit IR + symbolic
+//! GF(2) translation validation); the kernels expose their internal
+//! linear structure ([`MaskKernel::masks`], [`SparseKernel::terms`],
+//! [`NaiveKernel::generator`]) for exactly that purpose.
+
+#![forbid(unsafe_code)]
 
 mod emit;
 mod kernel;

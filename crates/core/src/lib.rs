@@ -38,6 +38,8 @@
 //! assert_eq!(g.check_len(), 3); // the optimal Hamming (7,4) shape
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cegis;
 pub mod encode;
 mod obs;

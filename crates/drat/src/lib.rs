@@ -45,6 +45,8 @@
 //! before any solver-side simplification) and against the assumption
 //! literals of the query.
 
+#![forbid(unsafe_code)]
+
 use fec_sat::{Lit, ProofStep, Var};
 use std::collections::HashMap;
 use std::fmt;

@@ -18,6 +18,8 @@
 //! assert_eq!(fec_flate::gzip_decompress(&gz).unwrap(), data);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bitio;
 mod crc32;
 mod deflate;

@@ -28,6 +28,8 @@
 //! assert_eq!(w.to_bools(), [false, false, true, true, true, false, false]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bitvec;
 mod matrix;
 mod poly;

@@ -67,6 +67,18 @@ impl Generator {
         self.coeff.count_ones()
     }
 
+    /// Column `j` of the coefficient matrix as a `k`-bit vector: bit
+    /// `y` is set when data bit `y` feeds check bit `j`. This is the
+    /// reference linear form that translation validation (fec-circ)
+    /// proves every kernel and emitted source equal to.
+    ///
+    /// # Panics
+    /// Panics if `j >= check_len()`.
+    pub fn check_column(&self, j: usize) -> BitVec {
+        assert!(j < self.check_len(), "check_column: column out of range");
+        self.coeff.col(j)
+    }
+
     /// The full `k × n` generator matrix `G = (I_k | P)`.
     pub fn matrix(&self) -> BitMatrix {
         BitMatrix::identity(self.data_len()).hstack(&self.coeff)
@@ -271,6 +283,24 @@ mod tests {
         w.flip(2);
         w.flip(5);
         assert_eq!(g.syndrome(&w), h.mul_vec(&w));
+    }
+
+    #[test]
+    fn check_column_matches_matrix_cells() {
+        let g = g74();
+        for j in 0..g.check_len() {
+            let col = g.check_column(j);
+            assert_eq!(col.len(), g.data_len());
+            for y in 0..g.data_len() {
+                assert_eq!(col.get(y), g.coefficients().get(y, j), "({y},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn check_column_rejects_out_of_range() {
+        g74().check_column(3);
     }
 
     #[test]

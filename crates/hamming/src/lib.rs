@@ -34,6 +34,8 @@
 //! assert!(g.syndrome(&word).is_zero());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod composite;
 pub mod crc;
 pub mod distance;

@@ -32,6 +32,8 @@
 //! assert_eq!(fixed, word);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use fec_gf2::{BitMatrix, BitVec};
 
 /// An LDPC code defined by its sparse parity-check matrix `H`.

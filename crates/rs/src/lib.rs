@@ -31,6 +31,8 @@
 //! assert_eq!(&word[..11], &data[..]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod field;
 mod rs;
 

@@ -43,6 +43,8 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod clause;
 mod config;
 mod dimacs;

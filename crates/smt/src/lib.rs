@@ -31,6 +31,8 @@
 //! assert_eq!(s.solve(&[]), SmtResult::Unsat);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod card;
 mod gadgets;
 mod int;

@@ -55,6 +55,8 @@
 //! assert!(fec_trace::validate_jsonl(&buf.take_string()).unwrap() >= 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod json;
 mod metrics;
 mod sink;

@@ -1,5 +1,7 @@
 //! Umbrella crate re-exporting the FEC synthesis workspace.
+#![forbid(unsafe_code)]
 pub use fec_channel as channel;
+pub use fec_circ as circ;
 pub use fec_codegen as codegen;
 pub use fec_flate as flate;
 pub use fec_gf2 as gf2;
