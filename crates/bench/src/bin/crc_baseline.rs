@@ -10,7 +10,7 @@
 //! appears and the formal guarantee the synthesizer carries either way.
 //!
 //! ```text
-//! cargo run -p fec-bench --release --bin crc_baseline [--trials=N]
+//! cargo run -p fec-bench --release --bin crc_baseline [--trials=N] [--seed=N]
 //! ```
 
 use fec_bench::{arg_u64, print_header, print_row, synth_timeout};
@@ -22,6 +22,7 @@ use fec_synth::spec::parse_property;
 
 fn main() {
     let trials = arg_u64("trials", 1_000_000);
+    let seed = arg_u64("seed", 0xC4C);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let config = SynthesisConfig {
         timeout: synth_timeout(),
@@ -65,8 +66,8 @@ fn main() {
             }
         }
         let md_synth = min_distance_exhaustive(&best_synth);
-        let r_crc = robustness_trial(&crc, md_crc, 0.05, trials, 0xC4C, threads);
-        let r_synth = robustness_trial(&best_synth, md_synth, 0.05, trials, 0xC4C, threads);
+        let r_crc = robustness_trial(&crc, md_crc, 0.05, trials, seed, threads);
+        let r_synth = robustness_trial(&best_synth, md_synth, 0.05, trials, seed, threads);
         print_row(
             &[
                 k.to_string(),

@@ -12,10 +12,10 @@
 //! §4.3 weighted objective.
 //!
 //! ```text
-//! cargo run -p fec-bench --release --bin table2 [--quick] [--trials=N]
+//! cargo run -p fec-bench --release --bin table2 [--quick] [--trials=N] [--seed=N]
 //! ```
 
-use fec_bench::{print_header, print_row, synth_timeout, thread_count, trial_count};
+use fec_bench::{arg_u64, print_header, print_row, synth_timeout, thread_count, trial_count};
 use fec_channel::experiment::float32_trial;
 use fec_channel::floatbits::PAPER_FLOAT32_UPPER_WEIGHTS_MSB_FIRST;
 use fec_hamming::{CompositeCode, Generator};
@@ -35,6 +35,7 @@ fn synth(config: &SynthesisConfig, prop: &str) -> Generator {
 fn main() {
     let trials = trial_count();
     let threads = thread_count();
+    let seed = arg_u64("seed", 0x7AB1E2);
     let config = SynthesisConfig {
         timeout: synth_timeout(),
         ..Default::default()
@@ -101,7 +102,7 @@ fn main() {
         &widths,
     );
     for (name, code) in &ensembles {
-        let r = float32_trial(code, 0.1, trials, 0x7AB1E2, threads);
+        let r = float32_trial(code, 0.1, trials, seed, threads);
         print_row(
             &[
                 name.clone(),

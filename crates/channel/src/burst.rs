@@ -134,6 +134,44 @@ impl BlockInterleaver {
         }
         out
     }
+
+    /// [`BlockInterleaver::interleave`] for a final, partially filled
+    /// block: any `input.len() ≤ rows·cols` is accepted. Output
+    /// positions are visited in channel order and positions whose
+    /// row-major source falls beyond the input are skipped, so the
+    /// result has exactly `input.len()` bits and agrees with the full
+    /// permutation when the block is exactly full.
+    pub fn interleave_partial(&self, input: &BitVec) -> BitVec {
+        let l = input.len();
+        assert!(l <= self.len(), "interleave_partial: input too long");
+        let mut out = BitVec::zeros(l);
+        let mut next = 0;
+        for o in 0..self.len() {
+            let src = (o % self.rows) * self.cols + o / self.rows;
+            if src < l {
+                out.set(next, input.get(src));
+                next += 1;
+            }
+        }
+        out
+    }
+
+    /// The inverse of [`BlockInterleaver::interleave_partial`]: exact
+    /// round-trip for every length up to `rows·cols`.
+    pub fn deinterleave_partial(&self, input: &BitVec) -> BitVec {
+        let l = input.len();
+        assert!(l <= self.len(), "deinterleave_partial: input too long");
+        let mut out = BitVec::zeros(l);
+        let mut next = 0;
+        for o in 0..self.len() {
+            let src = (o % self.rows) * self.cols + o / self.rows;
+            if src < l {
+                out.set(src, input.get(next));
+                next += 1;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

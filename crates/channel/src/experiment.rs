@@ -1,15 +1,38 @@
 //! Robustness trial harnesses: the machinery behind Fig. 4 and Table 2.
+//!
+//! Both trial loops run, by default, on the certified minimized
+//! kernels from `fec-circ` ([`EncodeBackend::MinimizedKernel`]): the
+//! generator is minimized once per trial, each worker clones the
+//! compiled kernel, and the hot loop is pure `u64` arithmetic with no
+//! allocation. The pre-kernel scalar matrix–vector path is kept as
+//! [`EncodeBackend::MatrixMul`] for A/B timing; both backends consume
+//! the RNG identically (the BSC's geometric gap sampler draws the same
+//! sequence for `BitVec` and `u64` words), so they produce
+//! bit-identical reports under the same seed.
 
 use crate::bsc::Bsc;
 use crate::floatbits::random_numeric_f32;
+use fec_circ::{CircuitKernel, CompositeKernel};
 use fec_gf2::BitVec;
 use fec_hamming::robustness::p_at_least_m_flips;
 use fec_hamming::{CompositeCode, Generator};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+/// Which encoder implementation a Monte-Carlo trial drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EncodeBackend {
+    /// Scalar `BitVec` matrix–vector multiply — the pre-kernel
+    /// reference implementation, kept for differential timing.
+    MatrixMul,
+    /// Certified minimized circuit kernels (`fec-circ`); falls back to
+    /// the matrix path for codes wider than one `u64` word.
+    #[default]
+    MinimizedKernel,
+}
+
 /// Results of a Fig. 4-style robustness trial for one generator.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RobustnessReport {
     /// Trials whose channel flipped at least `md` bits — the paper's
     /// upper line, matching the theoretical `P_u · trials`.
@@ -44,7 +67,8 @@ impl RobustnessReport {
 /// random data words, encode, BSC with rate `p`, count outcomes.
 ///
 /// `md` is the generator's minimum distance (used only for the
-/// ≥-md-flips counter). Work is split across `threads`.
+/// ≥-md-flips counter). Work is split across `threads`. Runs on the
+/// default [`EncodeBackend::MinimizedKernel`].
 pub fn robustness_trial(
     g: &Generator,
     md: usize,
@@ -53,8 +77,28 @@ pub fn robustness_trial(
     seed: u64,
     threads: usize,
 ) -> RobustnessReport {
+    robustness_trial_backend(g, md, p, trials, seed, threads, EncodeBackend::default())
+}
+
+/// [`robustness_trial`] with an explicit encode backend.
+pub fn robustness_trial_backend(
+    g: &Generator,
+    md: usize,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    backend: EncodeBackend,
+) -> RobustnessReport {
     let threads = threads.max(1);
     let chunk = trials / threads as u64;
+    // minimize (and certify) once, outside the worker threads
+    let kernel = match backend {
+        EncodeBackend::MinimizedKernel if g.codeword_len() <= 64 => {
+            Some(CircuitKernel::minimized(g))
+        }
+        _ => None,
+    };
     let mut reports: Vec<RobustnessReport> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -66,7 +110,11 @@ pub fn robustness_trial(
                 };
                 let worker_seed =
                     seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
-                scope.spawn(move || robustness_worker(g, md, p, n, worker_seed))
+                let kernel = kernel.clone();
+                scope.spawn(move || match kernel {
+                    Some(k) => robustness_worker_kernel(g, k, md, p, n, worker_seed),
+                    None => robustness_worker(g, md, p, n, worker_seed),
+                })
             })
             .collect();
         for h in handles {
@@ -108,6 +156,45 @@ fn robustness_worker(g: &Generator, md: usize, p: f64, trials: u64, seed: u64) -
     report
 }
 
+fn robustness_worker_kernel(
+    g: &Generator,
+    mut kernel: CircuitKernel,
+    md: usize,
+    p: f64,
+    trials: u64,
+    seed: u64,
+) -> RobustnessReport {
+    let bsc = Bsc::new(p);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let k = g.data_len();
+    let n = g.codeword_len();
+    assert!(k <= 64, "robustness_trial supports k ≤ 64");
+    let check_mask = mask64(g.check_len());
+    let mut report = RobustnessReport {
+        trials,
+        ..Default::default()
+    };
+    for _ in 0..trials {
+        let data_bits: u64 = rng.random::<u64>() & mask64(k);
+        let mut word = data_bits | (kernel.encode_checks(data_bits) << k);
+        let flips = bsc.transmit_u64(&mut rng, &mut word, n);
+        if flips >= md {
+            report.at_least_md_flips += 1;
+        }
+        if flips == 0 {
+            continue;
+        }
+        // syndrome: re-encode the received data bits, compare checks
+        let expect = kernel.encode_checks(word & mask64(k));
+        if expect == (word >> k) & check_mask {
+            report.undetected += 1;
+        } else {
+            report.detected += 1;
+        }
+    }
+    report
+}
+
 fn mask64(bits: usize) -> u64 {
     if bits >= 64 {
         u64::MAX
@@ -117,7 +204,7 @@ fn mask64(bits: usize) -> u64 {
 }
 
 /// Results of a Table 2-style float32 trial for one code ensemble.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Float32Report {
     /// Undetected errors: every segment's syndrome was zero but the
     /// received word differs from the transmitted one.
@@ -166,9 +253,27 @@ pub fn float32_trial(
     seed: u64,
     threads: usize,
 ) -> Float32Report {
+    float32_trial_backend(code, p, trials, seed, threads, EncodeBackend::default())
+}
+
+/// [`float32_trial`] with an explicit encode backend.
+pub fn float32_trial_backend(
+    code: &CompositeCode,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    backend: EncodeBackend,
+) -> Float32Report {
     assert_eq!(code.data_len(), 32, "float32 trial needs a 32-bit code");
     let threads = threads.max(1);
     let chunk = trials / threads as u64;
+    let kernel = match backend {
+        EncodeBackend::MinimizedKernel if code.codeword_len() <= 64 => {
+            Some(CompositeKernel::new(code))
+        }
+        _ => None,
+    };
     let mut reports = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -180,7 +285,11 @@ pub fn float32_trial(
                 };
                 let worker_seed =
                     seed.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(t as u64 + 1));
-                scope.spawn(move || float32_worker(code, p, n, worker_seed))
+                let kernel = kernel.clone();
+                scope.spawn(move || match kernel {
+                    Some(k) => float32_worker_kernel(code, k, p, n, worker_seed),
+                    None => float32_worker(code, p, n, worker_seed),
+                })
             })
             .collect();
         for h in handles {
@@ -231,10 +340,81 @@ fn float32_worker(code: &CompositeCode, p: f64, trials: u64, seed: u64) -> Float
     report
 }
 
+fn float32_worker_kernel(
+    code: &CompositeCode,
+    mut kernel: CompositeKernel,
+    p: f64,
+    trials: u64,
+    seed: u64,
+) -> Float32Report {
+    let bsc = Bsc::new(p);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = code.codeword_len();
+    let mut report = Float32Report {
+        trials,
+        ..Default::default()
+    };
+    for _ in 0..trials {
+        let bits = random_numeric_f32(&mut rng);
+        let mut word = kernel.encode(bits as u64);
+        let flips = bsc.transmit_u64(&mut rng, &mut word, n);
+        if flips == 0 {
+            continue;
+        }
+        if !kernel.is_valid(word) {
+            continue; // detected
+        }
+        report.undetected += 1;
+        let got_bits = (word & 0xFFFF_FFFF) as u32;
+        if got_bits == bits {
+            report.numeric_errors += 1;
+            continue;
+        }
+        let original = f32::from_bits(bits);
+        let corrupted = f32::from_bits(got_bits);
+        if corrupted.is_finite() {
+            report.numeric_errors += 1;
+            report.error_magnitude_sum += (corrupted as f64 - original as f64).abs();
+        } else {
+            report.non_numeric += 1;
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fec_hamming::standards;
+
+    #[test]
+    fn backends_produce_bit_identical_reports() {
+        // same seed, same RNG consumption → the kernel path must
+        // reproduce the matrix path exactly, field for field
+        let g = standards::hamming_extended_8_4();
+        let a = robustness_trial_backend(&g, 4, 0.1, 60_000, 42, 3, EncodeBackend::MatrixMul);
+        let b = robustness_trial_backend(&g, 4, 0.1, 60_000, 42, 3, EncodeBackend::MinimizedKernel);
+        assert_eq!(a, b);
+        let code = CompositeCode::contiguous_msb_first(vec![
+            standards::shortened_hamming(16, 6).unwrap(),
+            standards::parity_code(16),
+        ])
+        .unwrap();
+        let fa = float32_trial_backend(&code, 0.1, 60_000, 42, 3, EncodeBackend::MatrixMul);
+        let fb = float32_trial_backend(&code, 0.1, 60_000, 42, 3, EncodeBackend::MinimizedKernel);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn kernel_backend_handles_wide_codes_via_fallback() {
+        // codeword_len 67 > 64 but k = 60 ≤ 64: MinimizedKernel must
+        // silently take the matrix path and still match it exactly
+        let g = standards::shortened_hamming(60, 7).unwrap();
+        let a = robustness_trial_backend(&g, 3, 0.02, 5_000, 7, 2, EncodeBackend::MinimizedKernel);
+        let b = robustness_trial_backend(&g, 3, 0.02, 5_000, 7, 2, EncodeBackend::MatrixMul);
+        assert_eq!(a.trials, 5_000);
+        assert_eq!(a, b);
+    }
 
     #[test]
     fn strong_code_has_fewer_undetected_than_weak() {

@@ -1,0 +1,111 @@
+//! Property tests for `BlockInterleaver`, including the partial-block
+//! variants the streaming pipeline leans on for its final frames.
+
+use fec_channel::burst::BlockInterleaver;
+use fec_gf2::BitVec;
+
+fn random_bits(rng: &mut proptest::TestRng, len: usize) -> BitVec {
+    let mut v = BitVec::zeros(len);
+    for i in 0..len {
+        if rng.below(2) == 1 {
+            v.set(i, true);
+        }
+    }
+    v
+}
+
+#[test]
+fn full_block_round_trips_at_random_shapes() {
+    let mut rng = proptest::TestRng::deterministic("interleaver_full_round_trip");
+    for _ in 0..200 {
+        let rows = 1 + rng.below(9) as usize;
+        let cols = 1 + rng.below(40) as usize;
+        let il = BlockInterleaver::new(rows, cols);
+        let v = random_bits(&mut rng, il.len());
+        assert_eq!(il.deinterleave(&il.interleave(&v)), v, "{rows}x{cols}");
+        assert_eq!(il.interleave(&il.deinterleave(&v)), v, "{rows}x{cols}");
+    }
+}
+
+#[test]
+fn interleave_is_a_permutation() {
+    // popcount is conserved and every singleton input maps to a
+    // distinct output position
+    let mut rng = proptest::TestRng::deterministic("interleaver_permutation");
+    for _ in 0..50 {
+        let rows = 1 + rng.below(6) as usize;
+        let cols = 1 + rng.below(12) as usize;
+        let il = BlockInterleaver::new(rows, cols);
+        let mut seen = vec![false; il.len()];
+        for i in 0..il.len() {
+            let mut v = BitVec::zeros(il.len());
+            v.set(i, true);
+            let out = il.interleave(&v);
+            assert_eq!(out.count_ones(), 1);
+            let pos = out.iter_ones().next().unwrap();
+            assert!(!seen[pos], "{rows}x{cols}: position {pos} hit twice");
+            seen[pos] = true;
+        }
+    }
+}
+
+#[test]
+fn partial_round_trips_at_non_divisible_lengths() {
+    let mut rng = proptest::TestRng::deterministic("interleaver_partial_round_trip");
+    for _ in 0..300 {
+        let rows = 1 + rng.below(8) as usize;
+        let cols = 1 + rng.below(24) as usize;
+        let il = BlockInterleaver::new(rows, cols);
+        // lengths deliberately *not* multiples of the block size,
+        // including 0 and the exact block
+        let len = rng.below(il.len() as u64 + 1) as usize;
+        let v = random_bits(&mut rng, len);
+        let tx = il.interleave_partial(&v);
+        assert_eq!(tx.len(), len, "{rows}x{cols} len {len}");
+        assert_eq!(tx.count_ones(), v.count_ones(), "partial is a permutation");
+        assert_eq!(il.deinterleave_partial(&tx), v, "{rows}x{cols} len {len}");
+    }
+}
+
+#[test]
+fn partial_agrees_with_full_on_exact_blocks() {
+    let mut rng = proptest::TestRng::deterministic("interleaver_partial_vs_full");
+    for _ in 0..100 {
+        let rows = 1 + rng.below(7) as usize;
+        let cols = 1 + rng.below(16) as usize;
+        let il = BlockInterleaver::new(rows, cols);
+        let v = random_bits(&mut rng, il.len());
+        assert_eq!(il.interleave_partial(&v), il.interleave(&v));
+        assert_eq!(il.deinterleave_partial(&v), il.deinterleave(&v));
+    }
+}
+
+#[test]
+fn depth_one_is_the_identity() {
+    // a 1×cols interleaver must be a no-op in every variant, at every
+    // partial length
+    let mut rng = proptest::TestRng::deterministic("interleaver_depth_one");
+    for _ in 0..100 {
+        let cols = 1 + rng.below(64) as usize;
+        let il = BlockInterleaver::new(1, cols);
+        let v = random_bits(&mut rng, cols);
+        assert_eq!(il.interleave(&v), v);
+        assert_eq!(il.deinterleave(&v), v);
+        let len = rng.below(cols as u64 + 1) as usize;
+        let p = random_bits(&mut rng, len);
+        assert_eq!(il.interleave_partial(&p), p);
+        assert_eq!(il.deinterleave_partial(&p), p);
+    }
+}
+
+#[test]
+fn single_column_is_the_identity_too() {
+    // rows×1: channel order equals logical order
+    let il = BlockInterleaver::new(5, 1);
+    let mut rng = proptest::TestRng::deterministic("interleaver_single_col");
+    let v = random_bits(&mut rng, 5);
+    assert_eq!(il.interleave(&v), v);
+    let p = random_bits(&mut rng, 3);
+    assert_eq!(il.interleave_partial(&p), p);
+    assert_eq!(il.deinterleave_partial(&p), p);
+}

@@ -1,0 +1,364 @@
+//! Compiled runtime kernels over validated circuits.
+//!
+//! `Circuit::eval` is the *testing* semantics: it re-resolves node
+//! references and allocates a scratch vector on every call, which is
+//! fine for spot checks and useless for datapaths that push millions
+//! of words through an encoder (the Monte-Carlo robustness sweeps, the
+//! streaming pipeline). [`CircuitKernel`] compiles a circuit once into
+//! a flat op list over a reusable scratch buffer, so the per-word cost
+//! is exactly `inputs` loads plus `xor_count` XORs — the §4.4 cost
+//! model, executed literally.
+//!
+//! The intended construction path is [`CircuitKernel::minimized`],
+//! which runs the certified CSE minimizer and therefore inherits its
+//! guarantee: the compiled op list is provably equivalent to the
+//! generator matrix. [`CompositeKernel`] lifts the same idea to
+//! [`CompositeCode`] ensembles (one sub-kernel per segment plus a
+//! gather map), covering the §4.3 weighted codes the stream pipeline
+//! swaps in mid-flight.
+
+use crate::ir::{Circuit, Node, Output};
+use crate::minimize::minimize;
+use fec_hamming::{CompositeCode, Generator};
+
+/// Output slot marker for a constant-zero binding.
+const ZERO: u32 = u32::MAX;
+
+/// A circuit compiled to a flat evaluation plan with reusable scratch.
+///
+/// Value slots: `0..inputs` hold the data bits, `inputs + g` holds the
+/// result of gate `g`. Ops are `(a, b)` slot pairs in evaluation
+/// order; construction rejects the defects `Circuit` is permissive
+/// about (unbound outputs, forward or out-of-range references), so
+/// evaluation itself is branch-free and panic-free.
+#[derive(Clone, Debug)]
+pub struct CircuitKernel {
+    inputs: usize,
+    ops: Vec<(u32, u32)>,
+    outs: Vec<u32>,
+    vals: Vec<u64>,
+}
+
+impl CircuitKernel {
+    /// Compiles `c` into a kernel.
+    ///
+    /// # Panics
+    /// Panics on unbound outputs, forward/out-of-range node
+    /// references, or more than 64 outputs — the same defects
+    /// `validate_circuit` lints, enforced here because a compiled plan
+    /// cannot represent them.
+    pub fn new(c: &Circuit) -> CircuitKernel {
+        let inputs = c.inputs();
+        assert!(
+            c.outputs().len() <= 64,
+            "CircuitKernel packs outputs into a u64"
+        );
+        let slot = |n: Node, before_gate: usize| -> u32 {
+            match n {
+                Node::Input(i) => {
+                    assert!((i as usize) < inputs, "kernel: input {i} out of range");
+                    i
+                }
+                Node::Gate(g) => {
+                    assert!((g as usize) < before_gate, "kernel: forward gate reference");
+                    inputs as u32 + g
+                }
+            }
+        };
+        let ops: Vec<(u32, u32)> = c
+            .gates()
+            .iter()
+            .enumerate()
+            .map(|(gi, gate)| (slot(gate.a, gi), slot(gate.b, gi)))
+            .collect();
+        let outs: Vec<u32> = c
+            .outputs()
+            .iter()
+            .enumerate()
+            .map(|(j, o)| match *o {
+                Output::Unbound => panic!("kernel: output {j} unbound"),
+                Output::Zero => ZERO,
+                Output::Node(n) => slot(n, c.gates().len()),
+            })
+            .collect();
+        CircuitKernel {
+            inputs,
+            vals: vec![0; inputs + ops.len()],
+            ops,
+            outs,
+        }
+    }
+
+    /// Minimizes the encoder for `g` with the certified CSE pass and
+    /// compiles the resulting (validated) circuit.
+    ///
+    /// # Panics
+    /// Panics if `g.check_len() > 64` (inherited from `minimize`).
+    pub fn minimized(g: &Generator) -> CircuitKernel {
+        let m = minimize(g);
+        debug_assert!(m.report.is_valid());
+        CircuitKernel::new(&m.circuit)
+    }
+
+    /// Number of data inputs `k`.
+    pub fn data_len(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of check-bit outputs.
+    pub fn check_len(&self) -> usize {
+        self.outs.len()
+    }
+
+    /// XOR ops per evaluation.
+    pub fn xor_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn run(&mut self) -> u64 {
+        for (i, &(a, b)) in self.ops.iter().enumerate() {
+            self.vals[self.inputs + i] = self.vals[a as usize] ^ self.vals[b as usize];
+        }
+        let mut out = 0u64;
+        for (j, &s) in self.outs.iter().enumerate() {
+            if s != ZERO {
+                out |= (self.vals[s as usize] & 1) << j;
+            }
+        }
+        out
+    }
+
+    /// Encodes the check bits for a `k ≤ 64` data word (bit `i` of
+    /// `data` is data bit `i`).
+    ///
+    /// # Panics
+    /// Panics if the circuit has more than 64 inputs.
+    pub fn encode_checks(&mut self, data: u64) -> u64 {
+        assert!(self.inputs <= 64, "encode_checks: use encode_checks_wide");
+        for i in 0..self.inputs {
+            self.vals[i] = (data >> i) & 1;
+        }
+        self.run()
+    }
+
+    /// Encodes the check bits for a wide data word packed as in
+    /// `Circuit::eval` / `BitVec::words()`: input `i` is bit `i % 64`
+    /// of `data[i / 64]`; missing words read as zero.
+    pub fn encode_checks_wide(&mut self, data: &[u64]) -> u64 {
+        for i in 0..self.inputs {
+            self.vals[i] = data.get(i / 64).map_or(0, |w| (w >> (i % 64)) & 1);
+        }
+        self.run()
+    }
+}
+
+/// One composite segment compiled: a gather map from composite data
+/// bits to sub-word bits, the sub-encoder, and where its checks land
+/// in the codeword.
+#[derive(Clone, Debug)]
+struct SegmentKernel {
+    gather: Vec<u32>,
+    kernel: CircuitKernel,
+    check_offset: u32,
+    check_mask: u64,
+}
+
+/// A [`CompositeCode`] compiled to per-segment minimized kernels.
+///
+/// Codeword layout matches `CompositeCode::encode`: data bits `0..k`
+/// verbatim, then each segment's check bits in segment order. Both
+/// ends must fit one `u64` (`codeword_len ≤ 64`), which covers every
+/// §4.3 ensemble this workbench synthesizes.
+#[derive(Clone, Debug)]
+pub struct CompositeKernel {
+    data_len: usize,
+    codeword_len: usize,
+    segs: Vec<SegmentKernel>,
+}
+
+impl CompositeKernel {
+    /// Compiles every segment of `code` via the certified minimizer.
+    ///
+    /// # Panics
+    /// Panics if `code.codeword_len() > 64`.
+    pub fn new(code: &CompositeCode) -> CompositeKernel {
+        assert!(
+            code.codeword_len() <= 64,
+            "CompositeKernel packs the codeword into a u64"
+        );
+        let mut segs = Vec::with_capacity(code.segments().len());
+        let mut offset = code.data_len();
+        for seg in code.segments() {
+            let r = seg.generator.check_len();
+            segs.push(SegmentKernel {
+                gather: seg.bits.iter().map(|&b| b as u32).collect(),
+                kernel: CircuitKernel::minimized(&seg.generator),
+                check_offset: offset as u32,
+                check_mask: mask64(r),
+            });
+            offset += r;
+        }
+        CompositeKernel {
+            data_len: code.data_len(),
+            codeword_len: offset,
+            segs,
+        }
+    }
+
+    /// Composite data length `k`.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Full codeword length `n`.
+    pub fn codeword_len(&self) -> usize {
+        self.codeword_len
+    }
+
+    /// Encodes `data` (bit `i` = data bit `i`) into the full codeword
+    /// word: data verbatim, per-segment checks at their offsets.
+    pub fn encode(&mut self, data: u64) -> u64 {
+        debug_assert_eq!(data & !mask64(self.data_len), 0, "encode: stray high bits");
+        let mut word = data;
+        for seg in &mut self.segs {
+            let mut sub = 0u64;
+            for (si, &b) in seg.gather.iter().enumerate() {
+                sub |= ((data >> b) & 1) << si;
+            }
+            word |= seg.kernel.encode_checks(sub) << seg.check_offset;
+        }
+        word
+    }
+
+    /// `true` when every segment's received checks match a re-encode
+    /// of the received data bits (all syndromes zero).
+    pub fn is_valid(&mut self, word: u64) -> bool {
+        for seg in &mut self.segs {
+            let mut sub = 0u64;
+            for (si, &b) in seg.gather.iter().enumerate() {
+                sub |= ((word >> b) & 1) << si;
+            }
+            let expect = seg.kernel.encode_checks(sub);
+            let got = (word >> seg.check_offset) & seg.check_mask;
+            if expect != got {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn mask64(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fec_gf2::BitVec;
+    use fec_hamming::standards;
+
+    fn encode_ref(g: &Generator, data: u64) -> u64 {
+        let word = g.encode(&BitVec::from_u128(data as u128, g.data_len()));
+        word.slice(g.data_len()..g.codeword_len()).to_u128() as u64
+    }
+
+    #[test]
+    fn minimized_kernel_matches_generator_encode() {
+        for g in [
+            standards::hamming_7_4(),
+            standards::hamming_extended_8_4(),
+            standards::shortened_hamming(32, 6).unwrap(),
+            standards::shortened_hamming(57, 7).unwrap(),
+        ] {
+            let mut k = CircuitKernel::minimized(&g);
+            assert_eq!(k.data_len(), g.data_len());
+            assert_eq!(k.check_len(), g.check_len());
+            let m = mask64(g.data_len());
+            for d in [0u64, 1, 0x5555_5555_5555_5555, u64::MAX, 0xDEAD_BEEF] {
+                let d = d & m;
+                assert_eq!(k.encode_checks(d), encode_ref(&g, d), "{g:?} data {d:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_kernel_matches_flagship_generator() {
+        let g = standards::ieee_8023df_128_120();
+        let mut k = CircuitKernel::minimized(&g);
+        for words in [
+            [0u64, 0],
+            [u64::MAX, (1u64 << 56) - 1],
+            [0x0123_4567_89AB_CDEF, 0x00FE_DCBA_9876_5432],
+        ] {
+            let mut bits = BitVec::zeros(120);
+            for i in 0..120 {
+                bits.set(i, (words[i / 64] >> (i % 64)) & 1 == 1);
+            }
+            let expect = g.encode(&bits).slice(120..128).to_u128() as u64;
+            assert_eq!(k.encode_checks_wide(&words), expect);
+            assert_eq!(k.encode_checks_wide(bits.words()), expect);
+        }
+    }
+
+    #[test]
+    fn kernel_is_cheaper_than_sparse_on_the_flagship() {
+        let g = standards::ieee_8023df_128_120();
+        let k = CircuitKernel::minimized(&g);
+        let sparse = Circuit::from_generator(&g).xor_count();
+        assert!(k.xor_count() < sparse, "{} !< {sparse}", k.xor_count());
+    }
+
+    #[test]
+    fn composite_kernel_matches_composite_code() {
+        let code = CompositeCode::contiguous_msb_first(vec![
+            standards::shortened_hamming(8, 4).unwrap(),
+            standards::parity_code(8),
+        ])
+        .unwrap();
+        let mut k = CompositeKernel::new(&code);
+        assert_eq!(k.data_len(), 16);
+        assert_eq!(k.codeword_len(), code.codeword_len());
+        for d in [0u64, 0xFFFF, 0xA5C3, 0x1234, 0x8001] {
+            let bits = BitVec::from_u128(d as u128, 16);
+            let want = code.encode(&bits).to_u128() as u64;
+            let got = k.encode(d);
+            assert_eq!(got, want, "data {d:#x}");
+            assert!(k.is_valid(got));
+            // any single flip must be caught by these md ≥ 2 segments
+            for b in 0..code.codeword_len() {
+                assert!(!k.is_valid(got ^ (1 << b)), "flip {b} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_kernel_respects_from_map_interleaving() {
+        // alternate bits between two segments, as weighted synthesis does
+        let map: Vec<usize> = (0..16).map(|j| j % 2).collect();
+        let code = CompositeCode::from_map(
+            vec![
+                standards::shortened_hamming(8, 4).unwrap(),
+                standards::parity_code(8),
+            ],
+            &map,
+        )
+        .unwrap();
+        let mut k = CompositeKernel::new(&code);
+        for d in [0x00FFu64, 0xF0F0, 0x5555, 0xBEEF & 0xFFFF] {
+            let bits = BitVec::from_u128(d as u128, 16);
+            let want = code.encode(&bits).to_u128() as u64;
+            assert_eq!(k.encode(d), want, "data {d:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound")]
+    fn kernel_rejects_unbound_outputs() {
+        CircuitKernel::new(&Circuit::new(2, 1));
+    }
+}

@@ -30,7 +30,11 @@
 //! - [`minimize`]: a greedy cancellation-aware CSE minimizer over the
 //!   IR (output differencing with GF(2) cancellation + Paar-style
 //!   shared-pair extraction) whose result is accepted **only** if the
-//!   validator proves it equivalent to the matrix.
+//!   validator proves it equivalent to the matrix;
+//! - [`CircuitKernel`] / [`CompositeKernel`]: the minimized circuits
+//!   compiled into flat, allocation-free runtime evaluators — the
+//!   encode path the Monte-Carlo sweeps and the `fec-stream` datapath
+//!   actually execute.
 //!
 //! Diagnostics carry a [`LintClass`] so failures are machine-checkable
 //! (the CLI's `lint-kernel` exit codes and the mutation test-suite key
@@ -42,6 +46,7 @@ mod analyze;
 mod emit;
 mod interp;
 mod ir;
+mod kernel;
 mod minimize;
 mod parse;
 
@@ -49,6 +54,7 @@ pub use analyze::validate_circuit;
 pub use emit::{emit_c_circuit, emit_rust_circuit};
 pub use interp::{validate_source, Lang};
 pub use ir::{Circuit, Gate, Node, Output};
+pub use kernel::{CircuitKernel, CompositeKernel};
 pub use minimize::{minimize, Minimized};
 
 use std::fmt;

@@ -36,6 +36,9 @@ USAGE:
     fecsynth emit   --coeff <rows> [--lang=c|rust] [--minimize]
     fecsynth encode --coeff <rows> --data <bits>
     fecsynth lint-kernel --coeff <rows> [--lang=c|rust] [--file PATH]
+    fecsynth stream [--adapt] [--seed=N] [--bytes=N] [--depth=N]
+                    [--gen-size=N] [--repair=N] [--timeout=SECS] [--jobs=N]
+                    [--simplify] [TRACE]
     fecsynth trace-validate <file.jsonl>
 
     --check-proofs  certify every solver answer: learned clauses are
@@ -56,6 +59,17 @@ USAGE:
                     emit the certified circuit instead of the sparse
                     per-column form; the output is accepted only if the
                     static validator proves it equal to the matrix
+
+stream simulates the packet-FEC pipeline (fec-stream) over a bursty
+Gilbert–Elliott channel: a deterministic --bytes payload is packetized,
+fountain-coded, encoded through the certified minimized kernels,
+interleaved, corrupted, and decoded (detect-and-erase + recovery).
+Every draw derives from --seed, so runs are bit-reproducible. With
+--adapt, the first half of the stream probes the channel under the
+static 802.3df deployment, the decoder's measured burst profile becomes
+a §4.3 weighted spec handed to CEGIS, and the second half replays under
+both codes; exit 1 if the adapted code fails to strictly lower residual
+loss.
 
 lint-kernel statically validates encoder artifacts against the matrix:
     without --file, every internal backend form (kernels, emitted C,
@@ -111,6 +125,7 @@ pub fn run(args: &[String]) -> (i32, String, String) {
         Some("emit") => cmd_emit(args, &mut out, &mut err),
         Some("encode") => cmd_encode(args, &mut out, &mut err),
         Some("lint-kernel") => cmd_lint_kernel(args, &mut out, &mut err),
+        Some("stream") => cmd_stream(args, &mut out, &mut err),
         Some("trace-validate") => cmd_trace_validate(args, &mut out, &mut err),
         Some("--help") | Some("-h") | None => {
             out.push_str(USAGE);
@@ -536,6 +551,177 @@ fn cmd_encode(args: &[String], out: &mut String, err: &mut String) -> i32 {
     0
 }
 
+/// Parses a `--name=N` numeric flag with bounds, or defaults.
+fn parse_bounded(
+    args: &[String],
+    name: &str,
+    default: usize,
+    range: std::ops::RangeInclusive<usize>,
+) -> Result<usize, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|n| range.contains(n))
+            .ok_or_else(|| {
+                format!(
+                    "--{name} must be an integer in {}..={}, got {v:?}",
+                    range.start(),
+                    range.end()
+                )
+            }),
+    }
+}
+
+/// One summary block for a stream run.
+fn print_stream_report(out: &mut String, label: &str, o: &fec_stream::StreamOutcome, k: usize) {
+    let s = &o.stats;
+    let _ = writeln!(
+        out,
+        "{label}: {} data words, {} frames, {} channel bits ({} flips)",
+        s.data_words, s.frames, s.channel_bits, s.channel_flips
+    );
+    let _ = writeln!(
+        out,
+        "  erased frames {}, recovered {}, lost {}, corrupted {}",
+        s.erased_frames, s.recovered_words, s.lost_words, s.corrupted_words
+    );
+    let _ = writeln!(
+        out,
+        "  residual loss {:.4}, overhead {:.3}x, recovery latency mean {:.1} max {} frames",
+        s.residual_loss(),
+        s.overhead(k),
+        s.recovery_latency_mean,
+        s.recovery_latency_max
+    );
+    let p = &o.profile;
+    let _ = writeln!(
+        out,
+        "  measured: ber {:.2e} (design {:.2e}), bursty {}, erasure rate {:.3}, mean erasure run {:.2}",
+        p.estimated_ber(),
+        p.design_ber(),
+        if p.is_bursty() { "yes" } else { "no" },
+        p.erasure_rate(),
+        p.mean_erasure_run()
+    );
+}
+
+fn cmd_stream(args: &[String], out: &mut String, err: &mut String) -> i32 {
+    let seed = flag_value(args, "seed")
+        .map(|v| v.parse::<u64>())
+        .transpose();
+    let Ok(seed) = seed else {
+        fail(err, "usage", "--seed must be an unsigned integer");
+        return 2;
+    };
+    let seed = seed.unwrap_or(1);
+    let bytes = match parse_bounded(args, "bytes", 16384, 1..=1 << 24) {
+        Ok(v) => v,
+        Err(e) => {
+            fail(err, "usage", &e);
+            return 2;
+        }
+    };
+    let mut cfg = fec_stream::StreamConfig::static_8023df(seed);
+    let parsed: Result<(), String> = (|| {
+        cfg.depth = parse_bounded(args, "depth", cfg.depth, 1..=64)?;
+        cfg.gen_size = parse_bounded(args, "gen-size", cfg.gen_size, 1..=64)?;
+        cfg.repair = parse_bounded(args, "repair", cfg.repair, 0..=64)?;
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        fail(err, "usage", &e);
+        return 2;
+    }
+    if cfg.repair > cfg.gen_size {
+        fail(err, "usage", "--repair must not exceed --gen-size");
+        return 2;
+    }
+    let payload = fec_stream::deterministic_payload(bytes, seed);
+    let k = cfg.inner.data_len();
+    let _ = writeln!(
+        out,
+        "stream: 802.3df (128,120), depth {}, gen size {}, repair {}, seed {seed}, {bytes} bytes",
+        cfg.depth, cfg.gen_size, cfg.repair
+    );
+
+    if !has_flag(args, "adapt") {
+        let o = fec_stream::run_stream(&payload, &cfg);
+        print_stream_report(out, "static", &o, k);
+        if !o.lost_words.is_empty() {
+            let _ = writeln!(
+                out,
+                "  lost word indices (reported, zero-filled): {:?}",
+                o.lost_words
+            );
+        }
+        return 0;
+    }
+
+    let timeout = flag_value(args, "timeout")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let acfg = fec_stream::AdaptConfig {
+        timeout: Duration::from_secs(timeout),
+        jobs: parse_jobs(args),
+        simplify: has_flag(args, "simplify"),
+        ..Default::default()
+    };
+    let a = match fec_stream::run_adaptive(&payload, &cfg, &acfg) {
+        Ok(a) => a,
+        Err(e) => {
+            fail(err, e.kind(), &e.to_string());
+            return synth_exit_code(&e);
+        }
+    };
+    print_stream_report(out, "probe (first half, static code)", &a.probe, k);
+    let ad = &a.adapted;
+    let _ = writeln!(
+        out,
+        "adapted: ({}, {}) composite, depth {}, repair {} — sum_w {:.2}, {} iterations, {:.2} s",
+        ad.code.codeword_len(),
+        ad.code.data_len(),
+        ad.depth,
+        ad.repair,
+        ad.sum_w,
+        ad.iterations,
+        ad.elapsed.as_secs_f64()
+    );
+    print_stream_report(
+        out,
+        "replay (second half, static code)",
+        &a.static_replay,
+        k,
+    );
+    print_stream_report(
+        out,
+        "replay (second half, adapted code)",
+        &a.adapted_replay,
+        ad.code.data_len(),
+    );
+    let sres = a.static_replay.stats.residual_loss();
+    let ares = a.adapted_replay.stats.residual_loss();
+    if ares < sres {
+        let _ = writeln!(
+            out,
+            "adapted improves residual loss: yes ({sres:.4} -> {ares:.4})"
+        );
+        0
+    } else {
+        let _ = writeln!(
+            out,
+            "adapted improves residual loss: NO ({sres:.4} -> {ares:.4})"
+        );
+        fail(
+            err,
+            "no-improvement",
+            &format!("adapted residual {ares:.4} not below static {sres:.4}"),
+        );
+        1
+    }
+}
+
 fn cmd_trace_validate(args: &[String], out: &mut String, err: &mut String) -> i32 {
     let Some(path) = args.get(1).filter(|s| !s.starts_with("--")) else {
         fail(
@@ -910,6 +1096,73 @@ mod tests {
         assert!(err.contains("error: kind=usage"), "{err}");
         let (code, _, _) = run(&argv(&["info", "--coeff", "1x1"]));
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn stream_static_is_deterministic() {
+        let args = argv(&["stream", "--seed=7", "--bytes=4096"]);
+        let (code, out1, err) = run(&args);
+        assert_eq!(code, 0, "{out1}{err}");
+        assert!(out1.contains("residual loss"), "{out1}");
+        assert!(out1.contains("measured: ber"), "{out1}");
+        let (code, out2, _) = run(&args);
+        assert_eq!(code, 0);
+        assert_eq!(out1, out2, "same seed must be bit-identical");
+        let (_, out3, _) = run(&argv(&["stream", "--seed=8", "--bytes=4096"]));
+        assert_ne!(out1, out3, "different seed must change the run");
+    }
+
+    #[test]
+    fn stream_usage_errors() {
+        let (code, _, err) = run(&argv(&["stream", "--gen-size=0"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("error: kind=usage"), "{err}");
+        let (code, _, err) = run(&argv(&["stream", "--gen-size=8", "--repair=9"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("must not exceed"), "{err}");
+        let (code, _, err) = run(&argv(&["stream", "--bytes=zilch"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("--bytes"), "{err}");
+        let (code, _, err) = run(&argv(&["stream", "--seed=-3"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn stream_adapt_improves_residual_and_is_traced() {
+        let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let metrics = tmp_path("stream-metrics.json");
+        let jsonl = tmp_path("stream.jsonl");
+        let (code, out, err) = run(&argv(&[
+            "stream",
+            "--adapt",
+            "--seed=1",
+            "--bytes=16384",
+            &format!("--metrics-out={}", metrics.display()),
+            &format!("--trace-jsonl={}", jsonl.display()),
+        ]));
+        assert_eq!(code, 0, "{out}{err}");
+        assert!(out.contains("adapted improves residual loss: yes"), "{out}");
+        assert!(out.contains("probe (first half, static code)"), "{out}");
+        assert!(out.contains("composite, depth"), "{out}");
+        // the stream counters flow through the fec-trace metrics report
+        let report = std::fs::read_to_string(&metrics).unwrap();
+        for counter in [
+            "stream.packets_in",
+            "stream.recovered",
+            "stream.bursts_observed",
+        ] {
+            assert!(report.contains(counter), "{counter} missing in {report}");
+        }
+        assert!(report.contains("stream.run"), "{report}");
+        // and the raw event stream passes schema validation
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let n = fec_trace::validate_jsonl(&text).expect("schema-valid JSONL");
+        assert!(n > 0);
+        assert!(text.contains("stream.adapt"), "{text}");
+        assert!(text.contains("stream.report"), "{text}");
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&jsonl);
     }
 
     #[test]

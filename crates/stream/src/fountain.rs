@@ -1,0 +1,246 @@
+//! XOR-parity fountain outer layer: generation-scoped rateless repair
+//! words for erasure recovery across packets.
+//!
+//! Data words are grouped into *generations* of up to 64 words. Each
+//! generation carries `repair` extra words, every one the XOR of a
+//! deterministic, seed-derived subset of the generation's data words
+//! (repair 1 is always the full-generation parity, so any single
+//! erasure is recoverable from it alone). The decoder sees a mix of
+//! known data words and erasures (frames the inner code rejected) and
+//! solves the surviving XOR equations by GF(2) Gauss–Jordan
+//! elimination over the erased unknowns — the peeling decoder is the
+//! special case where every pivot row ends up single-bit.
+//!
+//! Masks depend only on `(seed, generation, r)`, never on the data, so
+//! sender and receiver agree without any mask transmission.
+
+use fec_gf2::BitVec;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn mask64(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// The deterministic data-word subset for repair word `r` (1-based) of
+/// `generation`, over a generation of `chunk` data words.
+///
+/// # Panics
+/// Panics if `chunk` is 0 or exceeds 64, or if `r` is 0.
+pub fn repair_mask(chunk: usize, seed: u64, generation: u64, r: usize) -> u64 {
+    assert!((1..=64).contains(&chunk), "generation size must be 1..=64");
+    assert!(r >= 1, "repair words are 1-based");
+    let full = mask64(chunk);
+    if r == 1 {
+        return full;
+    }
+    let mut rng = SmallRng::seed_from_u64(
+        seed ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (r as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+    );
+    loop {
+        let m = rng.random::<u64>() & full;
+        // a half-density mask, never empty and never a duplicate of
+        // the full parity (those add no new equation)
+        if m != 0 && m != full {
+            return m;
+        }
+        if chunk == 1 {
+            return full; // only one subset exists
+        }
+    }
+}
+
+/// Encodes the `repair` words for one generation of data words.
+///
+/// # Panics
+/// Panics if `words` is empty, longer than 64, or ragged.
+pub fn encode_repairs(words: &[BitVec], seed: u64, generation: u64, repair: usize) -> Vec<BitVec> {
+    assert!(!words.is_empty() && words.len() <= 64);
+    let word_len = words[0].len();
+    (1..=repair)
+        .map(|r| {
+            let mask = repair_mask(words.len(), seed, generation, r);
+            let mut acc = BitVec::zeros(word_len);
+            for (i, w) in words.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    assert_eq!(w.len(), word_len, "ragged generation");
+                    acc ^= w;
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Recovers erased data words of one generation in place.
+///
+/// `data[i] = None` marks an erasure; `repairs` pairs each repair
+/// word's mask with its received value (`None` when the repair frame
+/// itself was erased). Returns the recovered indices. Words the
+/// surviving equations do not determine stay `None`.
+pub fn recover_generation(
+    data: &mut [Option<BitVec>],
+    repairs: &[(u64, Option<BitVec>)],
+    word_len: usize,
+) -> Vec<usize> {
+    let unknowns: Vec<usize> = (0..data.len()).filter(|&i| data[i].is_none()).collect();
+    if unknowns.is_empty() {
+        return Vec::new();
+    }
+    // column index of each unknown in the elimination
+    let col_of = |i: usize| unknowns.iter().position(|&u| u == i);
+
+    // one row per surviving repair: (mask over unknown columns, rhs)
+    let mut rows: Vec<(u64, BitVec)> = Vec::new();
+    for &(mask, ref word) in repairs {
+        let Some(word) = word else { continue };
+        let mut rmask = 0u64;
+        let mut rhs = word.clone();
+        for (i, slot) in data.iter().enumerate() {
+            if mask >> i & 1 == 0 {
+                continue;
+            }
+            match slot {
+                Some(w) => rhs ^= w,
+                None => rmask |= 1 << col_of(i).expect("unknown indexed"),
+            }
+        }
+        if rmask != 0 {
+            rows.push((rmask, rhs));
+        }
+    }
+
+    // Gauss–Jordan: after full reduction a pivot row whose mask is a
+    // single bit uniquely determines that unknown.
+    let mut pivot_rows: Vec<(usize, usize)> = Vec::new(); // (col, row)
+    for col in 0..unknowns.len() {
+        let Some(pr) = (0..rows.len())
+            .find(|&ri| rows[ri].0 >> col & 1 == 1 && pivot_rows.iter().all(|&(_, r)| r != ri))
+        else {
+            continue;
+        };
+        let (pmask, prhs) = (rows[pr].0, rows[pr].1.clone());
+        for (ri, row) in rows.iter_mut().enumerate() {
+            if ri != pr && row.0 >> col & 1 == 1 {
+                row.0 ^= pmask;
+                row.1 ^= &prhs;
+            }
+        }
+        pivot_rows.push((col, pr));
+    }
+
+    let mut recovered = Vec::new();
+    for &(col, ri) in &pivot_rows {
+        if rows[ri].0 == 1 << col {
+            let idx = unknowns[col];
+            debug_assert_eq!(rows[ri].1.len(), word_len);
+            data[idx] = Some(rows[ri].1.clone());
+            recovered.push(idx);
+        }
+    }
+    recovered.sort_unstable();
+    recovered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_words(n: usize, word_len: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut w = BitVec::zeros(word_len);
+                for i in 0..word_len {
+                    if rng.random::<u64>() & 1 == 1 {
+                        w.set(i, true);
+                    }
+                }
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn masks_are_deterministic_and_first_is_full() {
+        assert_eq!(repair_mask(16, 9, 3, 1), 0xFFFF);
+        let a = repair_mask(16, 9, 3, 2);
+        assert_eq!(a, repair_mask(16, 9, 3, 2));
+        assert_ne!(a, 0);
+        assert_ne!(repair_mask(16, 9, 4, 2), a, "masks vary by generation");
+    }
+
+    #[test]
+    fn single_erasure_recovers_from_full_parity_alone() {
+        let words = gen_words(16, 20, 1);
+        let repairs = encode_repairs(&words, 7, 0, 1);
+        for erased in [0, 7, 15] {
+            let mut data: Vec<Option<BitVec>> = words.iter().cloned().map(Some).collect();
+            data[erased] = None;
+            let masks = vec![(repair_mask(16, 7, 0, 1), Some(repairs[0].clone()))];
+            let rec = recover_generation(&mut data, &masks, 20);
+            assert_eq!(rec, vec![erased]);
+            assert_eq!(data[erased].as_ref(), Some(&words[erased]));
+        }
+    }
+
+    #[test]
+    fn burst_of_erasures_recovers_with_enough_repairs() {
+        let words = gen_words(16, 20, 2);
+        let seed = 11;
+        let repair = 6;
+        let repairs = encode_repairs(&words, seed, 5, repair);
+        let mut data: Vec<Option<BitVec>> = words.iter().cloned().map(Some).collect();
+        for slot in data.iter_mut().take(8).skip(4) {
+            *slot = None; // a 4-erasure burst
+        }
+        let eqs: Vec<(u64, Option<BitVec>)> = (1..=repair)
+            .map(|r| (repair_mask(16, seed, 5, r), Some(repairs[r - 1].clone())))
+            .collect();
+        let rec = recover_generation(&mut data, &eqs, 20);
+        assert_eq!(rec, vec![4, 5, 6, 7]);
+        for i in 0..16 {
+            assert_eq!(data[i].as_ref(), Some(&words[i]));
+        }
+    }
+
+    #[test]
+    fn underdetermined_generations_report_not_guess() {
+        let words = gen_words(8, 12, 3);
+        // one repair, two erasures: must recover neither, corrupt nothing
+        let repairs = encode_repairs(&words, 1, 0, 1);
+        let mut data: Vec<Option<BitVec>> = words.iter().cloned().map(Some).collect();
+        data[2] = None;
+        data[5] = None;
+        let eqs = vec![(repair_mask(8, 1, 0, 1), Some(repairs[0].clone()))];
+        let rec = recover_generation(&mut data, &eqs, 12);
+        assert!(rec.is_empty());
+        assert!(data[2].is_none() && data[5].is_none());
+        for i in [0, 1, 3, 4, 6, 7] {
+            assert_eq!(data[i].as_ref(), Some(&words[i]));
+        }
+    }
+
+    #[test]
+    fn erased_repair_frames_just_drop_equations() {
+        let words = gen_words(16, 20, 4);
+        let repairs = encode_repairs(&words, 3, 2, 3);
+        let mut data: Vec<Option<BitVec>> = words.iter().cloned().map(Some).collect();
+        data[9] = None;
+        // full parity erased; random-mask repairs may or may not cover 9
+        let eqs: Vec<(u64, Option<BitVec>)> = vec![
+            (repair_mask(16, 3, 2, 1), None),
+            (repair_mask(16, 3, 2, 2), Some(repairs[1].clone())),
+            (repair_mask(16, 3, 2, 3), Some(repairs[2].clone())),
+        ];
+        let rec = recover_generation(&mut data, &eqs, 20);
+        for &i in &rec {
+            assert_eq!(data[i].as_ref(), Some(&words[i]));
+        }
+    }
+}

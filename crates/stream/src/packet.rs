@@ -1,0 +1,111 @@
+//! Byte-stream packetization into fixed-width data words.
+//!
+//! A byte stream is a bit stream (byte `i`, bit `j` LSB-first ↦
+//! stream bit `8·i + j`, matching `BitVec`'s packing) chopped into
+//! `word_len`-bit data words; the final word is zero-padded. The
+//! original byte length travels out of band (the stream report), so
+//! depacketization drops the padding exactly.
+
+use fec_gf2::BitVec;
+
+/// Splits a byte stream into `word_len`-bit words and back.
+#[derive(Clone, Copy, Debug)]
+pub struct Packetizer {
+    word_len: usize,
+}
+
+impl Packetizer {
+    /// A packetizer for `word_len`-bit data words.
+    ///
+    /// # Panics
+    /// Panics if `word_len` is zero.
+    pub fn new(word_len: usize) -> Packetizer {
+        assert!(word_len > 0, "word_len must be positive");
+        Packetizer { word_len }
+    }
+
+    /// Bits per data word.
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+
+    /// Number of words `byte_len` bytes packetize into.
+    pub fn words_for(&self, byte_len: usize) -> usize {
+        (8 * byte_len).div_ceil(self.word_len)
+    }
+
+    /// Splits `bytes` into data words (last one zero-padded).
+    pub fn packetize(&self, bytes: &[u8]) -> Vec<BitVec> {
+        let total = 8 * bytes.len();
+        let mut words = Vec::with_capacity(self.words_for(bytes.len()));
+        let mut pos = 0;
+        while pos < total {
+            let mut w = BitVec::zeros(self.word_len);
+            for i in 0..self.word_len.min(total - pos) {
+                let bit = pos + i;
+                if bytes[bit / 8] >> (bit % 8) & 1 == 1 {
+                    w.set(i, true);
+                }
+            }
+            words.push(w);
+            pos += self.word_len;
+        }
+        words
+    }
+
+    /// Reassembles `byte_len` bytes from data words, dropping the
+    /// final word's padding.
+    ///
+    /// # Panics
+    /// Panics if the words cannot cover `byte_len` bytes or have the
+    /// wrong width.
+    pub fn depacketize(&self, words: &[BitVec], byte_len: usize) -> Vec<u8> {
+        assert!(
+            words.len() >= self.words_for(byte_len),
+            "depacketize: {} words cannot cover {byte_len} bytes",
+            words.len()
+        );
+        let mut bytes = vec![0u8; byte_len];
+        for (wi, w) in words.iter().enumerate().take(self.words_for(byte_len)) {
+            assert_eq!(w.len(), self.word_len, "depacketize: word width");
+            for i in w.iter_ones() {
+                let bit = wi * self.word_len + i;
+                if bit < 8 * byte_len {
+                    bytes[bit / 8] |= 1 << (bit % 8);
+                }
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_at_awkward_word_lengths() {
+        let payload: Vec<u8> = (0..=255u8).collect();
+        for word_len in [1, 7, 8, 16, 120, 2048] {
+            let p = Packetizer::new(word_len);
+            let words = p.packetize(&payload);
+            assert_eq!(words.len(), p.words_for(payload.len()));
+            assert_eq!(p.depacketize(&words, payload.len()), payload, "{word_len}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_zero_words() {
+        let p = Packetizer::new(16);
+        assert!(p.packetize(&[]).is_empty());
+        assert_eq!(p.depacketize(&[], 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padding_bits_are_zero() {
+        let p = Packetizer::new(120);
+        let words = p.packetize(&[0xFF; 16]); // 128 bits → 2 words
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[1].count_ones(), 8); // 8 real bits, 112 padding
+    }
+}

@@ -1,0 +1,547 @@
+//! The streaming pipeline: packetize → fountain repair → minimized-
+//! kernel inner encode → block interleave → Gilbert–Elliott channel →
+//! detect-and-erase decode → fountain recovery → burst estimation.
+//!
+//! Sender and receiver run in one process (this is a simulation), but
+//! the receiver only ever uses information it would really have: inner
+//! syndromes, recovered words, and the deterministic repair masks. The
+//! sender-side truth is used solely to *audit* the outcome (the
+//! `corrupted_words` count — deliveries the receiver wrongly trusted).
+//!
+//! Every stage is allocation-light and memory-ordering-free: frames
+//! are processed strictly in sequence, the only cross-frame state is
+//! the Gilbert–Elliott channel state and the interleaver's block
+//! position, and all randomness derives from `StreamConfig::seed`
+//! through fixed domain-separated sub-seeds — the same seed always
+//! yields the bit-identical run, on any thread count.
+
+use crate::adapt::{synthesize_adapted, AdaptConfig, AdaptedCode};
+use crate::estimate::BurstProfile;
+use crate::fountain::{encode_repairs, recover_generation, repair_mask};
+use crate::packet::Packetizer;
+use fec_channel::burst::{BlockInterleaver, GeState, GilbertElliott};
+use fec_circ::{CircuitKernel, CompositeKernel};
+use fec_gf2::BitVec;
+use fec_hamming::{standards, CompositeCode, Generator};
+use fec_synth::cegis::SynthError;
+use fec_trace::Level;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain-separated sub-seed derivation (splitmix64 finalizer), so the
+/// channel, the repair masks, and payload generation never share a
+/// stream.
+pub fn sub_seed(seed: u64, domain: u64) -> u64 {
+    let mut z = seed ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pseudo-random payload for smoke tests and benches.
+pub fn deterministic_payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(sub_seed(seed, 0));
+    (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect()
+}
+
+/// The inner (per-frame) code: one synthesized generator or a §4.3
+/// composite ensemble. Encode/decode always run on the certified
+/// minimized kernels, never the naive matrix multiply.
+#[derive(Clone, Debug)]
+pub enum InnerCode {
+    Single(Generator),
+    Composite(CompositeCode),
+}
+
+impl InnerCode {
+    pub fn data_len(&self) -> usize {
+        match self {
+            InnerCode::Single(g) => g.data_len(),
+            InnerCode::Composite(c) => c.data_len(),
+        }
+    }
+
+    pub fn codeword_len(&self) -> usize {
+        match self {
+            InnerCode::Single(g) => g.codeword_len(),
+            InnerCode::Composite(c) => c.codeword_len(),
+        }
+    }
+
+    fn kernel(&self) -> InnerKernel {
+        match self {
+            InnerCode::Single(g) => InnerKernel::Single {
+                kernel: CircuitKernel::minimized(g),
+                k: g.data_len(),
+                n: g.codeword_len(),
+            },
+            InnerCode::Composite(c) => InnerKernel::Composite {
+                kernel: CompositeKernel::new(c),
+                k: c.data_len(),
+                n: c.codeword_len(),
+            },
+        }
+    }
+}
+
+enum InnerKernel {
+    Single {
+        kernel: CircuitKernel,
+        k: usize,
+        n: usize,
+    },
+    Composite {
+        kernel: CompositeKernel,
+        k: usize,
+        n: usize,
+    },
+}
+
+impl InnerKernel {
+    fn encode(&mut self, data: &BitVec) -> BitVec {
+        match self {
+            InnerKernel::Single { kernel, k, n } => {
+                debug_assert_eq!(data.len(), *k);
+                let checks = kernel.encode_checks_wide(data.words());
+                data.concat(&BitVec::from_u128(checks as u128, *n - *k))
+            }
+            InnerKernel::Composite { kernel, k, n } => {
+                debug_assert_eq!(data.len(), *k);
+                BitVec::from_u128(kernel.encode(data.to_u128() as u64) as u128, *n)
+            }
+        }
+    }
+
+    fn is_valid(&mut self, word: &BitVec) -> bool {
+        match self {
+            InnerKernel::Single { kernel, k, n } => {
+                debug_assert_eq!(word.len(), *n);
+                let expect = kernel.encode_checks_wide(word.slice(0..*k).words());
+                expect == word.slice(*k..*n).to_u128() as u64
+            }
+            InnerKernel::Composite { kernel, n, .. } => {
+                debug_assert_eq!(word.len(), *n);
+                kernel.is_valid(word.to_u128() as u64)
+            }
+        }
+    }
+
+    fn data_len(&self) -> usize {
+        match self {
+            InnerKernel::Single { k, .. } | InnerKernel::Composite { k, .. } => *k,
+        }
+    }
+}
+
+/// One deployment of the pipeline.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    pub inner: InnerCode,
+    /// Interleaver depth (frames per block; 1 = no interleaving).
+    pub depth: usize,
+    /// Fountain generation size in data words (≤ 64).
+    pub gen_size: usize,
+    /// Repair words per generation.
+    pub repair: usize,
+    /// Master seed; channel and repair masks use domain sub-seeds.
+    pub seed: u64,
+    pub channel: GilbertElliott,
+}
+
+impl StreamConfig {
+    /// The static baseline: the 802.3df (128,120) code, a classic
+    /// depth-4 interleave, and a thin fixed repair budget.
+    pub fn static_8023df(seed: u64) -> StreamConfig {
+        StreamConfig {
+            inner: InnerCode::Single(standards::ieee_8023df_128_120()),
+            depth: 4,
+            gen_size: 16,
+            repair: 2,
+            seed,
+            channel: GilbertElliott::bursty(),
+        }
+    }
+
+    /// This config re-parameterized with a synthesized adapted code.
+    pub fn with_adapted(&self, adapted: &AdaptedCode, gen_size: usize) -> StreamConfig {
+        StreamConfig {
+            inner: InnerCode::Composite(adapted.code.clone()),
+            depth: adapted.depth,
+            gen_size,
+            repair: adapted.repair,
+            seed: self.seed,
+            channel: self.channel,
+        }
+    }
+}
+
+/// Aggregate counters for one stream run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamStats {
+    /// Data words carried (packets in).
+    pub data_words: u64,
+    /// Total frames transmitted (data + repair).
+    pub frames: u64,
+    /// Channel bits transmitted.
+    pub channel_bits: u64,
+    /// Bits the channel actually flipped (sender-side audit).
+    pub channel_flips: u64,
+    /// Frames the inner code rejected (erasures).
+    pub erased_frames: u64,
+    /// Data frames among the erasures.
+    pub erased_data_words: u64,
+    /// Erased data words the fountain layer recovered.
+    pub recovered_words: u64,
+    /// Data words lost (reported to the caller, zero-filled in output).
+    pub lost_words: u64,
+    /// Deliveries the receiver wrongly trusted (silent corruption —
+    /// sender-side audit; always part of residual loss).
+    pub corrupted_words: u64,
+    /// Bursts the decoder-side estimator observed.
+    pub bursts_observed: u64,
+    /// Mean fountain recovery latency, in frames, over recovered words.
+    pub recovery_latency_mean: f64,
+    /// Worst-case recovery latency in frames.
+    pub recovery_latency_max: u64,
+    /// Most erased frames seen in a single generation.
+    pub max_generation_erasures: u64,
+}
+
+impl StreamStats {
+    /// Fraction of data words not delivered intact: lost (reported) +
+    /// corrupted (silent).
+    pub fn residual_loss(&self) -> f64 {
+        (self.lost_words + self.corrupted_words) as f64 / self.data_words.max(1) as f64
+    }
+
+    /// Channel bits per payload bit (inner + outer redundancy).
+    pub fn overhead(&self, word_len: usize) -> f64 {
+        self.channel_bits as f64 / (self.data_words.max(1) * word_len as u64) as f64
+    }
+}
+
+/// Everything a stream run produces.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// The delivered byte stream (lost words zero-filled).
+    pub bytes: Vec<u8>,
+    /// Indices of data words that were lost — *reported*, never
+    /// silently wrong.
+    pub lost_words: Vec<usize>,
+    pub stats: StreamStats,
+    /// The decoder's measured channel profile, ready for adaptation.
+    pub profile: BurstProfile,
+}
+
+enum FrameKind {
+    /// Data word with this stream-wide index.
+    Data(usize),
+    /// Repair word `r` (1-based) of this generation.
+    Repair(usize, usize),
+}
+
+/// Runs the full pipeline over `bytes` and returns the delivered
+/// stream plus its audit.
+pub fn run_stream(bytes: &[u8], cfg: &StreamConfig) -> StreamOutcome {
+    assert!((1..=64).contains(&cfg.gen_size), "gen_size must be 1..=64");
+    let mut kernel = cfg.inner.kernel();
+    let k = kernel.data_len();
+    let n = cfg.inner.codeword_len();
+    let pkt = Packetizer::new(k);
+    let data_words = pkt.packetize(bytes);
+    let d = data_words.len();
+    let mask_seed = sub_seed(cfg.seed, 1);
+    let channel_seed = sub_seed(cfg.seed, 2);
+
+    let _span = fec_trace::span!(Level::Info, "stream.run",
+        "data_words" => d, "word_len" => k, "codeword_len" => n,
+        "depth" => cfg.depth, "gen_size" => cfg.gen_size, "repair" => cfg.repair);
+
+    // --- sender: generations, repair words, frame sequence ---------
+    let n_gens = d.div_ceil(cfg.gen_size);
+    let mut frames: Vec<BitVec> = Vec::new();
+    let mut kinds: Vec<FrameKind> = Vec::new();
+    let mut frame_of_word = vec![0usize; d];
+    let mut gen_last_frame = vec![0usize; n_gens];
+    for (g, last_frame) in gen_last_frame.iter_mut().enumerate() {
+        let base = g * cfg.gen_size;
+        let chunk = &data_words[base..d.min(base + cfg.gen_size)];
+        for (i, w) in chunk.iter().enumerate() {
+            frame_of_word[base + i] = frames.len();
+            frames.push(w.clone());
+            kinds.push(FrameKind::Data(base + i));
+        }
+        for (ri, rep) in encode_repairs(chunk, mask_seed, g as u64, cfg.repair)
+            .into_iter()
+            .enumerate()
+        {
+            frames.push(rep);
+            kinds.push(FrameKind::Repair(g, ri + 1));
+        }
+        *last_frame = frames.len().saturating_sub(1);
+    }
+
+    // --- inner encode (minimized kernels) + interleave + channel ---
+    let codewords: Vec<BitVec> = frames.iter().map(|w| kernel.encode(w)).collect();
+    let depth = cfg.depth.max(1);
+    let il = BlockInterleaver::new(depth, n);
+    let mut ge_state = GeState::Good;
+    let mut rng = SmallRng::seed_from_u64(channel_seed);
+    let mut received: Vec<BitVec> = Vec::with_capacity(frames.len());
+    let mut blocks: Vec<(usize, usize)> = Vec::new(); // (first frame, count)
+    let mut flips = 0u64;
+    let mut start = 0;
+    while start < codewords.len() {
+        let count = depth.min(codewords.len() - start);
+        let mut logical = BitVec::zeros(count * n);
+        for (f, cw) in codewords[start..start + count].iter().enumerate() {
+            for i in cw.iter_ones() {
+                logical.set(f * n + i, true);
+            }
+        }
+        let mut tx = il.interleave_partial(&logical);
+        flips += cfg.channel.transmit(&mut rng, &mut ge_state, &mut tx) as u64;
+        let rx = il.deinterleave_partial(&tx);
+        for f in 0..count {
+            received.push(rx.slice(f * n..(f + 1) * n));
+        }
+        blocks.push((start, count));
+        start += count;
+    }
+
+    // --- receiver: detect-and-erase, then fountain recovery --------
+    let mut rx_words: Vec<Option<BitVec>> = Vec::with_capacity(received.len());
+    let mut erased_frames = 0u64;
+    let mut erased_data = 0u64;
+    for (fi, rxw) in received.iter().enumerate() {
+        if kernel.is_valid(rxw) {
+            rx_words.push(Some(rxw.slice(0..k)));
+        } else {
+            erased_frames += 1;
+            if matches!(kinds[fi], FrameKind::Data(_)) {
+                erased_data += 1;
+            }
+            rx_words.push(None);
+        }
+    }
+
+    let mut delivered: Vec<Option<BitVec>> = vec![None; d];
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut max_gen_erasures = 0u64;
+    for (g, &gen_last) in gen_last_frame.iter().enumerate() {
+        let base = g * cfg.gen_size;
+        let chunk_len = d.min(base + cfg.gen_size) - base;
+        let mut gen_data: Vec<Option<BitVec>> = (0..chunk_len)
+            .map(|i| rx_words[frame_of_word[base + i]].clone())
+            .collect();
+        let repair_eqs: Vec<(u64, Option<BitVec>)> = (1..=cfg.repair)
+            .map(|r| {
+                let fi = frame_of_word[base + chunk_len - 1] + r;
+                (
+                    repair_mask(chunk_len, mask_seed, g as u64, r),
+                    rx_words[fi].clone(),
+                )
+            })
+            .collect();
+        let gen_erased = gen_data.iter().filter(|w| w.is_none()).count()
+            + repair_eqs.iter().filter(|(_, w)| w.is_none()).count();
+        max_gen_erasures = max_gen_erasures.max(gen_erased as u64);
+        let rec = recover_generation(&mut gen_data, &repair_eqs, k);
+        for &i in &rec {
+            latencies.push((gen_last - frame_of_word[base + i]) as u64);
+        }
+        for (i, w) in gen_data.into_iter().enumerate() {
+            delivered[base + i] = w;
+        }
+    }
+
+    // --- decoder-side burst estimation -----------------------------
+    // Truth per frame, from receiver knowledge only: frames the inner
+    // code accepted are trusted as-is; erased data frames use their
+    // fountain-recovered word; erased repair frames are recomputed
+    // from their mask once the whole subset is known. Frames that stay
+    // unknown become gaps in the channel-order view.
+    let mut truth_words: Vec<Option<BitVec>> = rx_words.clone();
+    for fi in 0..frames.len() {
+        if truth_words[fi].is_some() {
+            continue;
+        }
+        truth_words[fi] = match kinds[fi] {
+            FrameKind::Data(j) => delivered[j].clone(),
+            FrameKind::Repair(g, r) => {
+                let base = g * cfg.gen_size;
+                let chunk_len = d.min(base + cfg.gen_size) - base;
+                let mask = repair_mask(chunk_len, mask_seed, g as u64, r);
+                let mut acc = BitVec::zeros(k);
+                let mut complete = true;
+                for i in 0..chunk_len {
+                    if mask >> i & 1 == 1 {
+                        match &delivered[base + i] {
+                            Some(w) => acc ^= w,
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                complete.then_some(acc)
+            }
+        };
+    }
+    let mut profile = BurstProfile::new();
+    profile.frame_bits = n as u64;
+    // Frame-order erasure evidence first: the syndrome verdict is
+    // known for every frame, so this channel has no survivorship bias
+    // even when recovery fails. Reconstructed erased frames also yield
+    // the conditional in-frame error density the design BER needs.
+    for fi in 0..frames.len() {
+        let erased = rx_words[fi].is_none();
+        profile.observe_frame(erased);
+        if erased {
+            match &truth_words[fi] {
+                Some(word) => {
+                    let mut e = kernel.encode(word);
+                    e ^= &received[fi];
+                    profile.erased_truth_frames += 1;
+                    profile.erased_truth_flips += e.count_ones() as u64;
+                }
+                None => profile.unknown_frames += 1,
+            }
+        }
+    }
+    for &(first, count) in &blocks {
+        let mut err = BitVec::zeros(count * n);
+        let mut known = BitVec::zeros(count * n);
+        for f in 0..count {
+            let fi = first + f;
+            // known word → re-encode for the true codeword
+            if let Some(word) = &truth_words[fi] {
+                let truth = kernel.encode(word);
+                let mut e = truth.clone();
+                e ^= &received[fi];
+                for i in e.iter_ones() {
+                    err.set(f * n + i, true);
+                }
+                for i in 0..n {
+                    known.set(f * n + i, true);
+                }
+            }
+        }
+        let err_ch = il.interleave_partial(&err);
+        let known_ch = il.interleave_partial(&known);
+        profile.observe_gapped((0..count * n).map(|o| known_ch.get(o).then(|| err_ch.get(o))));
+    }
+    profile.finish();
+
+    // --- deliver + audit -------------------------------------------
+    let mut lost: Vec<usize> = Vec::new();
+    let mut corrupted = 0u64;
+    let mut out_words: Vec<BitVec> = Vec::with_capacity(d);
+    for (j, w) in delivered.iter().enumerate() {
+        match w {
+            Some(w) => {
+                if *w != data_words[j] {
+                    corrupted += 1; // sender-side audit only
+                }
+                out_words.push(w.clone());
+            }
+            None => {
+                lost.push(j);
+                out_words.push(BitVec::zeros(k));
+            }
+        }
+    }
+    let bytes_out = pkt.depacketize(&out_words, bytes.len());
+
+    let recovered = latencies.len() as u64;
+    let stats = StreamStats {
+        data_words: d as u64,
+        frames: frames.len() as u64,
+        channel_bits: (frames.len() * n) as u64,
+        channel_flips: flips,
+        erased_frames,
+        erased_data_words: erased_data,
+        recovered_words: recovered,
+        lost_words: lost.len() as u64,
+        corrupted_words: corrupted,
+        bursts_observed: profile.bursts_observed(),
+        recovery_latency_mean: if recovered == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / recovered as f64
+        },
+        recovery_latency_max: latencies.iter().copied().max().unwrap_or(0),
+        max_generation_erasures: max_gen_erasures,
+    };
+
+    fec_trace::counter!(Level::Info, "stream.packets_in", stats.data_words);
+    fec_trace::counter!(
+        Level::Info,
+        "stream.packets_out",
+        stats.data_words - stats.lost_words
+    );
+    fec_trace::counter!(Level::Info, "stream.frames_sent", stats.frames);
+    fec_trace::counter!(Level::Info, "stream.erasures", stats.erased_frames);
+    fec_trace::counter!(Level::Info, "stream.recovered", stats.recovered_words);
+    fec_trace::counter!(Level::Info, "stream.lost", stats.lost_words);
+    fec_trace::counter!(Level::Info, "stream.corrupted", stats.corrupted_words);
+    fec_trace::counter!(Level::Info, "stream.bursts_observed", stats.bursts_observed);
+    fec_trace::event!(Level::Info, "stream.report",
+        "residual_loss" => stats.residual_loss(),
+        "recovery_latency_mean" => stats.recovery_latency_mean,
+        "recovery_latency_max" => stats.recovery_latency_max,
+        "channel_flips" => stats.channel_flips,
+        "max_generation_erasures" => stats.max_generation_erasures);
+
+    StreamOutcome {
+        bytes: bytes_out,
+        lost_words: lost,
+        stats,
+        profile,
+    }
+}
+
+/// The full adaptive experiment, in three acts on one byte stream.
+#[derive(Clone, Debug)]
+pub struct AdaptiveOutcome {
+    /// Act 1: the first half under the static code — the probe whose
+    /// decoder measurements feed the synthesizer.
+    pub probe: StreamOutcome,
+    /// The synthesized, channel-tuned replacement.
+    pub adapted: AdaptedCode,
+    /// Act 2: the second half under the *static* code (control).
+    pub static_replay: StreamOutcome,
+    /// Act 3: the second half under the adapted code, same seed.
+    pub adapted_replay: StreamOutcome,
+}
+
+/// Streams the first half of `bytes` under `base`, synthesizes an
+/// adapted code from the decoder's measured profile, then streams the
+/// second half under both codes for an apples-to-apples comparison.
+pub fn run_adaptive(
+    bytes: &[u8],
+    base: &StreamConfig,
+    acfg: &AdaptConfig,
+) -> Result<AdaptiveOutcome, SynthError> {
+    let split = bytes.len() / 2;
+    let probe = run_stream(&bytes[..split], base);
+    let adapted = synthesize_adapted(&probe.profile, acfg)?;
+    let replay_seed = sub_seed(base.seed, 3);
+    let static_cfg = StreamConfig {
+        seed: replay_seed,
+        ..base.clone()
+    };
+    let adapted_cfg = StreamConfig {
+        seed: replay_seed,
+        ..base.with_adapted(&adapted, acfg.gen_size)
+    };
+    let static_replay = run_stream(&bytes[split..], &static_cfg);
+    let adapted_replay = run_stream(&bytes[split..], &adapted_cfg);
+    Ok(AdaptiveOutcome {
+        probe,
+        adapted,
+        static_replay,
+        adapted_replay,
+    })
+}
