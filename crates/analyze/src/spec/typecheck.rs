@@ -52,6 +52,13 @@ pub struct PropertySummary {
 pub fn typecheck(prop: &Prop) -> Result<PropertySummary, TypeError> {
     let mut summary = PropertySummary::default();
     check_prop(prop, &mut summary)?;
+    if summary.optimization_directives > 1 {
+        return Err(TypeError(format!(
+            "{} optimization directives — synthesis accepts at most one \
+             minimal/maximal goal",
+            summary.optimization_directives
+        )));
+    }
     Ok(summary)
 }
 
@@ -261,5 +268,42 @@ mod tests {
         let s = check("sum_w < 192.58 && corr(G0) >= 2").unwrap();
         assert!(s.uses_weights);
         assert!(s.uses_distance);
+    }
+
+    #[test]
+    fn rejects_duplicate_optimization_directives() {
+        for src in [
+            "len_d(G0) = 4 && minimal(len_c(G0)) && minimal(len_c(G0))",
+            "len_d(G0) = 4 && minimal(len_c(G0)) && maximal(len_1(G0))",
+            "minimal(len_c(G0)) && md(G0) = 3 && maximal(md(G0))",
+        ] {
+            let e = check(src).unwrap_err();
+            assert!(e.0.contains("optimization directives"), "{src:?}: {e}");
+        }
+        // a single directive stays fine
+        assert!(check("len_d(G0) = 4 && minimal(len_c(G0))").is_ok());
+    }
+
+    #[test]
+    fn malformed_comparisons_fail_at_parse_time() {
+        // the typechecker never sees these — pin down that the parser
+        // rejects them rather than silently producing a partial AST
+        for src in [
+            "len_c(G0) <",     // missing right operand
+            "len_c(G0) = = 3", // doubled operator
+            "3 < len_c(G0) <", // dangling chain
+            "md(G0) >< 2",     // operator soup
+            "len_c(G0) 3",     // missing operator entirely
+        ] {
+            assert!(parse_property(src).is_err(), "should not parse: {src:?}");
+        }
+    }
+
+    #[test]
+    fn non_boolean_top_level_exprs_are_rejected() {
+        // a bare numeric expression is not a property
+        for src in ["len_c(G0)", "3 + 4", "md(G0) * 2", "w(0)"] {
+            assert!(parse_property(src).is_err(), "should not parse: {src:?}");
+        }
     }
 }

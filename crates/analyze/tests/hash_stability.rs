@@ -1,0 +1,116 @@
+//! The canonical content hash must be a *semantic* key: any two specs
+//! equal modulo conjunct order, whitespace, or redundant bounds hash
+//! identically, and canonicalization is a fixpoint (hashing the
+//! canonical text again changes nothing). These are the properties the
+//! serve-side result cache (ROADMAP item 2) relies on.
+
+use fec_analyze::canon::{canonical_hash, canonicalize};
+use fec_analyze::spec::{parse_property, CmpOp, Expr, GenFn, Prop};
+use proptest::prelude::*;
+
+/// One atomic bound on a per-generator measurement.
+fn arb_atom() -> impl Strategy<Value = Prop> {
+    let measure = prop_oneof![
+        Just(GenFn::LenD),
+        Just(GenFn::LenC),
+        Just(GenFn::LenOnes),
+        Just(GenFn::Md),
+    ];
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Ge),
+    ];
+    (measure, 0usize..3, op, 1i64..20).prop_map(|(f, g, op, v)| {
+        Prop::Cmp(
+            op,
+            Expr::GenFn(f, Box::new(Expr::Int(g as i64))),
+            Expr::Int(v),
+        )
+    })
+}
+
+fn conjoin(atoms: &[Prop]) -> Prop {
+    atoms
+        .iter()
+        .cloned()
+        .reduce(|acc, c| Prop::And(Box::new(acc), Box::new(c)))
+        .unwrap_or(Prop::True)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Conjunct order does not change the hash.
+    #[test]
+    fn hash_invariant_under_rotation(
+        atoms in proptest::collection::vec(arb_atom(), 1..6),
+        rot in 0usize..6,
+    ) {
+        let rot = rot % atoms.len();
+        let mut rotated = atoms.clone();
+        rotated.rotate_left(rot);
+        prop_assert_eq!(
+            canonical_hash(&conjoin(&atoms)),
+            canonical_hash(&conjoin(&rotated))
+        );
+    }
+
+    /// Reversing the conjunct list does not change the hash either
+    /// (rotation alone cannot produce every permutation).
+    #[test]
+    fn hash_invariant_under_reversal(
+        atoms in proptest::collection::vec(arb_atom(), 1..6),
+    ) {
+        let mut rev = atoms.clone();
+        rev.reverse();
+        prop_assert_eq!(
+            canonical_hash(&conjoin(&atoms)),
+            canonical_hash(&conjoin(&rev))
+        );
+    }
+
+    /// Whitespace in the source text does not change the hash: the
+    /// canonical text re-parsed with doubled spacing hashes the same.
+    #[test]
+    fn hash_invariant_under_whitespace(
+        atoms in proptest::collection::vec(arb_atom(), 1..5),
+    ) {
+        let report = canonicalize(&conjoin(&atoms));
+        let text = report.canonical_text();
+        // measurement-vs-constant atoms never fold away entirely
+        prop_assert!(!text.is_empty());
+        let spaced = text.replace(' ', "   ");
+        let reparsed = parse_property(&spaced).expect("canonical text parses");
+        prop_assert_eq!(canonical_hash(&reparsed), report.hash);
+    }
+
+    /// Canonicalization is a fixpoint: canonicalizing the canonical
+    /// form yields the same hash and the same text.
+    #[test]
+    fn canonicalization_is_idempotent(
+        atoms in proptest::collection::vec(arb_atom(), 1..6),
+    ) {
+        let once = canonicalize(&conjoin(&atoms));
+        let twice = canonicalize(&once.prop);
+        prop_assert_eq!(&once.hash, &twice.hash);
+        prop_assert_eq!(once.canonical_text(), twice.canonical_text());
+    }
+
+    /// Duplicating a conjunct does not change the hash.
+    #[test]
+    fn hash_invariant_under_duplication(
+        atoms in proptest::collection::vec(arb_atom(), 1..5),
+        dup in 0usize..5,
+    ) {
+        let mut dupped = atoms.clone();
+        dupped.push(atoms[dup % atoms.len()].clone());
+        prop_assert_eq!(
+            canonical_hash(&conjoin(&atoms)),
+            canonical_hash(&conjoin(&dupped))
+        );
+    }
+}

@@ -27,6 +27,7 @@ pub const USAGE: &str = "\
 fecsynth — synthesize, verify, and export Hamming FEC generators
 
 USAGE:
+    fecsynth analyze \"<property>\" [--max-check=N] [TRACE]
     fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs] [--jobs=N]
                     [--simplify] [TRACE]
     fecsynth verify \"<property>\" --coeff <rows> [--check-proofs] [--jobs=N]
@@ -59,6 +60,17 @@ USAGE:
                     emit the certified circuit instead of the sparse
                     per-column form; the output is accepted only if the
                     static validator proves it equal to the matrix
+
+analyze runs the static feasibility pipeline without any solver: the
+property is canonicalized (constant folding, interval narrowing,
+dead-conjunct lints, a stable fecspec-v1 content hash), then every
+generator's [n, k, d] requirement is checked against the classical
+coding bounds (Singleton, sphere-packing, Plotkin, Griesmer, with
+shortening/residual refinement; Gilbert–Varshamov for existence).
+Verdicts: INFEASIBLE (printed with its arithmetic certificate, exit 1),
+FEASIBLE (a code provably exists), NEEDS SEARCH (run synth).
+--max-check=N bounds the check length when the property leaves it open
+(default 14, matching synth).
 
 stream simulates the packet-FEC pipeline (fec-stream) over a bursty
 Gilbert–Elliott channel: a deterministic --bytes payload is packetized,
@@ -98,6 +110,7 @@ PROPERTY LANGUAGE (paper Fig. 3 + corr extension):
     functions: len_d len_c len_1 md corr; objectives: minimal(e) maximal(e)
 
 EXAMPLES:
+    fecsynth analyze \"len_d(G0) = 4 && len_c(G0) = 4 && md(G0) = 6\"
     fecsynth synth \"len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))\"
     fecsynth verify \"md(G0) = 3\" --coeff 101/110/111/011
     fecsynth synth \"len_d(G0) = 4 && md(G0) = 3 && minimal(len_c(G0))\" \\
@@ -119,6 +132,7 @@ pub fn run(args: &[String]) -> (i32, String, String) {
         }
     };
     let code = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(args, &mut out, &mut err),
         Some("synth") => cmd_synth(args, &mut out, &mut err),
         Some("verify") => cmd_verify(args, &mut out, &mut err),
         Some("info") => cmd_info(args, &mut out, &mut err),
@@ -231,6 +245,75 @@ fn parse_coeff(args: &[String]) -> Result<Generator, String> {
     let rows = flag_value(args, "coeff").ok_or("missing --coeff <rows>")?;
     let text = rows.replace('/', "\n");
     Generator::from_coeff_str(&text).ok_or_else(|| format!("malformed coefficient rows {rows:?}"))
+}
+
+fn cmd_analyze(args: &[String], out: &mut String, err: &mut String) -> i32 {
+    use fec_analyze::{PointVerdict, SpecError};
+    let Some(spec) = args.get(1).filter(|s| !s.starts_with("--")) else {
+        fail(err, "usage", "analyze: missing property argument");
+        return 2;
+    };
+    let max_check = match parse_bounded(args, "max-check", 14, 1..=64) {
+        Ok(v) => v,
+        Err(e) => {
+            fail(err, "usage", &e);
+            return 2;
+        }
+    };
+    let prop = match parse_property(spec) {
+        Ok(p) => p,
+        Err(e) => {
+            fail(err, "parse", &e.to_string());
+            return 2;
+        }
+    };
+    if let Err(e) = fec_synth::spec::typecheck(&prop) {
+        fail(err, "type", &e.to_string());
+        return 2;
+    }
+    let a = match fec_analyze::analyze(&prop, max_check) {
+        Ok(a) => a,
+        Err(e) => {
+            let kind = match e {
+                SpecError::Unsupported(_) => "unsupported",
+                SpecError::Inconsistent(_) => "inconsistent",
+            };
+            fail(err, kind, &e.to_string());
+            return 2;
+        }
+    };
+    let _ = writeln!(out, "canonical: {}", a.canon.canonical_text());
+    let _ = writeln!(out, "hash: {}", a.canon.hash);
+    for l in &a.canon.lints {
+        let _ = writeln!(out, "{l}");
+    }
+    for g in &a.gens {
+        let head = format!("G{}: [{}, {}] d >= {}", g.gen, g.n, g.k, g.d);
+        match &g.verdict {
+            PointVerdict::Infeasible(c) => {
+                let _ = writeln!(out, "{head} — INFEASIBLE");
+                let _ = writeln!(out, "  {c}");
+            }
+            PointVerdict::TriviallyFeasible => {
+                let _ = writeln!(
+                    out,
+                    "{head} — FEASIBLE (Gilbert–Varshamov guarantees a code)"
+                );
+            }
+            PointVerdict::NeedsSearch { d_lo, d_hi } => {
+                let _ = writeln!(
+                    out,
+                    "{head} — NEEDS SEARCH (best achievable distance in {d_lo}..={d_hi})"
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "verdict: {}", a.overall_kind());
+    if let Some(c) = a.certificate() {
+        fail(err, "no-solution", &c.to_string());
+        return 1;
+    }
+    0
 }
 
 fn cmd_synth(args: &[String], out: &mut String, err: &mut String) -> i32 {
@@ -786,6 +869,104 @@ mod tests {
         assert_eq!(code, 2);
         assert!(err.contains("error: kind=usage"), "{err}");
         assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn analyze_refutes_with_golden_certificate() {
+        // the ISSUE acceptance example: Singleton-violating (8, 4, 6)
+        let (code, out, err) = run(&argv(&[
+            "analyze",
+            "len_d(G0) = 4 && len_c(G0) = 4 && md(G0) = 6",
+        ]));
+        assert_eq!(code, 1, "{out}{err}");
+        assert!(out.contains("G0: [8, 4] d >= 6 — INFEASIBLE"), "{out}");
+        // golden certificate text: bound name + evaluated arithmetic
+        assert!(
+            out.contains(
+                "no binary linear [8, 4, 6] code exists — singleton bound: \
+                 d <= n - k + 1 = 8 - 4 + 1 = 5, but the spec requires d = 6"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("verdict: infeasible"), "{out}");
+        assert!(err.contains("error: kind=no-solution"), "{err}");
+        assert!(err.contains("singleton"), "{err}");
+    }
+
+    #[test]
+    fn analyze_reports_feasible_and_needs_search() {
+        let (code, out, err) = run(&argv(&["analyze", "len_d(G0) = 4 && md(G0) = 3"]));
+        assert_eq!(code, 0, "{out}{err}");
+        assert!(out.contains("FEASIBLE (Gilbert–Varshamov"), "{out}");
+        assert!(out.contains("verdict: trivially-feasible"), "{out}");
+        assert!(out.contains("hash: fecspec-v1:"), "{out}");
+        assert!(err.is_empty(), "{err}");
+        // [10, 5, 4] sits in the open band between GV and the bounds
+        let (code, out, _) = run(&argv(&[
+            "analyze",
+            "len_d(G0) = 5 && len_c(G0) = 5 && md(G0) = 4",
+        ]));
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("NEEDS SEARCH (best achievable distance in 3..=4)"),
+            "{out}"
+        );
+        assert!(out.contains("verdict: needs-search"), "{out}");
+    }
+
+    #[test]
+    fn analyze_prints_lints_and_canonical_form() {
+        let (code, out, _) = run(&argv(&[
+            "analyze",
+            "md(G0) >= 2 && md(G0) >= 3 && len_d(G0) = 2 + 2",
+        ]));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("canonical: "), "{out}");
+        assert!(out.contains("len_d(G[0]) = 4"), "{out}");
+        assert!(out.contains("md(G[0]) >= 3"), "{out}");
+        assert!(!out.contains(">= 2"), "{out}");
+    }
+
+    #[test]
+    fn analyze_error_classes_and_exit_codes() {
+        // parse error → kind=parse, exit 2
+        let (code, _, err) = run(&argv(&["analyze", "md(G0) ="]));
+        assert_eq!(code, 2);
+        assert!(err.contains("error: kind=parse"), "{err}");
+        // type error → kind=type, exit 2
+        let (code, _, err) = run(&argv(&["analyze", "md(G[-1]) = 3"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("error: kind=type"), "{err}");
+        // structurally unsupported → kind=unsupported, exit 2
+        let (code, _, err) = run(&argv(&["analyze", "len_d(G0) = 4 && sum_w < 3"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("error: kind=unsupported"), "{err}");
+        // inconsistent → kind=inconsistent, exit 2
+        let (code, _, err) = run(&argv(&[
+            "analyze",
+            "len_d(G0) = 4 && len_c(G0) >= 9 && len_c(G0) <= 2",
+        ]));
+        assert_eq!(code, 2);
+        assert!(err.contains("error: kind=inconsistent"), "{err}");
+        // missing argument → usage
+        let (code, _, err) = run(&argv(&["analyze"]));
+        assert_eq!(code, 2);
+        assert!(err.contains("error: kind=usage"), "{err}");
+    }
+
+    #[test]
+    fn analyze_max_check_narrows_the_window() {
+        // at the default window [4 + 14 = 18] d = 5 is guaranteed;
+        // with one check bit it is refuted outright
+        let (code, _, _) = run(&argv(&["analyze", "len_d(G0) = 4 && md(G0) = 5"]));
+        assert_eq!(code, 0);
+        let (code, out, err) = run(&argv(&[
+            "analyze",
+            "len_d(G0) = 4 && md(G0) = 5",
+            "--max-check=1",
+        ]));
+        assert_eq!(code, 1, "{out}");
+        assert!(err.contains("error: kind=no-solution"), "{err}");
     }
 
     #[test]

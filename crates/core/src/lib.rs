@@ -43,6 +43,10 @@
 pub mod cegis;
 pub mod encode;
 mod obs;
-pub mod spec;
 pub mod verify;
 pub mod weights;
+
+// The property language and the structural/bounds analysis live in
+// `fec-analyze` (shared with `fecsynth analyze` and the bench sweep
+// pruner); re-exported here so `fec_synth::spec::...` keeps working.
+pub use fec_analyze::spec;

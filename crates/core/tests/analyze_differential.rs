@@ -1,0 +1,147 @@
+//! Differential soundness: the static analyzer's verdicts must never
+//! contradict CEGIS run with the gate disabled.
+//!
+//! For every grid point `[k + r, k, d]` the property
+//! `len_d(G0) = k && len_c(G0) = r && md(G0) >= d` is answered twice:
+//! once by `fec_analyze::analyze_point` (pure arithmetic) and once by
+//! the synthesizer with `static_analysis: false` (raw CEGIS). The
+//! contract:
+//!
+//! - `Infeasible` ⇒ CEGIS reports `NoSolution` (the bounds never
+//!   refute a satisfiable spec);
+//! - `TriviallyFeasible` ⇒ CEGIS synthesizes a generator whose
+//!   exhaustively-measured distance meets `d` (Gilbert–Varshamov never
+//!   promises a code that does not exist);
+//! - `NeedsSearch` constrains nothing — but the solver's answer must
+//!   land inside the reported `d_lo..=d_hi` bracket.
+//!
+//! The default test walks a small grid; the `#[ignore]`d exhaustive
+//! one (run by the CI `analyze-differential` job with
+//! `--include-ignored`) widens it to every point the bench sweep and
+//! the issue's acceptance criteria touch.
+
+use fec_analyze::{analyze_point, PointVerdict};
+use fec_hamming::distance;
+use fec_synth::cegis::{SynthError, SynthesisConfig, Synthesizer};
+use fec_synth::spec::parse_property;
+use std::time::Duration;
+
+fn raw_config() -> SynthesisConfig {
+    SynthesisConfig {
+        timeout: Duration::from_secs(60),
+        static_analysis: false,
+        ..Default::default()
+    }
+}
+
+/// Checks one `[k + r, k, d]` point; panics on any contradiction.
+fn check_point(k: usize, r: usize, d: usize) {
+    let n = k + r;
+    let verdict = analyze_point(n, k, d);
+    let prop = parse_property(&format!(
+        "len_d(G0) = {k} && len_c(G0) = {r} && md(G0) >= {d}"
+    ))
+    .unwrap();
+    let result = Synthesizer::new(raw_config()).run(&prop);
+    match (&verdict, &result) {
+        (_, Err(SynthError::Timeout)) => {} // no verdict to compare
+        (PointVerdict::Infeasible(c), Ok(r)) => {
+            let md = distance::min_distance_exhaustive(&r.generators[0]);
+            panic!(
+                "analyzer refuted [{n}, {k}, {d}] ({c}) but CEGIS \
+                 synthesized a code with distance {md}"
+            );
+        }
+        (PointVerdict::Infeasible(_), Err(SynthError::NoSolution)) => {}
+        (PointVerdict::TriviallyFeasible, Ok(res)) => {
+            let md = distance::min_distance_exhaustive(&res.generators[0]);
+            assert!(
+                md >= d,
+                "[{n}, {k}, {d}]: synthesized distance {md} below the spec"
+            );
+        }
+        (PointVerdict::TriviallyFeasible, Err(e)) => {
+            panic!("GV guarantees [{n}, {k}, {d}] exists but CEGIS failed: {e}");
+        }
+        (PointVerdict::NeedsSearch { d_lo, d_hi }, res) => {
+            // the bracket must contain the truth
+            match res {
+                Ok(_) => assert!(
+                    d <= *d_hi,
+                    "[{n}, {k}, {d}]: found above the static upper bound {d_hi}"
+                ),
+                Err(SynthError::NoSolution) => assert!(
+                    d > *d_lo,
+                    "[{n}, {k}, {d}]: UNSAT at or below the GV floor {d_lo}"
+                ),
+                Err(e) => panic!("[{n}, {k}, {d}]: {e}"),
+            }
+        }
+        (v, Err(e)) => panic!("[{n}, {k}, {d}]: verdict {v:?} vs error {e}"),
+    }
+}
+
+#[test]
+fn small_grid_verdicts_never_contradict_cegis() {
+    for k in [2usize, 3, 4] {
+        for r in 1..=4 {
+            for d in 2..=4 {
+                check_point(k, r, d);
+            }
+        }
+    }
+}
+
+#[test]
+fn acceptance_point_is_refuted_by_both() {
+    // the issue's (8, 4, 6): analyzer certificate and CEGIS UNSAT agree
+    let verdict = analyze_point(8, 4, 6);
+    let PointVerdict::Infeasible(c) = &verdict else {
+        panic!("expected refutation, got {verdict:?}");
+    };
+    assert_eq!(c.bound, "singleton");
+    let prop = parse_property("len_d(G0) = 4 && len_c(G0) = 4 && md(G0) >= 6").unwrap();
+    assert_eq!(
+        Synthesizer::new(raw_config()).run(&prop).unwrap_err(),
+        SynthError::NoSolution
+    );
+}
+
+#[test]
+fn gate_on_and_off_agree() {
+    // the pre-solve gate must change wall-clock, never answers
+    for (k, r, d) in [(4usize, 3usize, 3usize), (4, 4, 6), (5, 5, 4), (4, 2, 4)] {
+        let prop = parse_property(&format!(
+            "len_d(G0) = {k} && len_c(G0) = {r} && md(G0) >= {d}"
+        ))
+        .unwrap();
+        let gated = Synthesizer::new(SynthesisConfig {
+            timeout: Duration::from_secs(60),
+            ..Default::default()
+        })
+        .run(&prop);
+        let raw = Synthesizer::new(raw_config()).run(&prop);
+        assert_eq!(
+            gated.is_ok(),
+            raw.is_ok(),
+            "[{}, {k}, {d}]: gate changed the answer",
+            k + r
+        );
+    }
+}
+
+/// The exhaustive grid the CI `analyze-differential` job runs with
+/// `--include-ignored`: every `k ∈ 2..=6, r ∈ 1..=6, d ∈ 2..=7` point
+/// (180 specs), covering the whole bench sweep plus the refinement
+/// cases (shortening/residual refutations like `[11, 5, 5]`).
+#[test]
+#[ignore = "exhaustive: run via CI analyze-differential (--include-ignored)"]
+fn exhaustive_grid_verdicts_never_contradict_cegis() {
+    for k in 2..=6 {
+        for r in 1..=6 {
+            for d in 2..=7 {
+                check_point(k, r, d);
+            }
+        }
+    }
+}
