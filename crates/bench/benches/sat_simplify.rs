@@ -228,6 +228,7 @@ fn main() {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
+    json.push_str(&fec_bench::bench_meta(REPS as u64));
     writeln!(
         json,
         "  \"instance\": \"802.3df (128,120) md >= 3 (UNSAT query)\","

@@ -82,10 +82,15 @@ fn main() {
 
     // Conservative over-count of guard evaluations in that run: the
     // SAT hot loop consults the guard at most twice per conflict (LBD
-    // record + export filter) and once per restart; everything outside
-    // the hot loop is O(1) per solver call. 64 is a deliberately
-    // generous per-call allowance for the encode/verify/CEGIS spans.
-    let visits = stats.conflicts * 2 + stats.solve_calls * 64 + 1_000;
+    // record + export filter), the restart boundary adds the progress
+    // advance tick, two gauges, and up to 17 histogram delta flushes
+    // (restarts ≤ conflicts, so fold them in as two more per-conflict
+    // visits plus a 32-per-restart-worth allowance inside the 96
+    // per-call term); everything outside the hot loop is O(1) per
+    // solver call with a generous allowance for encode/verify/CEGIS
+    // spans, CEGIS iteration hist/event, and portfolio import/export
+    // instrumentation.
+    let visits = stats.conflicts * 4 + stats.solve_calls * 96 + 1_000;
     let disabled_pct = visits as f64 * (guard_ns / 1e9) / disabled_secs * 100.0;
     println!("  bound: {visits} guard visits × {guard_ns:.3} ns = {disabled_pct:.4}% of runtime");
 
@@ -102,6 +107,7 @@ fn main() {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
+    json.push_str(&fec_bench::bench_meta(REPS as u64));
     writeln!(
         json,
         "  \"workload\": \"802.3df (128,120) md >= 3 (UNSAT query)\","

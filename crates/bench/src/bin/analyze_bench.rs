@@ -59,6 +59,7 @@ fn solve(k: usize, r: usize, d: usize, config: &SynthesisConfig) -> Solved {
 /// description on the first violation.
 fn validate(text: &str) -> Result<(), String> {
     let v = fec_trace::parse_json(text).map_err(|e| e.to_string())?;
+    fec_bench::validate_bench_meta(&v)?;
     let num = |key: &str| -> Result<f64, String> {
         v.get(key)
             .and_then(|x| x.as_num())
@@ -81,7 +82,9 @@ fn validate(text: &str) -> Result<(), String> {
     if points != decided + needs_search {
         return Err(format!("points = {points} is not decided + needs_search"));
     }
-    if points <= 0.0 || (fraction - decided / points).abs() > 1e-9 {
+    // the emitter rounds to 6 decimal places, so allow a half-ulp of
+    // that precision (1e-9 rejects e.g. the exact 55/60 = 0.916667)
+    if points <= 0.0 || (fraction - decided / points).abs() > 5e-7 {
         return Err(format!("fraction_decided = {fraction} inconsistent"));
     }
     let gate = match v.get("gate_met") {
@@ -209,6 +212,7 @@ fn main() {
     );
 
     let mut json = String::from("{\n");
+    json.push_str(&fec_bench::bench_meta(1));
     let _ = writeln!(
         json,
         "  \"grid\": \"k in {ks:?}, r in 1..={r_hi}, d in 2..={d_hi}\","

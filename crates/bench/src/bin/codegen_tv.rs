@@ -230,7 +230,9 @@ fn main() {
         if gate_met { "met" } else { "MISSED" }
     );
 
-    let mut json = String::from("{\n  \"generators\": [\n");
+    let mut json = String::from("{\n");
+    json.push_str(&fec_bench::bench_meta(1));
+    json.push_str("  \"generators\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,

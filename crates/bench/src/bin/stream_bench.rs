@@ -59,6 +59,7 @@ const SIDE_KEYS: [&str; 8] = [
 /// description on the first violation.
 fn validate(text: &str) -> Result<(), String> {
     let v = fec_trace::parse_json(text).map_err(|e| e.to_string())?;
+    fec_bench::validate_bench_meta(&v)?;
     for key in ["seed", "payload_bytes"] {
         v.get(key)
             .and_then(|x| x.as_num())
@@ -151,6 +152,7 @@ fn main() {
     );
 
     let mut json = String::from("{\n");
+    json.push_str(&fec_bench::bench_meta(1));
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"payload_bytes\": {bytes},");
     let _ = writeln!(json, "  \"channel\": \"gilbert_elliott_bursty\",");

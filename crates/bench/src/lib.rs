@@ -7,7 +7,98 @@
 
 #![forbid(unsafe_code)]
 
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Version stamped into every `bench_meta.schema`; bump on
+/// incompatible BENCH_*.json layout changes. `fecsynth bench-compare`
+/// rejects files with a different version.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The workspace root (where BENCH_*.json files live), resolved from
+/// this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// First line of a command's stdout, if it runs successfully.
+fn cmd_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().next()?.trim().to_string();
+    (!line.is_empty()).then_some(line)
+}
+
+/// Strips anything that would need JSON escaping (the values are
+/// command output; commit hashes and rustc banners are plain ASCII).
+fn json_safe(s: String) -> String {
+    s.chars()
+        .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
+        .collect()
+}
+
+/// The shared `bench_meta` header every BENCH_*.json emitter splices
+/// in right after its opening brace: schema version, git commit, core
+/// count, repetition count, and rustc version — what bench-compare and
+/// the trajectory tooling need to interpret a snapshot. Rendered as
+/// `  "bench_meta": {...},` with a trailing newline.
+pub fn bench_meta(reps: u64) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let root = workspace_root();
+    let commit = cmd_line(
+        "git",
+        &[
+            "-C",
+            &root.to_string_lossy(),
+            "rev-parse",
+            "--short",
+            "HEAD",
+        ],
+    )
+    .map_or_else(|| "unknown".into(), json_safe);
+    let rustc = cmd_line("rustc", &["--version"]).map_or_else(|| "unknown".into(), json_safe);
+    format!(
+        "  \"bench_meta\": {{\"schema\": {BENCH_SCHEMA_VERSION}, \"git_commit\": \"{commit}\", \
+         \"cores\": {cores}, \"reps\": {reps}, \"rustc\": \"{rustc}\"}},\n"
+    )
+}
+
+/// Checks the shared `bench_meta` header on a parsed BENCH_*.json —
+/// the harness-side half of the schema `fecsynth bench-compare`
+/// enforces (the CLI keeps its own copy; it must not depend on the
+/// harness crate).
+pub fn validate_bench_meta(v: &fec_trace::Json) -> Result<(), String> {
+    let m = v
+        .get("bench_meta")
+        .ok_or("missing \"bench_meta\" header (re-run the emitter)")?;
+    let num = |k: &str| {
+        m.get(k)
+            .and_then(fec_trace::Json::as_num)
+            .ok_or_else(|| format!("bench_meta: missing numeric {k:?}"))
+    };
+    let string = |k: &str| {
+        m.get(k)
+            .and_then(fec_trace::Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("bench_meta: missing string {k:?}"))
+    };
+    let schema = num("schema")?;
+    if schema != BENCH_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "bench_meta: schema {schema} (this harness writes {BENCH_SCHEMA_VERSION})"
+        ));
+    }
+    if num("reps")? < 1.0 {
+        return Err("bench_meta: reps must be >= 1".into());
+    }
+    num("cores")?;
+    string("git_commit")?;
+    string("rustc")?;
+    Ok(())
+}
 
 /// Parses `--name=value` from the command line, with a default.
 pub fn arg_u64(name: &str, default: u64) -> u64 {
@@ -73,6 +164,19 @@ pub fn print_header(cells: &[&str], widths: &[usize]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_meta_emits_and_validates() {
+        let json = format!("{{\n{}  \"x\": 1\n}}", bench_meta(3));
+        let v = fec_trace::parse_json(&json).expect("bench_meta fragment is valid JSON");
+        validate_bench_meta(&v).expect("fresh header passes its own schema");
+        // a divergent schema version must be rejected
+        let old = json.replace("\"schema\": 1", "\"schema\": 0");
+        let v = fec_trace::parse_json(&old).unwrap();
+        assert!(validate_bench_meta(&v).is_err());
+        // reps is threaded through
+        assert!(json.contains("\"reps\": 3"), "{json}");
+    }
 
     #[test]
     fn arg_parsing_defaults() {

@@ -12,6 +12,9 @@
 
 #![forbid(unsafe_code)]
 
+mod bench_compare;
+mod report;
+
 use fec_gf2::BitVec;
 use fec_hamming::{distance, Generator};
 use fec_smt::Budget;
@@ -41,6 +44,8 @@ USAGE:
                     [--gen-size=N] [--repair=N] [--timeout=SECS] [--jobs=N]
                     [--simplify] [TRACE]
     fecsynth trace-validate <file.jsonl>
+    fecsynth report <trace.jsonl> [--json]
+    fecsynth bench-compare <baseline-dir> <current-dir> [--json]
 
     --check-proofs  certify every solver answer: learned clauses are
                     re-checked as a DRAT proof by the independent
@@ -99,6 +104,25 @@ TRACE (observability; any of these enables the collector):
     --trace-jsonl=PATH  raw event stream, one JSON object per line
                         (validate with `fecsynth trace-validate PATH`)
     --metrics-out=PATH  aggregated end-of-run counters + span timings
+    --progress[=MS]     watchdog heartbeat: a `progress` record every MS
+                        milliseconds (default 1000) plus a live one-line
+                        status on stderr when it is a TTY — conflicts,
+                        CEGIS iterations, learnt-DB size; handy for long
+                        maximal(md) hunts
+    --stall-after=MS    flag the run as stalled (progress records carry
+                        stalled=true and a one-shot warn event fires)
+                        after MS milliseconds with no solver restart or
+                        CEGIS iteration (default 30000; needs --progress)
+
+report replays a --trace-jsonl stream and attributes wall-clock to
+phases (synth, verify, simplify, proof-check, portfolio, other) from
+span self-times, plus progress/stall and instrument summaries; --json
+emits the same breakdown machine-readably.
+
+bench-compare validates every BENCH_*.json in <current-dir> against the
+shared bench_meta schema and diffs metrics against <baseline-dir> with
+per-metric-class regression thresholds (timings 50%, quality ratios
+10%, booleans must not regress); exit 1 on any regression.
 
 EXIT CODES:
     0 success / property HOLDS        2 usage, parse, or unsupported input
@@ -141,6 +165,8 @@ pub fn run(args: &[String]) -> (i32, String, String) {
         Some("lint-kernel") => cmd_lint_kernel(args, &mut out, &mut err),
         Some("stream") => cmd_stream(args, &mut out, &mut err),
         Some("trace-validate") => cmd_trace_validate(args, &mut out, &mut err),
+        Some("report") => report::cmd_report(args, &mut out, &mut err),
+        Some("bench-compare") => bench_compare::cmd_bench_compare(args, &mut out, &mut err),
         Some("--help") | Some("-h") | None => {
             out.push_str(USAGE);
             0
@@ -159,7 +185,7 @@ pub fn run(args: &[String]) -> (i32, String, String) {
 }
 
 /// Writes the structured diagnostic line `error: kind=... msg="..."`.
-fn fail(err: &mut String, kind: &str, msg: &str) {
+pub(crate) fn fail(err: &mut String, kind: &str, msg: &str) {
     let _ = writeln!(err, "error: kind={kind} msg={msg:?}");
 }
 
@@ -181,7 +207,12 @@ fn setup_trace(args: &[String]) -> Result<bool, String> {
     let jsonl = flag_value(args, "trace-jsonl");
     let metrics = flag_value(args, "metrics-out");
     let stderr_on = has_flag_or_value(args, "trace");
-    if !stderr_on && chrome.is_none() && jsonl.is_none() && metrics.is_none() {
+    let progress_on = has_flag_or_value(args, "progress");
+    let stall_ms = flag_value(args, "stall-after");
+    if !stderr_on && !progress_on && chrome.is_none() && jsonl.is_none() && metrics.is_none() {
+        if stall_ms.is_some() {
+            return Err("--stall-after requires --progress".into());
+        }
         return Ok(false);
     }
     let level = match level_arg {
@@ -207,11 +238,34 @@ fn setup_trace(args: &[String]) -> Result<bool, String> {
     if let Some(p) = metrics {
         config = config.metrics_path(p);
     }
+    if progress_on {
+        let every_ms = match flag_value(args, "progress") {
+            Some(v) if !v.starts_with("--") => v
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .ok_or_else(|| format!("bad --progress interval {v:?} (milliseconds)"))?,
+            _ => 1_000, // bare --progress: 1s heartbeat
+        };
+        config = config
+            .progress_every(Duration::from_millis(every_ms))
+            .progress_tty(true);
+        if let Some(v) = stall_ms {
+            let ms = v
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .ok_or_else(|| format!("bad --stall-after {v:?} (milliseconds)"))?;
+            config = config.stall_after(Duration::from_millis(ms));
+        }
+    } else if stall_ms.is_some() {
+        return Err("--stall-after requires --progress".into());
+    }
     fec_trace::install(config);
     Ok(true)
 }
 
-fn has_flag(args: &[String], name: &str) -> bool {
+pub(crate) fn has_flag(args: &[String], name: &str) -> bool {
     let full = format!("--{name}");
     args.iter().any(|a| a == &full)
 }

@@ -565,6 +565,9 @@ impl Synthesizer {
             let budget = Budget::with_timeout(deadline - now);
             *iterations += 1;
             obs::counter(self.config.trace, Level::Info, "cegis.iterations", 1);
+            // each iteration is forward progress for the watchdog
+            fec_trace::advance();
+            let iter_start = now;
             let synth_verdict = {
                 // "cegis.synth" vs "cegis.verify" span totals in the
                 // metrics report give the synthesis/verification split
@@ -576,6 +579,7 @@ impl Synthesizer {
                 );
                 syn.solve_with_budget(&[], budget)
             };
+            let synth_us = iter_start.elapsed().as_micros() as u64;
             match synth_verdict {
                 SmtResult::Unsat => return CegisOutcome::Exhausted,
                 SmtResult::Unknown => return CegisOutcome::Timeout,
@@ -589,6 +593,8 @@ impl Synthesizer {
                 &[("iteration", (*iterations).into())],
             );
             let mut all_verified = true;
+            let mut cex_this_iter = 0u64;
+            let mut verify_us = 0u64;
             for (i, cand) in candidates.iter().enumerate() {
                 let Some(ver) = verifiers[i].as_mut() else {
                     continue; // md ≤ 1: nothing to verify
@@ -599,6 +605,7 @@ impl Synthesizer {
                 }
                 let budget = Budget::with_timeout(deadline - now);
                 let pins = ver.sym.pin_assumptions(cand);
+                let verify_started = Instant::now();
                 let verify_verdict = {
                     let _sp = obs::span(
                         self.config.trace,
@@ -608,11 +615,13 @@ impl Synthesizer {
                     );
                     ver.solver.solve_with_budget(&pins, budget)
                 };
+                verify_us += verify_started.elapsed().as_micros() as u64;
                 match verify_verdict {
                     SmtResult::Unsat => {} // verifier succeeded for this gen
                     SmtResult::Unknown => return CegisOutcome::Timeout,
                     SmtResult::Sat => {
                         all_verified = false;
+                        cex_this_iter += 1;
                         obs::counter(self.config.trace, Level::Info, "cegis.counterexamples", 1);
                         match self.config.cex_mode {
                             CexMode::BlockCandidate => {
@@ -646,6 +655,24 @@ impl Synthesizer {
                     }
                 }
             }
+            // one self-describing record per iteration: how many
+            // candidates were synthesized, how many counterexamples
+            // came back, and where the time went (synth vs verify)
+            let iter_us = iter_start.elapsed().as_micros() as u64;
+            obs::event(
+                self.config.trace,
+                Level::Debug,
+                "cegis.iteration",
+                &[
+                    ("iteration", (*iterations).into()),
+                    ("candidates", candidates.len().into()),
+                    ("counterexamples", cex_this_iter.into()),
+                    ("synth_us", synth_us.into()),
+                    ("verify_us", verify_us.into()),
+                    ("iter_us", iter_us.into()),
+                ],
+            );
+            obs::hist(self.config.trace, Level::Debug, "cegis.iter_us", iter_us);
             if all_verified {
                 return CegisOutcome::Found(candidates);
             }

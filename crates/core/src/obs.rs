@@ -27,3 +27,9 @@ pub(crate) fn counter(cap: Level, level: Level, name: &str, delta: i64) {
         fec_trace::counter(level, name, delta);
     }
 }
+
+pub(crate) fn hist(cap: Level, level: Level, name: &str, value: u64) {
+    if fec_trace::enabled_at(cap, level) {
+        fec_trace::hist(level, name, value);
+    }
+}

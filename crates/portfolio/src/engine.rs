@@ -228,6 +228,56 @@ fn run_single(
     )
 }
 
+/// Records one import-hook drain for worker `i`: the batch size into
+/// the share-traffic histogram and the per-worker backlog gauge (the
+/// drain happens at a restart boundary, so the batch size *is* the
+/// queue depth that built up since the previous restart).
+fn observe_import(i: usize, batch: usize) {
+    if fec_trace::enabled(fec_trace::Level::Debug) {
+        fec_trace::hist(
+            fec_trace::Level::Debug,
+            "portfolio.import.batch",
+            batch as u64,
+        );
+        fec_trace::gauge(
+            fec_trace::Level::Debug,
+            &format!("portfolio.w{i}.queue_depth"),
+            batch as i64,
+        );
+    }
+}
+
+/// One `portfolio.worker.done` event per worker with its full effort
+/// breakdown — the per-worker view that makes sub-1.0× speedups
+/// diagnosable (who burned the conflicts, who idled, who lost the
+/// race after how long).
+fn emit_worker_done(
+    i: usize,
+    stats: &SolverStats,
+    result: SolveResult,
+    won: bool,
+    started: Instant,
+) {
+    fec_trace::event!(
+        fec_trace::Level::Debug,
+        "portfolio.worker.done",
+        "worker" => i,
+        "result" => match result {
+            SolveResult::Sat => "sat",
+            SolveResult::Unsat => "unsat",
+            SolveResult::Unknown => "cancelled",
+        },
+        "won" => won,
+        "conflicts" => stats.conflicts,
+        "propagations" => stats.propagations,
+        "restarts" => stats.restarts,
+        "exported" => stats.exported_clauses,
+        "imported" => stats.imported_clauses,
+        "rejected" => stats.rejected_clauses,
+        "elapsed_us" => started.elapsed().as_micros() as u64,
+    );
+}
+
 /// Per-worker ends of the sharing mesh: the producers that broadcast a
 /// worker's exports to every peer, and the consumers that drain every
 /// peer's exports into that worker.
@@ -283,11 +333,19 @@ fn run_parallel(
                         "portfolio.worker",
                         "worker" => i,
                     );
+                    let worker_start = Instant::now();
                     let (mut s, logger) = build_worker(i, num_vars, clauses, config);
                     s.set_stop_flag(election.stop_handle());
                     if sharing {
                         s.set_export_hook(
                             Box::new(move |lits, lbd| {
+                                // share-traffic profile: what LBD quality
+                                // actually crosses the mesh
+                                fec_trace::hist!(
+                                    fec_trace::Level::Debug,
+                                    "portfolio.share.lbd",
+                                    lbd
+                                );
                                 for p in &prods {
                                     p.push((lits.to_vec(), lbd));
                                 }
@@ -299,6 +357,7 @@ fn run_parallel(
                             for c in &cons {
                                 batch.extend(c.drain());
                             }
+                            observe_import(i, batch.len());
                             batch
                         }));
                     }
@@ -314,6 +373,7 @@ fn run_parallel(
                             "conflicts" => s.stats().conflicts,
                         );
                     }
+                    emit_worker_done(i, &s.stats(), result, won, worker_start);
                     report(&s, result, num_vars, logger.as_ref(), won)
                 })
             })
@@ -362,6 +422,7 @@ fn run_round_robin(
                 for c in &cons {
                     batch.extend(c.drain());
                 }
+                observe_import(i, batch.len());
                 batch
             }));
         }

@@ -141,6 +141,14 @@ impl SolverStats {
 /// (clause literals, LBD at learning time).
 pub type ExportHook = Box<dyn FnMut(&[Lit], u32) + Send>;
 
+/// Progress callback invoked at every restart boundary with the
+/// solver's cumulative statistics (see [`Solver::set_progress_hook`]).
+/// Independent of the tracing collector: hosts that want live
+/// conflicts/sec, propagation, restart, and simplification deltas
+/// (TTY lines, `fecsynth serve` heartbeats) subscribe here without
+/// installing any sink.
+pub type ProgressHook = Box<dyn FnMut(&SolverStats) + Send>;
+
 /// Supplier of shared clauses, polled at restart boundaries; returns
 /// `(clause, lbd)` batches drained from peer workers.
 pub type ImportHook = Box<dyn FnMut() -> Vec<(Vec<Lit>, u32)> + Send>;
@@ -191,10 +199,16 @@ pub struct Solver {
     export: Option<ExportHook>,
     export_lbd_max: u32,
     import: Option<ImportHook>,
+    // restart-boundary progress callback (None = off, the default)
+    progress: Option<ProgressHook>,
     // LBD distribution of learned clauses (bucket 15 = "≥ 15"); only
     // maintained while tracing is enabled at Debug, so the conflict
     // path pays one predictable branch otherwise
     lbd_hist: [u64; 16],
+    // portion of lbd_hist already flushed to the trace histogram
+    lbd_flushed: [u64; 16],
+    // (time, conflict count) at the previous snapshot, for rates/gaps
+    last_snapshot: Option<(Instant, u64)>,
     // --- simplification state (see solver/inprocess.rs) ---
     // frozen[v]: never eliminate v (assumption / activation variables)
     frozen: Vec<bool>,
@@ -256,7 +270,10 @@ impl Solver {
             export: None,
             export_lbd_max: 0,
             import: None,
+            progress: None,
             lbd_hist: [0; 16],
+            lbd_flushed: [0; 16],
+            last_snapshot: None,
             frozen: Vec::new(),
             eliminated: Vec::new(),
             num_eliminated: 0,
@@ -299,6 +316,15 @@ impl Solver {
     /// clauses are logical consequences of it).
     pub fn set_import_hook(&mut self, hook: ImportHook) {
         self.import = Some(hook);
+    }
+
+    /// Installs a progress callback fired at every restart boundary —
+    /// the natural sampling point: never inside the propagation loop,
+    /// frequent enough (Luby schedule) for live rate displays. The
+    /// hook sees cumulative [`SolverStats`]; callers diff successive
+    /// snapshots for per-interval rates.
+    pub fn set_progress_hook(&mut self, hook: ProgressHook) {
+        self.progress = Some(hook);
     }
 
     #[inline]
@@ -448,9 +474,13 @@ impl Solver {
 
     /// Sampled hot-loop observability: one `sat.snapshot` event per
     /// restart boundary (never inside the propagation loop), carrying
-    /// cumulative totals, the conflict rate, and the LBD histogram.
-    fn emit_snapshot(&self, start: Instant) {
-        let secs = start.elapsed().as_secs_f64();
+    /// cumulative totals, the conflict rate, and the LBD histogram —
+    /// plus gauge/histogram instrument flushes: learned-DB size and
+    /// trail depth gauges, per-restart conflict-gap samples, and the
+    /// LBD counts accumulated since the previous snapshot.
+    fn emit_snapshot(&mut self, start: Instant) {
+        let now = Instant::now();
+        let secs = (now - start).as_secs_f64();
         let rate = if secs > 0.0 {
             self.stats.conflicts as f64 / secs
         } else {
@@ -472,7 +502,43 @@ impl Solver {
             "learnt" => self.stats.learnt_clauses,
             "conflicts_per_s" => rate,
             "lbd_hist" => hist,
+            "eliminated_vars" => self.stats.eliminated_vars,
+            "subsumed" => self.stats.subsumed_clauses,
+            "simplify_passes" => self.stats.simplify_passes,
         );
+        use fec_trace::Level::Debug;
+        // gauges: the learnt-DB level and the trail depth at this
+        // boundary (before the restart's backtrack to level 0)
+        let live_learnt = self
+            .stats
+            .learnt_clauses
+            .saturating_sub(self.stats.deleted_clauses);
+        fec_trace::gauge!(Debug, "sat.learnt_db", live_learnt);
+        fec_trace::gauge!(Debug, "sat.trail_depth", self.trail.len());
+        // deltas since the previous snapshot: the conflict counter (for
+        // watchdog/TTY rate displays), the mean conflict-to-conflict
+        // gap over the interval (one batched histogram record — the
+        // conflict loop itself never reads the clock), and the fresh
+        // portion of the LBD distribution
+        let (since, base) = self
+            .last_snapshot
+            .map_or((now - start, 0), |(at, c)| (now - at, c));
+        let new_conflicts = self.stats.conflicts - base;
+        if new_conflicts > 0 {
+            fec_trace::counter!(Debug, "sat.conflicts", new_conflicts);
+            let gap_us = since.as_micros() as u64 / new_conflicts;
+            fec_trace::hist!(Debug, "sat.conflict_gap_us", gap_us, new_conflicts);
+        }
+        for (lbd, (&total, flushed)) in self
+            .lbd_hist
+            .iter()
+            .zip(self.lbd_flushed.iter_mut())
+            .enumerate()
+        {
+            fec_trace::hist!(Debug, "sat.lbd", lbd as u64, total - *flushed);
+            *flushed = total;
+        }
+        self.last_snapshot = Some((now, self.stats.conflicts));
     }
 
     /// `false` once the clause set is known unsatisfiable outright
@@ -1035,8 +1101,16 @@ impl Solver {
                 SearchOutcome::Restart => {
                     self.stats.restarts += 1;
                     self.restarts_since_simplify += 1;
+                    // every restart is forward progress for the watchdog
+                    fec_trace::advance();
                     if fec_trace::enabled(fec_trace::Level::Debug) {
                         self.emit_snapshot(start);
+                    }
+                    if self.progress.is_some() {
+                        let stats = self.stats;
+                        if let Some(hook) = self.progress.as_mut() {
+                            hook(&stats);
+                        }
                     }
                     continue;
                 }
@@ -1644,6 +1718,28 @@ mod tests {
         let n = exported.lock().unwrap().len() as u64;
         assert!(n > 0);
         assert_eq!(s.stats().exported_clauses, n);
+    }
+
+    #[test]
+    fn progress_hook_fires_at_restart_boundaries() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<SolverStats>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut s = pigeonhole(7, 6);
+        s.set_progress_hook(Box::new(move |stats| {
+            sink.lock().unwrap().push(*stats);
+        }));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let snapshots = seen.lock().unwrap();
+        let restarts = s.stats().restarts;
+        assert!(restarts > 0, "instance too easy to exercise restarts");
+        assert_eq!(snapshots.len() as u64, restarts);
+        // cumulative statistics are monotone across snapshots
+        for w in snapshots.windows(2) {
+            assert!(w[0].conflicts <= w[1].conflicts);
+            assert!(w[0].propagations <= w[1].propagations);
+            assert!(w[0].restarts < w[1].restarts);
+        }
     }
 
     #[test]

@@ -313,6 +313,15 @@ impl SmtSolver {
         let Some(cert) = self.cert.as_mut() else {
             return;
         };
+        let _sp = fec_trace::span!(
+            fec_trace::Level::Trace,
+            "cert.check",
+            "verdict" => match verdict {
+                SolveResult::Sat => "sat",
+                SolveResult::Unsat => "unsat",
+                SolveResult::Unknown => "unknown",
+            },
+        );
         let steps = cert.log.take_steps();
         let before = cert.checker.lemmas_accepted();
         if let Err(e) = cert.checker.process_all(&steps) {

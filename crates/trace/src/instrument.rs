@@ -1,0 +1,326 @@
+//! Instrument value types: log-bucketed histograms, gauge
+//! aggregates, and the watchdog's stall detector.
+//!
+//! [`Histogram`] and [`GaugeAgg`] are plain mergeable values — the
+//! global emission API (`hist!`, `gauge!` in the crate root) routes
+//! records into per-name instances held by the metrics registry, but
+//! the types themselves have no global state and are usable (and
+//! property-testable) standalone.
+
+use std::fmt::Write as _;
+
+/// Number of histogram buckets: one per power of two of a `u64`
+/// sample, plus a zero bucket (index 0).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds exact zeros; bucket `i >= 1` holds samples whose
+/// highest set bit is `i - 1`, i.e. values in `[2^(i-1), 2^i)`. This
+/// gives ~1 significant figure of resolution over the full `u64`
+/// range in a fixed 65-counter footprint — enough to distinguish a
+/// 10 µs conflict gap from a 10 ms one, which is what the solver
+/// telemetry needs.
+///
+/// `merge` is associative and commutative with [`Histogram::new`] as
+/// identity (property-tested), so per-thread or per-worker histograms
+/// can be folded in any order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The bucket index a sample lands in.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The inclusive lower bound of bucket `i`.
+pub fn bucket_floor(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (the merge identity).
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value (used to flush
+    /// pre-bucketed counts, e.g. the solver's per-restart LBD deltas,
+    /// without touching the hot loop).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// An estimate of the `q`-quantile (`0.0..=1.0`): the floor of the
+    /// bucket containing the `ceil(q * count)`-th sample, clamped to
+    /// the observed min/max so exact values survive at the extremes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// A compact single-line rendering: `n=5 mean=12.0 p50=8 p99=64 max=70`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "n={} mean={:.1} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max()
+        );
+        s
+    }
+}
+
+/// Aggregate of one gauge name: last-written value plus the envelope.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GaugeAgg {
+    /// Most recently set value.
+    pub last: i64,
+    /// Smallest value ever set.
+    pub min: i64,
+    /// Largest value ever set.
+    pub max: i64,
+    /// Number of sets.
+    pub sets: u64,
+}
+
+impl Default for GaugeAgg {
+    fn default() -> GaugeAgg {
+        GaugeAgg {
+            last: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+            sets: 0,
+        }
+    }
+}
+
+impl GaugeAgg {
+    /// Records a gauge write.
+    pub fn set(&mut self, value: i64) {
+        self.last = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sets += 1;
+    }
+}
+
+/// Stall detection for the progress watchdog, factored out of the
+/// thread so it can be unit-tested against a mock clock.
+///
+/// The watchdog feeds it `(advance, now_ms)` on every tick, where
+/// `advance` is the global advance counter (ticked by the solver at
+/// restart boundaries and by CEGIS per iteration). A query is
+/// *stalled* when the counter has not moved for at least `window_ms`.
+#[derive(Clone, Copy, Debug)]
+pub struct StallDetector {
+    window_ms: u64,
+    last_advance: u64,
+    last_change_ms: u64,
+    primed: bool,
+}
+
+impl StallDetector {
+    /// A detector that flags after `window_ms` without advance.
+    pub fn new(window_ms: u64) -> StallDetector {
+        StallDetector {
+            window_ms,
+            last_advance: 0,
+            last_change_ms: 0,
+            primed: false,
+        }
+    }
+
+    /// Observes the advance counter at `now_ms`; returns `Some(ms)`
+    /// with the time since the last advance when the stall window has
+    /// elapsed, `None` while progress is healthy.
+    pub fn observe(&mut self, advance: u64, now_ms: u64) -> Option<u64> {
+        if !self.primed || advance != self.last_advance {
+            self.primed = true;
+            self.last_advance = advance;
+            self.last_change_ms = now_ms;
+            return None;
+        }
+        let idle = now_ms.saturating_sub(self.last_change_ms);
+        if idle >= self.window_ms {
+            Some(idle)
+        } else {
+            None
+        }
+    }
+
+    /// Milliseconds since the last observed advance.
+    pub fn idle_ms(&self, now_ms: u64) -> u64 {
+        if self.primed {
+            now_ms.saturating_sub(self.last_change_ms)
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(2), 2);
+        assert_eq!(bucket_floor(3), 4);
+        // every value falls in [floor(i), 2*floor(i)) for i >= 1
+        for v in [1u64, 5, 63, 64, 1000, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(bucket_floor(i) <= v);
+            if i < 64 {
+                assert!(v < bucket_floor(i + 1).max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        assert_eq!((h.count(), h.min(), h.max()), (0, 0, 0));
+        for v in [3u64, 9, 9, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1021);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 1000);
+        assert!(h.quantile(0.5) >= 2 && h.quantile(0.5) <= 9);
+        assert!(h.quantile(1.0) >= 512);
+        assert!(h.render().contains("n=4"));
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(17, 5);
+        for _ in 0..5 {
+            b.record(17);
+        }
+        assert_eq!(a, b);
+        a.record_n(9, 0); // zero count is a no-op
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stall_detector_flags_and_recovers() {
+        let mut d = StallDetector::new(100);
+        assert_eq!(d.observe(0, 0), None); // priming observation
+        assert_eq!(d.observe(0, 50), None); // within window
+        assert_eq!(d.observe(0, 100), Some(100)); // window elapsed
+        assert_eq!(d.observe(0, 250), Some(250)); // still stalled, idle grows
+        assert_eq!(d.observe(1, 260), None); // advance clears it
+        assert_eq!(d.idle_ms(300), 40);
+        assert_eq!(d.observe(1, 359), None);
+        assert_eq!(d.observe(1, 360), Some(100));
+    }
+}

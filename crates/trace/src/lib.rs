@@ -21,7 +21,18 @@
 //!   clock;
 //! - a **counter** is a named monotone accumulator; deltas are folded
 //!   into the end-of-run metrics report and graphed by the Chrome
-//!   sink.
+//!   sink;
+//! - a **histogram** is a named log-bucketed sample distribution
+//!   ([`Histogram`]: 65 power-of-two buckets, mergeable); hot paths
+//!   flush pre-counted batches with [`hist_n`] so per-sample cost
+//!   stays out of inner loops;
+//! - a **gauge** is a named instantaneous level (last write wins;
+//!   min/max envelope kept) — learned-clause DB size, trail depth,
+//!   share-queue depth;
+//! - a **progress** record is a heartbeat emitted by the watchdog
+//!   thread ([`TraceConfig::progress_every`]): elapsed time, the
+//!   global [`advance`] counter and its delta, and stall detection
+//!   over a configurable window ([`TraceConfig::stall_after`]).
 //!
 //! # Sinks
 //!
@@ -57,10 +68,14 @@
 
 #![forbid(unsafe_code)]
 
+mod instrument;
 mod json;
 mod metrics;
 mod sink;
 
+pub use instrument::{
+    bucket_floor, bucket_index, GaugeAgg, Histogram, StallDetector, HIST_BUCKETS,
+};
 pub use json::{parse_json, Json, JsonError};
 pub use metrics::{MetricsReport, SpanAgg};
 pub use sink::validate_jsonl;
@@ -68,9 +83,9 @@ pub use sink::validate_jsonl;
 use sink::{ChromeSink, JsonlSink, Sink, StderrSink};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Levels
@@ -199,6 +214,13 @@ pub enum Kind {
     SpanEnd { dur_us: u64 },
     /// A counter increment.
     Counter { delta: i64 },
+    /// `count` histogram samples of `value` (log-bucketed by the
+    /// metrics registry; see [`Histogram`]).
+    Hist { value: u64, count: u64 },
+    /// An absolute gauge write (last value wins; min/max kept).
+    Gauge { value: i64 },
+    /// A periodic heartbeat from the progress watchdog.
+    Progress,
 }
 
 /// One record as handed to sinks.
@@ -287,6 +309,9 @@ pub struct TraceConfig {
     jsonl: Option<Box<dyn Write + Send>>,
     chrome: Option<Box<dyn Write + Send>>,
     metrics_out: Option<PathBuf>,
+    progress_every: Option<Duration>,
+    stall_after: Duration,
+    progress_tty: bool,
 }
 
 impl TraceConfig {
@@ -300,6 +325,9 @@ impl TraceConfig {
             jsonl: None,
             chrome: None,
             metrics_out: None,
+            progress_every: None,
+            stall_after: Duration::from_secs(30),
+            progress_tty: false,
         }
     }
 
@@ -339,6 +367,32 @@ impl TraceConfig {
         self.metrics_out = Some(path.into());
         self
     }
+
+    /// Starts the progress watchdog: a background thread that every
+    /// `interval` emits a `progress` record to the active sinks (and
+    /// flushes them, so live consumers see it) and checks the global
+    /// [`advance`] counter for stalls.
+    pub fn progress_every(mut self, interval: Duration) -> Self {
+        self.progress_every = Some(interval);
+        self
+    }
+
+    /// How long the [`advance`] counter may sit still before the
+    /// watchdog flags the run as stalled (default 30 s). Stalls are
+    /// reported on the `progress` record (`stalled`/`stall_ms` fields)
+    /// and escalated once per episode as a `progress.stall` warning.
+    pub fn stall_after(mut self, window: Duration) -> Self {
+        self.stall_after = window;
+        self
+    }
+
+    /// Renders a live single-line progress display on stderr
+    /// (carriage-return overwrite) from the watchdog thread. Meant for
+    /// interactive runs; leave off when stderr is piped.
+    pub fn progress_tty(mut self, on: bool) -> Self {
+        self.progress_tty = on;
+        self
+    }
 }
 
 /// Installs the global collector described by `config`, replacing any
@@ -346,6 +400,7 @@ impl TraceConfig {
 /// always aggregated while a collector is installed.
 pub fn install(config: TraceConfig) {
     epoch(); // pin the timestamp origin before the first record
+    stop_watchdog();
     let mut sinks: Vec<SinkEntry> = Vec::new();
     if config.stderr && config.level > Level::Off {
         sinks.push(SinkEntry {
@@ -365,13 +420,15 @@ pub fn install(config: TraceConfig) {
             sink: Box::new(ChromeSink::new(w)),
         });
     }
-    let metrics_on = config.metrics_out.is_some();
+    // metrics aggregation and the watchdog both need every record to
+    // pass the global guard, whatever the sink levels filter down to
+    let force_full = config.metrics_out.is_some() || config.progress_every.is_some();
     let max = sinks
         .iter()
         .map(|s| s.level)
         .max()
         .unwrap_or(Level::Off)
-        .max(if metrics_on { Level::Trace } else { Level::Off });
+        .max(if force_full { Level::Trace } else { Level::Off });
     let collector = Collector {
         sinks,
         metrics: metrics::Registry::default(),
@@ -384,6 +441,10 @@ pub fn install(config: TraceConfig) {
         }
     }
     MAX_LEVEL.store(max as u8, Ordering::Relaxed);
+    drop(guard);
+    if let Some(interval) = config.progress_every {
+        start_watchdog(interval, config.stall_after, config.progress_tty);
+    }
 }
 
 /// `true` while a collector is installed.
@@ -409,6 +470,7 @@ pub fn flush() {
 /// Flushes, uninstalls the collector, and returns the final metrics
 /// report (`None` when nothing was installed).
 pub fn shutdown() -> Option<MetricsReport> {
+    stop_watchdog();
     let taken = {
         let mut guard = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
         MAX_LEVEL.store(0, Ordering::Relaxed);
@@ -478,6 +540,172 @@ pub fn counter(level: Level, name: &str, delta: i64) {
     }
 }
 
+/// Records one sample into the log-bucketed histogram `name`.
+pub fn hist(level: Level, name: &str, value: u64) {
+    hist_n(level, name, value, 1);
+}
+
+/// Records `count` samples of `value` into the histogram `name` —
+/// the batch form hot paths use to flush pre-bucketed tallies (e.g.
+/// per-restart LBD counts) in one record.
+pub fn hist_n(level: Level, name: &str, value: u64, count: u64) {
+    if count > 0 && enabled(level) {
+        dispatch(level, name, Kind::Hist { value, count }, &[]);
+    }
+}
+
+/// Sets the gauge `name` to the absolute `value` (last write wins;
+/// the metrics report keeps the min/max envelope, the Chrome sink a
+/// plotted track).
+pub fn gauge(level: Level, name: &str, value: i64) {
+    if enabled(level) {
+        dispatch(level, name, Kind::Gauge { value }, &[]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Progress watchdog
+// ---------------------------------------------------------------------------
+
+/// Global forward-progress counter read by the watchdog. Ticked by
+/// long-running loops at natural boundaries: the CDCL solver at every
+/// restart, CEGIS at every iteration.
+static ADVANCE: AtomicU64 = AtomicU64::new(0);
+
+/// Ticks the forward-progress counter (no-op while tracing is off —
+/// the disabled path is the same single relaxed load as [`enabled`]).
+#[inline]
+pub fn advance() {
+    if MAX_LEVEL.load(Ordering::Relaxed) != 0 {
+        ADVANCE.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The current value of the forward-progress counter.
+pub fn advance_count() -> u64 {
+    ADVANCE.load(Ordering::Relaxed)
+}
+
+struct WatchdogHandle {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+static WATCHDOG: Mutex<Option<WatchdogHandle>> = Mutex::new(None);
+
+fn stop_watchdog() {
+    let taken = {
+        let mut guard = WATCHDOG.lock().unwrap_or_else(|e| e.into_inner());
+        guard.take()
+    };
+    if let Some(h) = taken {
+        h.stop.store(true, Ordering::Release);
+        let _ = h.thread.join();
+    }
+}
+
+fn start_watchdog(interval: Duration, stall_after: Duration, tty: bool) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("trace-watchdog".into())
+        .spawn(move || watchdog_loop(interval, stall_after, tty, &stop2))
+        .expect("spawn trace watchdog");
+    let mut guard = WATCHDOG.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(WatchdogHandle { stop, thread });
+}
+
+fn watchdog_loop(interval: Duration, stall_after: Duration, tty: bool, stop: &AtomicBool) {
+    set_thread_name("trace-watchdog");
+    let mut detector = StallDetector::new(stall_after.as_millis().max(1) as u64);
+    let mut last_advance = advance_count();
+    let mut was_stalled = false;
+    'ticks: loop {
+        // sleep in short slices so shutdown never waits a full interval
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline {
+            if stop.load(Ordering::Acquire) {
+                break 'ticks;
+            }
+            std::thread::sleep(Duration::from_millis(5).min(interval));
+        }
+        let adv = advance_count();
+        let delta = adv.wrapping_sub(last_advance);
+        last_advance = adv;
+        let now_ms = now_us() / 1000;
+        let stall = detector.observe(adv, now_ms);
+        let stalled = stall.is_some();
+        let fields = [
+            ("elapsed_ms", Value::U64(now_ms)),
+            ("advance", Value::U64(adv)),
+            ("delta", Value::U64(delta)),
+            ("stalled", Value::Bool(stalled)),
+            ("stall_ms", Value::U64(stall.unwrap_or(0))),
+        ];
+        dispatch(Level::Info, "progress", Kind::Progress, &fields);
+        if stalled && !was_stalled {
+            event(
+                Level::Warn,
+                "progress.stall",
+                &[
+                    ("idle_ms", Value::U64(stall.unwrap_or(0))),
+                    ("advance", Value::U64(adv)),
+                ],
+            );
+        }
+        was_stalled = stalled;
+        if tty {
+            render_tty_line(now_ms, adv, delta, stall);
+        }
+        // push the heartbeat through to live consumers (tail -f etc.)
+        flush();
+    }
+    // final heartbeat at shutdown: runs shorter than one interval
+    // still record their end state (elapsed, total advance)
+    let adv = advance_count();
+    let now_ms = now_us() / 1000;
+    let fields = [
+        ("elapsed_ms", Value::U64(now_ms)),
+        ("advance", Value::U64(adv)),
+        ("delta", Value::U64(adv.wrapping_sub(last_advance))),
+        ("stalled", Value::Bool(false)),
+        ("stall_ms", Value::U64(0)),
+    ];
+    dispatch(Level::Info, "progress", Kind::Progress, &fields);
+    if tty {
+        let _ = std::io::stderr().lock().write_all(b"\r\x1b[K");
+    }
+}
+
+/// Overwrites a single stderr status line (`\r` + clear-to-EOL).
+fn render_tty_line(now_ms: u64, adv: u64, delta: u64, stall: Option<u64>) {
+    let mut line = String::with_capacity(160);
+    use std::fmt::Write as _;
+    let _ = write!(
+        line,
+        "\r\x1b[K[fec {:>7.1}s] advance {adv} (+{delta})",
+        now_ms as f64 / 1e3
+    );
+    if let Some(report) = metrics() {
+        for (key, label) in [
+            ("cegis.iterations", "iters"),
+            ("cegis.counterexamples", "cex"),
+            ("sat.conflicts", "conflicts"),
+        ] {
+            if let Some(v) = report.counters.get(key) {
+                let _ = write!(line, "  {label} {v}");
+            }
+        }
+        if let Some(g) = report.gauges.get("sat.learnt_db") {
+            let _ = write!(line, "  learnt {}", g.last);
+        }
+    }
+    if let Some(idle) = stall {
+        let _ = write!(line, "  STALLED {:.1}s", idle as f64 / 1e3);
+    }
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
 /// An RAII span: created by [`Span::enter`], emits `SpanEnd` with the
 /// measured duration on drop. When tracing is disabled at entry the
 /// span is a no-op shell (no allocation, no clock read).
@@ -544,6 +772,26 @@ macro_rules! event {
 macro_rules! counter {
     ($level:expr, $name:expr, $delta:expr) => {
         $crate::counter($level, $name, ($delta) as i64)
+    };
+}
+
+/// Records a histogram sample: `hist!(Level::Debug, "name", value)`,
+/// or a pre-counted batch: `hist!(Level::Debug, "name", value, n)`.
+#[macro_export]
+macro_rules! hist {
+    ($level:expr, $name:expr, $value:expr) => {
+        $crate::hist($level, $name, ($value) as u64)
+    };
+    ($level:expr, $name:expr, $value:expr, $count:expr) => {
+        $crate::hist_n($level, $name, ($value) as u64, ($count) as u64)
+    };
+}
+
+/// Sets a gauge to an absolute value: `gauge!(Level::Debug, "name", v)`.
+#[macro_export]
+macro_rules! gauge {
+    ($level:expr, $name:expr, $value:expr) => {
+        $crate::gauge($level, $name, ($value) as i64)
     };
 }
 

@@ -2,7 +2,7 @@
 //! statistics, keyed by record name.
 
 use crate::json::escape_into;
-use crate::{Kind, Record};
+use crate::{GaugeAgg, Histogram, Kind, Record};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -38,7 +38,10 @@ impl SpanAgg {
 pub(crate) struct Registry {
     counters: BTreeMap<String, i64>,
     spans: BTreeMap<String, SpanAgg>,
+    hists: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, GaugeAgg>,
     events: u64,
+    progress: u64,
 }
 
 impl Registry {
@@ -53,7 +56,20 @@ impl Registry {
                     .or_default()
                     .add(dur_us);
             }
+            Kind::Hist { value, count } => {
+                self.hists
+                    .entry(r.name.to_string())
+                    .or_default()
+                    .record_n(value, count);
+            }
+            Kind::Gauge { value } => {
+                self.gauges
+                    .entry(r.name.to_string())
+                    .or_default()
+                    .set(value);
+            }
             Kind::Event => self.events += 1,
+            Kind::Progress => self.progress += 1,
             Kind::SpanBegin => {}
         }
     }
@@ -62,7 +78,10 @@ impl Registry {
         MetricsReport {
             counters: self.counters.clone(),
             spans: self.spans.clone(),
+            hists: self.hists.clone(),
+            gauges: self.gauges.clone(),
             events: self.events,
+            progress: self.progress,
         }
     }
 }
@@ -74,8 +93,14 @@ pub struct MetricsReport {
     pub counters: BTreeMap<String, i64>,
     /// Span statistics by name.
     pub spans: BTreeMap<String, SpanAgg>,
+    /// Histogram aggregates by name.
+    pub hists: BTreeMap<String, Histogram>,
+    /// Gauge aggregates by name.
+    pub gauges: BTreeMap<String, GaugeAgg>,
     /// Point events observed (any kind::Event record).
     pub events: u64,
+    /// Watchdog heartbeats observed (kind::Progress records).
+    pub progress: u64,
 }
 
 impl MetricsReport {
@@ -97,7 +122,38 @@ impl MetricsReport {
                 s.count, s.total_us, s.min_us, s.max_us
             );
         }
-        let _ = write!(out, "\n  }},\n  \"events\": {}\n}}\n", self.events);
+        out.push_str("\n  },\n  \"hists\": {");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            escape_into(&mut out, k);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99)
+            );
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, g)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            escape_into(&mut out, k);
+            let _ = write!(
+                out,
+                ": {{\"last\": {}, \"min\": {}, \"max\": {}, \"sets\": {}}}",
+                g.last, g.min, g.max, g.sets
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  }},\n  \"events\": {},\n  \"progress\": {}\n}}\n",
+            self.events, self.progress
+        );
         out
     }
 
@@ -121,6 +177,22 @@ impl MetricsReport {
             out.push_str("counters:\n");
             for (k, v) in &self.counters {
                 let _ = writeln!(out, "  {k:<32} {v:>12}");
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.hists {
+                let _ = writeln!(out, "  {k:<32} {}", h.render());
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges (last, min, max, sets):\n");
+            for (k, g) in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "  {k:<32} {:>10}  {:>10}  {:>10}  {:>8}",
+                    g.last, g.min, g.max, g.sets
+                );
             }
         }
         out
@@ -174,6 +246,46 @@ mod tests {
         // field values are exercised through Value conversions elsewhere;
         // silence the unused-import lint meaningfully here
         let _ = Value::from(1u64);
+    }
+
+    #[test]
+    fn aggregates_hists_gauges_and_progress() {
+        let mut reg = Registry::default();
+        reg.record(&rec("h.x", Kind::Hist { value: 8, count: 3 }));
+        reg.record(&rec(
+            "h.x",
+            Kind::Hist {
+                value: 100,
+                count: 1,
+            },
+        ));
+        reg.record(&rec("g.y", Kind::Gauge { value: 5 }));
+        reg.record(&rec("g.y", Kind::Gauge { value: -2 }));
+        reg.record(&rec("progress", Kind::Progress));
+        let r = reg.snapshot();
+        let h = &r.hists["h.x"];
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (4, 124, 8, 100));
+        let g = r.gauges["g.y"];
+        assert_eq!((g.last, g.min, g.max, g.sets), (-2, -2, 5, 2));
+        assert_eq!(r.progress, 1);
+        // the JSON report includes both sections and still parses
+        let j = parse_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(
+            j.get("hists")
+                .and_then(|h| h.get("h.x"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_num),
+            Some(4.0)
+        );
+        assert_eq!(
+            j.get("gauges")
+                .and_then(|g| g.get("g.y"))
+                .and_then(|g| g.get("last"))
+                .and_then(Json::as_num),
+            Some(-2.0)
+        );
+        let text = r.render_text();
+        assert!(text.contains("h.x") && text.contains("g.y"), "{text}");
     }
 
     #[test]

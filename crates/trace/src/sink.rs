@@ -41,14 +41,24 @@ impl Sink for StderrSink {
             Kind::Counter { delta } => {
                 let _ = write!(line, " +{delta}");
             }
-            Kind::Event | Kind::SpanBegin => {}
+            Kind::Hist { value, count } => {
+                let _ = write!(line, " sample={value} x{count}");
+            }
+            Kind::Gauge { value } => {
+                let _ = write!(line, " ={value}");
+            }
+            Kind::Event | Kind::SpanBegin | Kind::Progress => {}
         }
         for (k, v) in r.fields {
             let mut vs = String::new();
             value_into(&mut vs, v);
             let _ = write!(line, " {k}={vs}");
         }
-        eprintln!("{line}");
+        line.push('\n');
+        // one atomic write_all of the whole preformatted line: worker
+        // threads (portfolio, watchdog) must never shear each other's
+        // output mid-line
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
     }
 
     fn flush(&mut self) {
@@ -79,6 +89,9 @@ impl Sink for JsonlSink {
             Kind::SpanBegin => "begin",
             Kind::SpanEnd { .. } => "end",
             Kind::Counter { .. } => "counter",
+            Kind::Hist { .. } => "hist",
+            Kind::Gauge { .. } => "gauge",
+            Kind::Progress => "progress",
         };
         let _ = write!(
             line,
@@ -98,6 +111,12 @@ impl Sink for JsonlSink {
             }
             Kind::Counter { delta } => {
                 let _ = write!(line, ", \"delta\": {delta}");
+            }
+            Kind::Hist { value, count } => {
+                let _ = write!(line, ", \"value\": {value}, \"count\": {count}");
+            }
+            Kind::Gauge { value } => {
+                let _ = write!(line, ", \"value\": {value}");
             }
             _ => {}
         }
@@ -130,10 +149,12 @@ impl Sink for JsonlSink {
 /// - `ts_us`: number — microseconds since collector install
 /// - `tid`: number — dense thread id
 /// - `level`: string in `error|warn|info|debug|trace`
-/// - `kind`: string in `event|begin|end|counter`
+/// - `kind`: string in `event|begin|end|counter|hist|gauge|progress`
 /// - `name`: non-empty string
 /// - `dur_us`: number, required iff `kind == "end"`
 /// - `delta`: number, required iff `kind == "counter"`
+/// - `value`: number, required iff `kind` is `hist` or `gauge`
+/// - `count`: number, required iff `kind == "hist"`
 /// - `thread`: optional string
 /// - `fields`: optional object of scalar values
 pub fn validate_jsonl(text: &str) -> Result<usize, String> {
@@ -162,7 +183,7 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         }
         let kind = v.get("kind").and_then(Json::as_str);
         match kind {
-            Some("event" | "begin" | "end" | "counter") => {}
+            Some("event" | "begin" | "end" | "counter" | "hist" | "gauge" | "progress") => {}
             _ => return fail("missing or unknown kind"),
         }
         match v.get("name").and_then(Json::as_str) {
@@ -174,6 +195,13 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         }
         if kind == Some("counter") && v.get("delta").and_then(Json::as_num).is_none() {
             return fail("counter without numeric delta");
+        }
+        if matches!(kind, Some("hist" | "gauge")) && v.get("value").and_then(Json::as_num).is_none()
+        {
+            return fail("hist/gauge without numeric value");
+        }
+        if kind == Some("hist") && v.get("count").and_then(Json::as_num).is_none() {
+            return fail("hist without numeric count");
         }
         if let Some(f) = v.get("fields") {
             let Json::Obj(m) = f else {
@@ -271,11 +299,26 @@ impl Sink for ChromeSink {
                 common(&mut obj, r.name, 'E', r.ts_us, r.tid);
                 obj.push('}');
             }
-            Kind::Event => {
+            Kind::Event | Kind::Progress => {
                 common(&mut obj, r.name, 'i', r.ts_us, r.tid);
                 obj.push_str(", \"s\": \"t\"");
                 args_fields(&mut obj, r.fields);
                 obj.push('}');
+            }
+            Kind::Hist { .. } => {
+                // distributions are aggregated by the metrics report;
+                // per-sample tracks would only bloat the trace
+                return;
+            }
+            Kind::Gauge { value } => {
+                // gauges plot naturally as absolute counter tracks
+                let _ = write!(obj, "{{\"ph\": \"C\", \"name\": ");
+                escape_into(&mut obj, r.name);
+                let _ = write!(
+                    obj,
+                    ", \"cat\": \"fec\", \"ts\": {}, \"pid\": 1, \"args\": {{\"value\": {value}}}}}",
+                    r.ts_us
+                );
             }
             Kind::Counter { delta } => {
                 let total = self.counters.entry(r.name.to_string()).or_insert(0);
@@ -331,6 +374,30 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_new_kinds_validate() {
+        let buf = crate::test_support::SharedBuf::default();
+        let mut sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.record(&rec(
+            "h.lat",
+            Kind::Hist {
+                value: 128,
+                count: 9,
+            },
+            &[],
+        ));
+        sink.record(&rec("g.depth", Kind::Gauge { value: -3 }, &[]));
+        let fields = [("stalled", Value::Bool(false)), ("advance", Value::U64(7))];
+        sink.record(&rec("progress", Kind::Progress, &fields));
+        sink.flush();
+        let text = buf.take_string();
+        assert_eq!(validate_jsonl(&text), Ok(3), "{text}");
+        assert!(text.contains("\"kind\": \"hist\""));
+        assert!(text.contains("\"value\": 128, \"count\": 9"));
+        assert!(text.contains("\"kind\": \"gauge\""));
+        assert!(text.contains("\"kind\": \"progress\""));
+    }
+
+    #[test]
     fn validate_rejects_bad_records() {
         assert!(validate_jsonl("{\"ts_us\": 1}").is_err());
         assert!(validate_jsonl("not json").is_err());
@@ -339,6 +406,12 @@ mod tests {
         assert!(validate_jsonl(bad).is_err());
         // unknown level
         let bad = r#"{"ts_us": 1, "tid": 1, "level": "loud", "kind": "event", "name": "x"}"#;
+        assert!(validate_jsonl(bad).is_err());
+        // hist without count / gauge without value
+        let bad =
+            r#"{"ts_us": 1, "tid": 1, "level": "debug", "kind": "hist", "name": "x", "value": 2}"#;
+        assert!(validate_jsonl(bad).is_err());
+        let bad = r#"{"ts_us": 1, "tid": 1, "level": "debug", "kind": "gauge", "name": "x"}"#;
         assert!(validate_jsonl(bad).is_err());
         assert_eq!(validate_jsonl("\n\n"), Ok(0));
     }

@@ -1,0 +1,180 @@
+//! Integration tests for the instrument layer: histogram algebra
+//! (property-tested), concurrent counter/gauge hammering through the
+//! global collector, and the progress watchdog end to end.
+//!
+//! The collector is process-global, so tests that install one are
+//! serialized through `TRACE_LOCK`. Run with varying
+//! `RUST_TEST_THREADS` to vary interleaving in the hammering test —
+//! the worker threads inside each test race regardless.
+
+use fec_trace::{Histogram, Level, StallDetector, TraceConfig};
+use proptest::prelude::*;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn prop_hist_merge_associative(
+        xs in proptest::collection::vec(0u64..u64::MAX, 0..32),
+        ys in proptest::collection::vec(0u64..u64::MAX, 0..32),
+        zs in proptest::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// merge is commutative and the empty histogram is its identity.
+    #[test]
+    fn prop_hist_merge_commutative_with_identity(
+        xs in proptest::collection::vec(0u64..u64::MAX, 0..32),
+        ys in proptest::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::new());
+        prop_assert_eq!(with_empty, a);
+    }
+
+    /// Merging per-shard histograms equals one histogram over the
+    /// concatenated samples (order independence — what makes
+    /// per-worker folding sound).
+    #[test]
+    fn prop_hist_merge_equals_concat(
+        xs in proptest::collection::vec(0u64..u64::MAX, 0..48),
+        split in 0usize..48,
+    ) {
+        let cut = split.min(xs.len());
+        let mut merged = hist_of(&xs[..cut]);
+        merged.merge(&hist_of(&xs[cut..]));
+        prop_assert_eq!(merged, hist_of(&xs));
+    }
+
+    /// Invariants on any sample set: count/sum bookkeeping, quantile
+    /// monotonicity, and quantiles bounded by min/max.
+    #[test]
+    fn prop_hist_quantiles_bounded(
+        xs in proptest::collection::vec(0u64..1_000_000_000u64, 1..64),
+    ) {
+        let h = hist_of(&xs);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.sum(), xs.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *xs.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *xs.iter().max().unwrap());
+        let (p25, p50, p99) = (h.quantile(0.25), h.quantile(0.5), h.quantile(0.99));
+        prop_assert!(p25 <= p50 && p50 <= p99);
+        prop_assert!(h.min() <= p25 && p99 <= h.max());
+        // a log bucket holds [2^i, 2^(i+1)): the estimate is within 2x
+        // of a true order statistic's bucket floor, so never above max
+        prop_assert!(h.quantile(0.0) >= h.min());
+    }
+}
+
+/// Counters and gauges funneled through the global collector from many
+/// racing threads must aggregate exactly (counters) and to a
+/// last-write-wins value that some thread actually wrote (gauges).
+#[test]
+fn concurrent_counter_and_gauge_hammering() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8));
+    const PER_THREAD: u64 = 500;
+    fec_trace::install(TraceConfig::new(Level::Off).metrics_path(
+        std::env::temp_dir().join(format!("fec_trace_hammer_{}.json", std::process::id())),
+    ));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    fec_trace::counter!(Level::Debug, "hammer.count", 1);
+                    fec_trace::gauge!(Level::Debug, "hammer.level", (t as u64 * PER_THREAD + i));
+                    fec_trace::hist!(Level::Debug, "hammer.lat", i % 97);
+                }
+            });
+        }
+    });
+    let report = fec_trace::shutdown().expect("collector installed");
+    let total = threads as u64 * PER_THREAD;
+    assert_eq!(report.counters["hammer.count"], total as i64);
+    let g = report.gauges["hammer.level"];
+    assert_eq!(g.sets, total);
+    assert!(g.min >= 0 && (g.max as u64) < total);
+    assert!(
+        (g.last as u64) < total,
+        "last value must be one that was written"
+    );
+    assert_eq!(report.hists["hammer.lat"].count(), total);
+}
+
+/// The watchdog emits schema-valid progress heartbeats and flags a
+/// stall once nothing advances for the configured window.
+#[test]
+fn watchdog_emits_progress_and_flags_stalls() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let buf = fec_trace::test_support::SharedBuf::default();
+    fec_trace::install(
+        TraceConfig::new(Level::Off)
+            .jsonl_writer(Box::new(buf.clone()))
+            .progress_every(Duration::from_millis(5))
+            .stall_after(Duration::from_millis(20)),
+    );
+    fec_trace::advance(); // one tick of real progress, then silence
+    std::thread::sleep(Duration::from_millis(120));
+    let report = fec_trace::shutdown().expect("collector installed");
+    assert!(
+        report.progress >= 2,
+        "expected heartbeats, got {}",
+        report.progress
+    );
+    let text = buf.take_string();
+    fec_trace::validate_jsonl(&text).expect("watchdog output matches the JSONL schema");
+    assert!(text.contains("\"kind\": \"progress\""), "{text}");
+    assert!(
+        text.contains("\"stalled\": true") && text.contains("progress.stall"),
+        "a 20ms stall window with no advance for >100ms must be flagged: {text}"
+    );
+}
+
+/// Stall detection against a mock clock: deterministic, no sleeping.
+#[test]
+fn stall_detector_mock_clock_scenarios() {
+    let mut d = StallDetector::new(1_000);
+    // CEGIS making progress every 600ms: never stalled
+    let mut advance = 0u64;
+    for tick in 0..10u64 {
+        advance += 1;
+        assert_eq!(d.observe(advance, tick * 600), None);
+    }
+    // solver goes quiet: flagged exactly when the window elapses
+    // (the last advance was observed at t = 9 * 600 = 5400)
+    let quiet_from = 9 * 600;
+    assert_eq!(d.observe(advance, quiet_from + 999), None);
+    assert_eq!(d.observe(advance, quiet_from + 1_000), Some(1_000));
+    assert_eq!(d.observe(advance, quiet_from + 5_000), Some(5_000));
+    // recovery resets the window
+    assert_eq!(d.observe(advance + 1, quiet_from + 5_100), None);
+    assert_eq!(d.idle_ms(quiet_from + 5_200), 100);
+}
