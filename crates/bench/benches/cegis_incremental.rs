@@ -1,0 +1,227 @@
+//! Incremental-CEGIS speedup on the hardest Table 1 rows, plus the
+//! warm portfolio pool on the flagship verification session.
+//!
+//! Part 1 replays the Table 1 `min_dist ∈ {7, 8}` optimization rows in
+//! paper mode (`CexMode::BlockCandidate`, counterexamples not carried
+//! across bounds — thousands of CEGIS iterations) under the default
+//! incremental core, and against the `incremental: false` reference
+//! mode that rebuilds every solver per iteration. The reference side
+//! is given a wall-clock cap per bound; when it times out, its elapsed
+//! time is a *lower bound* on the true cost and the recorded speedup
+//! is therefore conservative. Gate: incremental ≥ 2× on both rows.
+//!
+//! Part 2 runs the §4.1 (128,120) 802.3df minimum-distance session —
+//! one solver, one iterative-deepening weight query per distance — at
+//! `jobs = 2` through the resident warm pool, against the cold path
+//! that spawns a fresh portfolio (and re-ships the whole circuit) per
+//! weight. Gate: warm ≥ 1.0× at jobs = 2.
+//!
+//! Results land in `BENCH_cegis_incremental.json` at the workspace
+//! root with the shared `bench_meta` header, so `fecsynth
+//! bench-compare` schema-validates and trend-gates them against the
+//! committed baseline.
+//!
+//! ```text
+//! cargo bench -p fec-bench --bench cegis_incremental
+//! ```
+
+use fec_hamming::standards;
+use fec_smt::Budget;
+use fec_synth::cegis::{SynthError, SynthesisConfig, Synthesizer};
+use fec_synth::encode::CexMode;
+use fec_synth::spec::parse_property;
+use fec_synth::verify::{sat_min_distance_incremental_with, sat_min_distance_with, VerifyOptions};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+const REPS: usize = 3;
+/// Per-bound wall cap for the from-scratch reference runs: they are
+/// 10–50× slower than the incremental core, so the bench records a
+/// capped lower bound instead of waiting minutes per rep.
+const SCRATCH_TIMEOUT: Duration = Duration::from_secs(20);
+/// The gates this bench enforces (mirrored in the emitted JSON).
+const CEGIS_GATE: f64 = 2.0;
+const WARM_GATE: f64 = 1.0;
+
+struct Table1Row {
+    min_dist: usize,
+    incr_secs: f64,
+    incr_iters: u64,
+    check_len: usize,
+    scratch_secs: f64,
+    scratch_completed: bool,
+    speedup: f64,
+}
+
+fn table1_config(incremental: bool, timeout: Duration) -> SynthesisConfig {
+    SynthesisConfig {
+        timeout,
+        cex_mode: CexMode::BlockCandidate,
+        persist_counterexamples: false,
+        incremental,
+        ..SynthesisConfig::default()
+    }
+}
+
+fn table1_row(min_dist: usize) -> Table1Row {
+    let prop = parse_property(&format!(
+        "len_d(G0) = 4 && 2 <= len_c(G0) <= 14 && md(G0) = {min_dist} && minimal(len_c(G0))"
+    ))
+    .expect("Table 1 spec parses");
+
+    let mut secs = Vec::with_capacity(REPS);
+    let mut incr_iters = 0;
+    let mut check_len = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = Synthesizer::new(table1_config(true, Duration::from_secs(120)))
+            .run(&prop)
+            .expect("incremental core solves the Table 1 row");
+        secs.push(t.elapsed().as_secs_f64());
+        incr_iters = r.iterations;
+        check_len = r.generators[0].check_len();
+    }
+    secs.sort_by(|a, b| a.total_cmp(b));
+    let incr_secs = secs[REPS / 2];
+
+    // one reference rep: capped, so timing out yields a lower bound
+    let t = Instant::now();
+    let scratch = Synthesizer::new(table1_config(false, SCRATCH_TIMEOUT)).run(&prop);
+    let scratch_secs = t.elapsed().as_secs_f64();
+    let scratch_completed = match scratch {
+        Ok(r) => {
+            assert_eq!(
+                r.generators[0].check_len(),
+                check_len,
+                "modes disagree on the md={min_dist} optimum"
+            );
+            true
+        }
+        Err(SynthError::Timeout) => false,
+        Err(e) => panic!("from-scratch md={min_dist} failed: {e}"),
+    };
+
+    Table1Row {
+        min_dist,
+        incr_secs,
+        incr_iters,
+        check_len,
+        scratch_secs,
+        scratch_completed,
+        speedup: scratch_secs / incr_secs,
+    }
+}
+
+/// Median wall time over `REPS` runs of a min-distance session.
+fn median_session(f: impl Fn() -> Option<usize>, expect: usize) -> f64 {
+    let mut secs = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let d = f();
+        secs.push(t.elapsed().as_secs_f64());
+        assert_eq!(d, Some(expect), "session changed the distance verdict");
+    }
+    secs.sort_by(|a, b| a.total_cmp(b));
+    secs[REPS / 2]
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("incremental CEGIS bench, {REPS} reps, {cores} core(s)");
+
+    // Part 1: Table 1 min_dist = 7/8 optimization rows, paper mode.
+    let mut rows = Vec::new();
+    for min_dist in [7usize, 8] {
+        let row = table1_row(min_dist);
+        println!(
+            "  md={}: incremental {:.2}s ({} iters, check_len {}), from-scratch {:.2}s{} => {:.1}x",
+            row.min_dist,
+            row.incr_secs,
+            row.incr_iters,
+            row.check_len,
+            row.scratch_secs,
+            if row.scratch_completed {
+                ""
+            } else {
+                " (capped; lower bound)"
+            },
+            row.speedup,
+        );
+        assert!(
+            row.speedup >= CEGIS_GATE,
+            "md={} incremental speedup {:.2}x below the {CEGIS_GATE}x gate",
+            row.min_dist,
+            row.speedup
+        );
+        rows.push(row);
+    }
+
+    // Part 2: warm pool vs cold spawn-per-weight on the flagship query.
+    let g = standards::ieee_8023df_128_120();
+    let expect = 3;
+    let mut sessions = Vec::new();
+    for jobs in [1usize, 2] {
+        let opts = VerifyOptions {
+            budget: Budget::unlimited(),
+            jobs,
+            ..VerifyOptions::default()
+        };
+        let cold = median_session(|| sat_min_distance_with(&g, opts).0, expect);
+        let warm = median_session(|| sat_min_distance_incremental_with(&g, opts).0, expect);
+        let speedup = cold / warm;
+        println!("  802.3df jobs={jobs}: cold {cold:.3}s, warm {warm:.3}s => {speedup:.2}x");
+        if jobs == 2 {
+            assert!(
+                speedup >= WARM_GATE,
+                "warm pool at jobs=2 is {speedup:.2}x (gate {WARM_GATE}x)"
+            );
+        }
+        sessions.push((jobs, cold, warm, speedup));
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    json.push_str(&fec_bench::bench_meta(REPS as u64));
+    writeln!(json, "  \"cores\": {cores},").unwrap();
+    writeln!(json, "  \"reps\": {REPS},").unwrap();
+    writeln!(json, "  \"cegis_gate\": {CEGIS_GATE:.1},").unwrap();
+    writeln!(json, "  \"warm_pool_gate\": {WARM_GATE:.1},").unwrap();
+    writeln!(json, "  \"gate_cegis_met\": true,").unwrap();
+    writeln!(json, "  \"gate_warm_pool_met\": true,").unwrap();
+    writeln!(json, "  \"table1_rows\": [").unwrap();
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"min_dist\": {}, \"check_len\": {}, \"incremental_secs\": {:.6}, \
+             \"incremental_iters\": {}, \"scratch_secs\": {:.6}, \"scratch_completed\": {}, \
+             \"speedup\": {:.3}}}{}",
+            r.min_dist,
+            r.check_len,
+            r.incr_secs,
+            r.incr_iters,
+            r.scratch_secs,
+            r.scratch_completed,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"flagship_sessions\": [").unwrap();
+    for (i, (jobs, cold, warm, speedup)) in sessions.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"jobs\": {jobs}, \"cold_secs\": {cold:.6}, \"warm_secs\": {warm:.6}, \
+             \"speedup\": {speedup:.3}}}{}",
+            if i + 1 < sessions.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cegis_incremental.json");
+    std::fs::write(&path, &json).expect("write BENCH_cegis_incremental.json");
+    println!("wrote {}", path.display());
+}

@@ -32,7 +32,7 @@ fecsynth — synthesize, verify, and export Hamming FEC generators
 USAGE:
     fecsynth analyze \"<property>\" [--max-check=N] [TRACE]
     fecsynth synth  \"<property>\" [--timeout=SECS] [--check-proofs] [--jobs=N]
-                    [--simplify] [TRACE]
+                    [--simplify] [--incremental|--no-incremental] [TRACE]
     fecsynth verify \"<property>\" --coeff <rows> [--check-proofs] [--jobs=N]
                     [--simplify] [TRACE]
                     (rows like 101/110/111/011)
@@ -61,6 +61,13 @@ USAGE:
                     composes with --jobs (workers get diversified
                     technique mixes) and --check-proofs (simplifier
                     steps are part of the checked DRAT stream)
+    --incremental   (synth; the default) keep solver state warm across
+                    CEGIS iterations: learned clauses, branching
+                    activities, and saved phases carry over, and with
+                    --simplify an inprocessing pass runs between
+                    iterations; --no-incremental selects the
+                    from-scratch reference mode that rebuilds every
+                    solver per iteration and replays counterexamples
     --minimize      (emit) run the cancellation-aware CSE minimizer and
                     emit the certified circuit instead of the sparse
                     per-column form; the output is accepted only if the
@@ -385,11 +392,22 @@ fn cmd_synth(args: &[String], out: &mut String, err: &mut String) -> i32 {
             return 2;
         }
     };
+    if has_flag(args, "incremental") && has_flag(args, "no-incremental") {
+        fail(
+            err,
+            "usage",
+            "synth: --incremental and --no-incremental are mutually exclusive",
+        );
+        return 2;
+    }
     let config = SynthesisConfig {
         timeout: Duration::from_secs(timeout),
         check_certificates: has_flag(args, "check-proofs"),
         jobs: parse_jobs(args),
         simplify: has_flag(args, "simplify"),
+        // warm solvers are the default; --no-incremental opts into the
+        // from-scratch reference mode
+        incremental: !has_flag(args, "no-incremental"),
         ..Default::default()
     };
     match Synthesizer::new(config).run(&prop) {
@@ -1141,6 +1159,40 @@ mod tests {
         ]));
         assert_eq!(code, 0, "{out}{err}");
         assert!(out.contains("(7, 4) code"), "{out}");
+    }
+
+    #[test]
+    fn synth_no_incremental_reference_mode() {
+        // the from-scratch reference mode must reach the same optimum,
+        // and the two mode flags reject being combined
+        let (code, out, err) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4 && minimal(len_c(G0))",
+            "--timeout=30",
+            "--no-incremental",
+        ]));
+        assert_eq!(code, 0, "{out}{err}");
+        assert!(out.contains("(7, 4) code"), "{out}");
+        let (code, out, err) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && md(G0) = 3",
+            "--incremental",
+            "--no-incremental",
+        ]));
+        assert_eq!(code, 2, "{out}");
+        assert!(err.contains("mutually exclusive"), "{err}");
+        // --incremental alone is the default, spelled out
+        let (code, out, err) = run(&argv(&[
+            "synth",
+            "len_d(G0) = 4 && md(G0) = 3 && len_c(G0) <= 4",
+            "--timeout=30",
+            "--incremental",
+        ]));
+        assert_eq!(code, 0, "{out}{err}");
+        assert!(
+            out.contains("(7, 4) code") || out.contains("(8, 4) code"),
+            "{out}"
+        );
     }
 
     #[test]

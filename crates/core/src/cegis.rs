@@ -61,6 +61,19 @@ pub struct SynthesisConfig {
     /// Activation guards of the incremental push/pop layer are frozen,
     /// so CEGIS refinement is unaffected by elimination.
     pub simplify: bool,
+    /// Keep solver state warm across CEGIS iterations (the default,
+    /// the CLI's `--incremental`): the synthesizer and verifiers are
+    /// built once and only grow — learned clauses, VSIDS activities,
+    /// and saved phases persist from one iteration to the next, which
+    /// is sound because consecutive queries differ only by added
+    /// constraints under the activation-literal discipline. With
+    /// `simplify` also set, an inprocessing pass runs *between*
+    /// iterations on a doubling cadence. `false` selects the
+    /// from-scratch reference mode the differential suite and the
+    /// `cegis_incremental` bench compare against: every iteration
+    /// rebuilds every solver and replays the accumulated
+    /// counterexamples.
+    pub incremental: bool,
     /// Per-run cap on trace emission from this synthesis: a record is
     /// emitted only if its level is within both this cap *and* the
     /// globally installed `fec-trace` sink level. The default
@@ -89,6 +102,7 @@ impl Default for SynthesisConfig {
             check_certificates: false,
             jobs: 1,
             simplify: false,
+            incremental: true,
             trace: fec_trace::Level::Trace,
             static_analysis: true,
         }
@@ -174,6 +188,36 @@ struct VerifierInstance {
     witness_lits: Vec<Lit>,
 }
 
+/// The live solver state of one CEGIS run: the synthesizer, its
+/// symbolic generators, and one distance verifier per generator. In
+/// incremental mode this is built once per `cegis` call (or once per
+/// optimization run) and only grows; in from-scratch mode it is
+/// rebuilt at the top of every iteration.
+struct SynthState {
+    syn: SmtSolver,
+    syms: Vec<SymbolicGenerator>,
+    verifiers: Vec<Option<VerifierInstance>>,
+}
+
+/// A counterexample retained for replay in from-scratch mode, keyed by
+/// generator index. Incremental mode never replays — the solver that
+/// learned it still holds it.
+enum StoredCex {
+    /// A data word whose encoding violated the distance requirement
+    /// (CexMode::DataWord): re-encoding it constrains every future
+    /// candidate, independent of any optimization bound.
+    DataWord(BitVec),
+    /// A rejected candidate to block verbatim (CexMode::BlockCandidate).
+    Block(Generator),
+}
+
+/// First inprocessing pass runs after this many iterations of one
+/// `cegis` call; subsequent passes double the gap. Doubling matches
+/// the growth of the counterexample encoding: each pass costs one
+/// sweep over the clause database, so a geometric cadence keeps the
+/// total inprocessing effort proportional to total search effort.
+const INPROCESS_FIRST_AT: u64 = 8;
+
 /// The Algorithm 1 driver.
 pub struct Synthesizer {
     config: SynthesisConfig,
@@ -232,7 +276,8 @@ impl Synthesizer {
             return self.run_max_distance(&shape, gi, start);
         }
         let shape = &shape;
-        let (mut syn, syms, mut verifiers) = self.build(shape)?;
+        let mut state = self.build(shape)?;
+        let mut cexs: Vec<(usize, StoredCex)> = Vec::new();
 
         let mut iterations = 0u64;
         let mut best: Option<Vec<Generator>> = None;
@@ -241,7 +286,14 @@ impl Synthesizer {
         match shape.objective {
             None => {
                 let deadline = Instant::now() + self.config.timeout;
-                match self.cegis(&mut syn, &syms, &mut verifiers, deadline, &mut iterations) {
+                match self.cegis(
+                    &mut state,
+                    shape,
+                    None,
+                    &mut cexs,
+                    deadline,
+                    &mut iterations,
+                ) {
                     CegisOutcome::Found(gens) => best = Some(gens),
                     CegisOutcome::Exhausted => {
                         return Err(SynthError::NoSolution);
@@ -264,12 +316,38 @@ impl Synthesizer {
                         "synth.bound",
                         &[("bound", bound.into())],
                     );
-                    syn.push();
-                    self.assert_bound(&mut syn, &syms, shape, obj, bound);
                     let deadline = Instant::now() + self.config.timeout;
-                    let step =
-                        self.cegis(&mut syn, &syms, &mut verifiers, deadline, &mut iterations);
-                    syn.pop();
+                    let step = if self.config.incremental {
+                        // the bound lives in a scope; counterexamples
+                        // persist inside the solver (at_root/permanent)
+                        state.syn.push();
+                        self.assert_bound(&mut state.syn, &state.syms, shape, obj, bound);
+                        let r = self.cegis(
+                            &mut state,
+                            shape,
+                            Some((obj, bound)),
+                            &mut cexs,
+                            deadline,
+                            &mut iterations,
+                        );
+                        state.syn.pop();
+                        r
+                    } else {
+                        // from-scratch mode rebuilds per iteration; the
+                        // stored counterexamples are the only state
+                        // carried across bounds, and only if configured
+                        if !self.config.persist_counterexamples {
+                            cexs.clear();
+                        }
+                        self.cegis(
+                            &mut state,
+                            shape,
+                            Some((obj, bound)),
+                            &mut cexs,
+                            deadline,
+                            &mut iterations,
+                        )
+                    };
                     match step {
                         CegisOutcome::Found(gens) => {
                             let achieved = objective_value(&gens, obj);
@@ -287,7 +365,16 @@ impl Synthesizer {
                                 None => break,
                             }
                         }
-                        CegisOutcome::Exhausted | CegisOutcome::Timeout => break, // o.failure()
+                        CegisOutcome::Exhausted => break, // o.failure()
+                        CegisOutcome::Timeout => {
+                            if best.is_none() {
+                                // ran out of time before the first
+                                // solution: that is a timeout, not a
+                                // proof that no generator exists
+                                return Err(SynthError::Timeout);
+                            }
+                            break;
+                        }
                     }
                 }
                 if best.is_none() {
@@ -316,18 +403,7 @@ impl Synthesizer {
 
     /// Builds the synthesizer solver, its symbolic generators, and one
     /// distance verifier per generator that needs one.
-    #[allow(clippy::type_complexity)]
-    fn build(
-        &self,
-        shape: &ProblemShape,
-    ) -> Result<
-        (
-            SmtSolver,
-            Vec<SymbolicGenerator>,
-            Vec<Option<VerifierInstance>>,
-        ),
-        SynthError,
-    > {
+    fn build(&self, shape: &ProblemShape) -> Result<SynthState, SynthError> {
         let mut syn = self.new_solver();
         let mut syms = Vec::with_capacity(shape.gens.len());
         for gs in &shape.gens {
@@ -375,7 +451,11 @@ impl Synthesizer {
                 })
             })
             .collect();
-        Ok((syn, syms, verifiers))
+        Ok(SynthState {
+            syn,
+            syms,
+            verifiers,
+        })
     }
 
     /// The pre-solve feasibility gate: `NoSolution` without any solver
@@ -470,9 +550,12 @@ impl Synthesizer {
             let mut sub = shape.clone();
             sub.objective = None;
             sub.gens[gi].min_distance = d;
-            let (mut syn, syms, mut verifiers) = self.build(&sub)?;
+            // the verifier circuit bakes d in, so each bound is its own
+            // (internally incremental) CEGIS run with a fresh cex store
+            let mut state = self.build(&sub)?;
+            let mut cexs: Vec<(usize, StoredCex)> = Vec::new();
             let deadline = Instant::now() + self.config.timeout;
-            match self.cegis(&mut syn, &syms, &mut verifiers, deadline, &mut iterations) {
+            match self.cegis(&mut state, &sub, None, &mut cexs, deadline, &mut iterations) {
                 CegisOutcome::Found(gens) => {
                     obs::event(
                         self.config.trace,
@@ -549,14 +632,26 @@ impl Synthesizer {
     }
 
     /// The inner synthesize–verify loop (Algorithm 1 lines 6–18).
+    ///
+    /// In incremental mode (the default) `state` is only ever extended:
+    /// every synthesizer and verifier query reuses the learned clauses,
+    /// VSIDS activities, and saved phases of all previous ones, and with
+    /// `simplify` an inprocessing pass runs between iterations on a
+    /// doubling cadence. In from-scratch mode every iteration rebuilds
+    /// `state` from `shape`, re-asserts `bound`, and replays the
+    /// counterexamples accumulated in `cexs` — the reference semantics
+    /// the differential suite compares against.
     fn cegis(
         &self,
-        syn: &mut SmtSolver,
-        syms: &[SymbolicGenerator],
-        verifiers: &mut [Option<VerifierInstance>],
+        state: &mut SynthState,
+        shape: &ProblemShape,
+        bound: Option<(Objective, i64)>,
+        cexs: &mut Vec<(usize, StoredCex)>,
         deadline: Instant,
         iterations: &mut u64,
     ) -> CegisOutcome {
+        let mut local_iter = 0u64;
+        let mut next_inprocess = INPROCESS_FIRST_AT;
         loop {
             let now = Instant::now();
             if now >= deadline {
@@ -564,10 +659,40 @@ impl Synthesizer {
             }
             let budget = Budget::with_timeout(deadline - now);
             *iterations += 1;
+            local_iter += 1;
             obs::counter(self.config.trace, Level::Info, "cegis.iterations", 1);
             // each iteration is forward progress for the watchdog
             fec_trace::advance();
-            let iter_start = now;
+            if !self.config.incremental {
+                // from-scratch reference mode: fresh solvers, bound
+                // re-asserted, counterexamples replayed — the shape
+                // built fine before this loop, so it builds fine now
+                *state = self
+                    .build(shape)
+                    .expect("rebuilding a previously-built shape");
+                if let Some((obj, b)) = bound {
+                    self.assert_bound(&mut state.syn, &state.syms, shape, obj, b);
+                }
+                let enc = self.config.card_encoding;
+                for (i, cex) in cexs.iter() {
+                    match cex {
+                        StoredCex::DataWord(x) => {
+                            state.syms[*i].add_dataword_counterexample(&mut state.syn, x, enc);
+                        }
+                        StoredCex::Block(g) => {
+                            let clause = state.syms[*i].blocking_clause(&state.syn, g);
+                            state.syn.add_clause(&clause);
+                        }
+                    }
+                }
+            } else if self.config.simplify && local_iter == next_inprocess {
+                // between-iteration inprocessing: a SatELite sweep over
+                // the warm synthesizer database, geometrically spaced so
+                // total simplification effort tracks total search effort
+                state.syn.inprocess();
+                next_inprocess *= 2;
+            }
+            let iter_start = Instant::now();
             let synth_verdict = {
                 // "cegis.synth" vs "cegis.verify" span totals in the
                 // metrics report give the synthesis/verification split
@@ -577,7 +702,7 @@ impl Synthesizer {
                     "cegis.synth",
                     &[("iteration", (*iterations).into())],
                 );
-                syn.solve_with_budget(&[], budget)
+                state.syn.solve_with_budget(&[], budget)
             };
             let synth_us = iter_start.elapsed().as_micros() as u64;
             match synth_verdict {
@@ -585,7 +710,8 @@ impl Synthesizer {
                 SmtResult::Unknown => return CegisOutcome::Timeout,
                 SmtResult::Sat => {}
             }
-            let candidates: Vec<Generator> = syms.iter().map(|s| s.extract(syn)).collect();
+            let candidates: Vec<Generator> =
+                state.syms.iter().map(|s| s.extract(&state.syn)).collect();
             obs::event(
                 self.config.trace,
                 Level::Debug,
@@ -596,7 +722,7 @@ impl Synthesizer {
             let mut cex_this_iter = 0u64;
             let mut verify_us = 0u64;
             for (i, cand) in candidates.iter().enumerate() {
-                let Some(ver) = verifiers[i].as_mut() else {
+                let Some(ver) = state.verifiers[i].as_mut() else {
                     continue; // md ≤ 1: nothing to verify
                 };
                 let now = Instant::now();
@@ -625,11 +751,15 @@ impl Synthesizer {
                         obs::counter(self.config.trace, Level::Info, "cegis.counterexamples", 1);
                         match self.config.cex_mode {
                             CexMode::BlockCandidate => {
-                                let clause = syms[i].blocking_clause(syn, cand);
-                                if self.config.persist_counterexamples {
-                                    syn.add_clause_permanent(&clause);
+                                if !self.config.incremental {
+                                    cexs.push((i, StoredCex::Block(cand.clone())));
                                 } else {
-                                    syn.add_clause(&clause);
+                                    let clause = state.syms[i].blocking_clause(&state.syn, cand);
+                                    if self.config.persist_counterexamples {
+                                        state.syn.add_clause_permanent(&clause);
+                                    } else {
+                                        state.syn.add_clause(&clause);
+                                    }
                                 }
                             }
                             CexMode::DataWord => {
@@ -639,16 +769,25 @@ impl Synthesizer {
                                         .map(|&l| ver.solver.model_lit(l))
                                         .collect::<Vec<_>>(),
                                 );
-                                let enc = self.config.card_encoding;
-                                if self.config.persist_counterexamples {
-                                    // dataword counterexamples are sound
-                                    // regardless of the optimization
-                                    // bound, so install them at the root
-                                    syn.at_root(|s| {
-                                        syms[i].add_dataword_counterexample(s, &x, enc)
-                                    });
+                                if !self.config.incremental {
+                                    cexs.push((i, StoredCex::DataWord(x)));
                                 } else {
-                                    syms[i].add_dataword_counterexample(syn, &x, enc);
+                                    let enc = self.config.card_encoding;
+                                    if self.config.persist_counterexamples {
+                                        // dataword counterexamples are
+                                        // sound regardless of the
+                                        // optimization bound, so install
+                                        // them at the root
+                                        state.syn.at_root(|s| {
+                                            state.syms[i].add_dataword_counterexample(s, &x, enc)
+                                        });
+                                    } else {
+                                        state.syms[i].add_dataword_counterexample(
+                                            &mut state.syn,
+                                            &x,
+                                            enc,
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -824,6 +963,52 @@ mod tests {
         let p = parse_property("len_d(G0) = 4 && len_c(G0) = 1 && md(G0) = 3").unwrap();
         let e = Synthesizer::new(quick_config()).run(&p).unwrap_err();
         assert_eq!(e, SynthError::NoSolution);
+    }
+
+    #[test]
+    fn from_scratch_mode_matches_incremental_optimum() {
+        // the reference mode rebuilds every solver per iteration and
+        // replays stored counterexamples; it must land on the same
+        // optimal Hamming (7,4) the warm path finds
+        let mut cfg = quick_config();
+        cfg.incremental = false;
+        let p = parse_property(
+            "len_G = 1 && len_d(G0) = 4 && len_c(G0) <= 4 && md(G0) = 3 \
+             && minimal(len_c(G0))",
+        )
+        .unwrap();
+        let r = Synthesizer::new(cfg).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert_eq!(g.check_len(), 3);
+        assert_eq!(distance::min_distance_exhaustive(g), 3);
+    }
+
+    #[test]
+    fn from_scratch_block_candidate_replays_blocks() {
+        // blocking-clause counterexamples survive the per-iteration
+        // rebuild through the replay store
+        let mut cfg = quick_config();
+        cfg.incremental = false;
+        cfg.cex_mode = CexMode::BlockCandidate;
+        let p = parse_property("len_d(G0) = 3 && len_c(G0) = 3 && md(G0) = 3").unwrap();
+        let r = Synthesizer::new(cfg).run(&p).unwrap();
+        assert_eq!(distance::min_distance_exhaustive(&r.generators[0]), 3);
+    }
+
+    #[test]
+    fn incremental_with_inprocessing_converges() {
+        // warm solvers + between-iteration SatELite sweeps: the doubling
+        // cadence must not disturb CEGIS soundness
+        let mut cfg = quick_config();
+        cfg.simplify = true;
+        let p = parse_property(
+            "len_d(G0) = 4 && 2 <= len_c(G0) <= 8 && md(G0) = 4 && minimal(len_c(G0))",
+        )
+        .unwrap();
+        let r = Synthesizer::new(cfg).run(&p).unwrap();
+        let g = &r.generators[0];
+        assert_eq!(distance::min_distance_exhaustive(g), 4);
+        assert_eq!(g.check_len(), 4);
     }
 
     #[test]

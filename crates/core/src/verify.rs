@@ -345,6 +345,83 @@ pub fn sat_min_distance_with(g: &Generator, opts: VerifyOptions) -> (Option<usiz
     (None, stats)
 }
 
+/// [`sat_min_distance`], incrementally: the φ_md circuit *and* a
+/// single unary counting register over the codeword bits are encoded
+/// once, and every iterative-deepening weight bound is then just one
+/// assumption (`weight ≤ w` ⟺ `¬reg[w]`). Queries after the first ship
+/// zero clauses, so the solver's learned clauses, branching
+/// activities, and saved phases carry over undisturbed — and with
+/// `opts.jobs > 1` the whole session runs on one resident warm
+/// portfolio pool, instead of spawning (and re-shipping the circuit
+/// to) a fresh portfolio per weight.
+pub fn sat_min_distance_incremental_with(
+    g: &Generator,
+    opts: VerifyOptions,
+) -> (Option<usize>, VerifyStats) {
+    let start = Instant::now();
+    let _sp = obs::span(
+        opts.trace,
+        Level::Info,
+        "verify.min_distance_incremental",
+        &[
+            ("data_len", g.data_len().into()),
+            ("check_len", g.check_len().into()),
+            ("jobs", opts.jobs.into()),
+        ],
+    );
+    let mut s = opts.solver();
+    let k = g.data_len();
+    let xs: Vec<Lit> = (0..k).map(|_| s.fresh_lit()).collect();
+    s.add_clause(&xs); // non-zero data word
+    let mut all = xs.clone();
+    for j in 0..g.check_len() {
+        let selected: Vec<Lit> = (0..k)
+            .filter(|&y| g.coefficients().get(y, j))
+            .map(|y| xs[y])
+            .collect();
+        let parity = s.xor_all(&selected);
+        all.push(parity);
+    }
+    // reg[j] ⟺ at least j+1 codeword bits are true
+    let reg = s.counting_register(&all, CardEncoding::Totalizer);
+    let mut answer = None;
+    let mut portfolio = Vec::new();
+    for w in 1..=g.codeword_len() {
+        let assumptions: Vec<Lit> = (w < reg.len()).then(|| !reg[w]).into_iter().collect();
+        let r = s.solve_with_budget(&assumptions, opts.budget);
+        if let Some(run) = s.last_portfolio() {
+            portfolio.push(PortfolioRunSummary {
+                workers: run.workers.len(),
+                winner: run.winner,
+                per_worker_conflicts: run.workers.iter().map(|w| w.conflicts).collect(),
+                exported: run.total.exported_clauses,
+                imported: run.total.imported_clauses,
+                rejected: run.total.rejected_clauses,
+            });
+        }
+        match r {
+            SmtResult::Sat => {
+                answer = Some(w);
+                break;
+            }
+            SmtResult::Unknown => break,
+            SmtResult::Unsat => {}
+        }
+    }
+    let cert = s.certificate_stats().unwrap_or_default();
+    let stats = VerifyStats {
+        elapsed: start.elapsed(),
+        conflicts: s.stats().conflicts,
+        propagations: s.stats().propagations,
+        solve_calls: s.stats().solve_calls,
+        lemmas_checked: cert.lemmas_checked,
+        models_validated: cert.models_validated,
+        unsat_certified: cert.unsat_certified,
+        portfolio,
+    };
+    (answer, stats)
+}
+
 /// Verifies an arbitrary property of concrete generators, resolving
 /// `md(Gi)` sub-expressions with SAT queries (so it works for codes far
 /// beyond exhaustive range, like (128,120)).
@@ -435,6 +512,50 @@ mod tests {
             let (sat, _) = sat_min_distance(&g, Budget::unlimited());
             assert_eq!(sat, Some(exhaustive), "{g:?}");
         }
+    }
+
+    #[test]
+    fn incremental_min_distance_agrees_with_oneshot() {
+        // the warm single-solver session and the warm-pool session must
+        // both match the fresh-solver-per-weight reference
+        for g in [
+            standards::hamming_7_4(),
+            standards::hamming_extended_8_4(),
+            standards::parity_code(12),
+            standards::paper_g4_5(),
+        ] {
+            let (expected, _) = sat_min_distance(&g, Budget::unlimited());
+            let (warm, stats) = sat_min_distance_incremental_with(&g, VerifyOptions::default());
+            assert_eq!(warm, expected, "{g:?}");
+            assert!(stats.solve_calls >= expected.unwrap() as u64);
+            let pooled = VerifyOptions {
+                jobs: 2,
+                ..VerifyOptions::default()
+            };
+            let (warm_pool, stats) = sat_min_distance_incremental_with(&g, pooled);
+            assert_eq!(warm_pool, expected, "pooled {g:?}");
+            // every weight query went through the resident pool
+            assert_eq!(stats.portfolio.len(), expected.unwrap());
+            for run in &stats.portfolio {
+                assert_eq!(run.workers, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn certified_incremental_min_distance() {
+        // stitched per-query DRAT segments keep the warm session
+        // certifiable: each UNSAT weight bound carries a certificate
+        let g = standards::hamming_7_4();
+        let opts = VerifyOptions {
+            check_certificates: true,
+            jobs: 2,
+            ..VerifyOptions::default()
+        };
+        let (d, stats) = sat_min_distance_incremental_with(&g, opts);
+        assert_eq!(d, Some(3));
+        assert!(stats.unsat_certified >= 2, "{stats:?}");
+        assert!(stats.models_validated >= 1, "{stats:?}");
     }
 
     #[test]

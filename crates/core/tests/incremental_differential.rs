@@ -1,0 +1,287 @@
+//! Differential proof of the incremental CEGIS core: the warm path
+//! (solvers built once, learned clauses / activities / phases carried
+//! across iterations, per-query clause deltas into the portfolio pool)
+//! must be observationally equivalent to the from-scratch reference
+//! mode (`incremental: false`), which rebuilds every solver per
+//! iteration and replays stored counterexamples.
+//!
+//! For every spec in the grid both modes run with the static-analysis
+//! gate off (raw CEGIS answers only) and the contract is:
+//!
+//! - **identical verdicts** — synthesized vs `NoSolution`, spec by
+//!   spec (timeouts abstain: there is no verdict to compare);
+//! - **generators verify** — every synthesized code's
+//!   exhaustively-measured minimum distance meets the spec in *both*
+//!   modes (the modes need not produce the same matrix — solver
+//!   heuristics differ — only equally-correct ones);
+//! - **optimization agrees** — `minimal(len_c)` runs reach the same
+//!   optimal check length in both modes (both tighten to UNSAT);
+//! - the `fec-analyze` verdict brackets both answers: points the
+//!   bounds refute stay `NoSolution`, and `NeedsSearch` answers land
+//!   inside the static `d_lo..=d_hi` bracket.
+//!
+//! A certified subset re-runs representative specs under
+//! `check_certificates` (the CLI's `--check-proofs`): every verifier
+//! UNSAT must come with a DRAT certificate that replays through the
+//! independent `fec-drat` checker — including warm-pool answers, whose
+//! certificates are stitched from per-query proof segments.
+//!
+//! The default tests keep tier-1 fast with a compact grid; the
+//! `#[ignore]`d exhaustive grid (≥200 specs, the issue's floor) runs
+//! in the CI `cegis-incremental` job with `--include-ignored`.
+
+use fec_analyze::{analyze_point, PointVerdict};
+use fec_hamming::distance;
+use fec_synth::cegis::{SynthError, SynthesisConfig, Synthesizer};
+use fec_synth::spec::parse_property;
+use std::time::Duration;
+
+/// The warm default, gate off so the solver answers everything.
+fn incremental_config() -> SynthesisConfig {
+    SynthesisConfig {
+        timeout: Duration::from_secs(60),
+        static_analysis: false,
+        ..Default::default()
+    }
+}
+
+/// The from-scratch reference mode.
+fn scratch_config() -> SynthesisConfig {
+    SynthesisConfig {
+        incremental: false,
+        ..incremental_config()
+    }
+}
+
+/// Runs one spec through both modes and checks the full contract.
+/// Returns `true` if a comparable verdict pair was obtained (neither
+/// side timed out).
+fn check_spec(spec: &str, min_distance: usize) -> bool {
+    let prop = parse_property(spec).unwrap();
+    let warm = Synthesizer::new(incremental_config()).run(&prop);
+    let cold = Synthesizer::new(scratch_config()).run(&prop);
+    if matches!(warm, Err(SynthError::Timeout)) || matches!(cold, Err(SynthError::Timeout)) {
+        return false; // no verdict to compare
+    }
+    match (&warm, &cold) {
+        (Ok(w), Ok(c)) => {
+            for (mode, r) in [("incremental", w), ("from-scratch", c)] {
+                let md = distance::min_distance_exhaustive(&r.generators[0]);
+                assert!(
+                    md >= min_distance,
+                    "{spec}: {mode} synthesized distance {md} < {min_distance}"
+                );
+            }
+        }
+        (Err(SynthError::NoSolution), Err(SynthError::NoSolution)) => {}
+        (w, c) => panic!("{spec}: incremental {w:?} but from-scratch {c:?}"),
+    }
+    true
+}
+
+/// Grid point: compare modes and cross-check against the static
+/// analyzer's verdict (the bracket must contain both answers).
+fn check_point(k: usize, r: usize, d: usize) -> bool {
+    let n = k + r;
+    let spec = format!("len_d(G0) = {k} && len_c(G0) = {r} && md(G0) >= {d}");
+    let prop = parse_property(&spec).unwrap();
+    let warm = Synthesizer::new(incremental_config()).run(&prop);
+    let cold = Synthesizer::new(scratch_config()).run(&prop);
+    if matches!(warm, Err(SynthError::Timeout)) || matches!(cold, Err(SynthError::Timeout)) {
+        return false;
+    }
+    assert_eq!(
+        warm.is_ok(),
+        cold.is_ok(),
+        "[{n}, {k}, {d}]: incremental {warm:?} but from-scratch {cold:?}"
+    );
+    match analyze_point(n, k, d) {
+        PointVerdict::Infeasible(c) => {
+            assert!(
+                warm.is_err(),
+                "[{n}, {k}, {d}]: analyzer refuted ({c}) but CEGIS synthesized"
+            );
+        }
+        PointVerdict::TriviallyFeasible => {
+            assert!(
+                warm.is_ok(),
+                "[{n}, {k}, {d}]: GV guarantees a code but CEGIS failed"
+            );
+        }
+        PointVerdict::NeedsSearch { d_lo, d_hi } => match &warm {
+            Ok(_) => assert!(d <= d_hi, "[{n}, {k}, {d}]: found above static d_hi {d_hi}"),
+            Err(_) => assert!(
+                d > d_lo,
+                "[{n}, {k}, {d}]: UNSAT at or below GV floor {d_lo}"
+            ),
+        },
+    }
+    if let (Ok(w), Ok(c)) = (&warm, &cold) {
+        for (mode, res) in [("incremental", w), ("from-scratch", c)] {
+            let md = distance::min_distance_exhaustive(&res.generators[0]);
+            assert!(md >= d, "[{n}, {k}, {d}]: {mode} distance {md} < {d}");
+        }
+    }
+    true
+}
+
+#[test]
+fn compact_grid_modes_agree() {
+    // the fast tier-1 slice of the exhaustive grid: every verdict kind
+    // (infeasible, trivially feasible, needs-search) appears
+    let mut compared = 0;
+    for k in [2usize, 3, 4] {
+        for r in 1..=3 {
+            for d in 2..=3 {
+                if check_point(k, r, d) {
+                    compared += 1;
+                }
+            }
+        }
+    }
+    assert!(compared >= 15, "only {compared} comparable points");
+}
+
+#[test]
+fn optimization_reaches_the_same_optimum_in_both_modes() {
+    // minimal(len_c) tightens to UNSAT in both modes, so the achieved
+    // optimum — not just the verdict — must match
+    for (k, d, optimum) in [(4usize, 3usize, 3usize), (4, 4, 4), (3, 3, 3)] {
+        let spec =
+            format!("len_d(G0) = {k} && 1 <= len_c(G0) <= 8 && md(G0) = {d} && minimal(len_c(G0))");
+        let prop = parse_property(&spec).unwrap();
+        let warm = Synthesizer::new(incremental_config()).run(&prop).unwrap();
+        let cold = Synthesizer::new(scratch_config()).run(&prop).unwrap();
+        assert_eq!(
+            warm.generators[0].check_len(),
+            optimum,
+            "incremental missed the [{k}, d={d}] optimum"
+        );
+        assert_eq!(
+            cold.generators[0].check_len(),
+            optimum,
+            "from-scratch missed the [{k}, d={d}] optimum"
+        );
+        assert!(distance::min_distance_exhaustive(&warm.generators[0]) >= d);
+        assert!(distance::min_distance_exhaustive(&cold.generators[0]) >= d);
+    }
+}
+
+#[test]
+fn certified_subset_replays_drat_in_both_modes() {
+    // --check-proofs end to end: every verifier UNSAT (the step that
+    // declares a candidate correct) and the final synthesizer UNSAT of
+    // the optimization loop must carry a replayable DRAT certificate;
+    // the certifying SmtSolver panics on any discrepancy, so finishing
+    // IS the assertion
+    for incremental in [true, false] {
+        let cfg = SynthesisConfig {
+            check_certificates: true,
+            incremental,
+            ..incremental_config()
+        };
+        let p =
+            parse_property("len_d(G0) = 4 && len_c(G0) <= 4 && md(G0) = 3 && minimal(len_c(G0))")
+                .unwrap();
+        let r = Synthesizer::new(cfg).run(&p).unwrap();
+        assert_eq!(r.generators[0].check_len(), 3, "incremental={incremental}");
+        assert_eq!(
+            distance::min_distance_exhaustive(&r.generators[0]),
+            3,
+            "incremental={incremental}"
+        );
+    }
+}
+
+#[test]
+fn certified_warm_pool_answers_stay_certifiable() {
+    // jobs=2 routes every query through the resident warm pool; with
+    // certification on, each verdict is certified against a per-worker
+    // DRAT stream stitched from per-query proof segments
+    for incremental in [true, false] {
+        let cfg = SynthesisConfig {
+            check_certificates: true,
+            jobs: 2,
+            incremental,
+            ..incremental_config()
+        };
+        let p = parse_property("len_d(G0) = 4 && len_c(G0) = 3 && md(G0) = 3").unwrap();
+        let r = Synthesizer::new(cfg).run(&p).unwrap();
+        assert_eq!(
+            distance::min_distance_exhaustive(&r.generators[0]),
+            3,
+            "incremental={incremental}"
+        );
+    }
+}
+
+/// The exhaustive differential grid the CI `cegis-incremental` job
+/// runs with `--include-ignored`: 210 `[k + r, k, d]` points plus the
+/// optimization and certified specs above — past the issue's 200-spec
+/// floor, every one answered by both modes.
+#[test]
+#[ignore = "exhaustive: run via CI cegis-incremental (--include-ignored)"]
+fn exhaustive_grid_modes_agree() {
+    let mut specs = 0;
+    let mut compared = 0;
+    for k in 2..=6 {
+        for r in 1..=6 {
+            for d in 2..=8 {
+                specs += 1;
+                if check_point(k, r, d) {
+                    compared += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        specs >= 200,
+        "grid shrank below the 200-spec floor: {specs}"
+    );
+    // timeouts abstain, but the grid is small enough that nearly all
+    // points must produce comparable verdicts
+    assert!(
+        compared >= specs * 9 / 10,
+        "only {compared}/{specs} points comparable"
+    );
+}
+
+/// Weighted §4.3-style specs: pinned cells and ones budgets exercise
+/// the counterexample replay path differently from pure distance specs.
+#[test]
+#[ignore = "exhaustive: run via CI cegis-incremental (--include-ignored)"]
+fn exhaustive_structured_specs_agree() {
+    let mut checked = 0;
+    for (spec, d) in [
+        (
+            "len_d(G0) = 4 && len_c(G0) = 4 && md(G0) = 3 && len_1(G0) <= 10",
+            3,
+        ),
+        (
+            "len_d(G0) = 4 && len_c(G0) = 3 && md(G0) = 3 && G0(0, 4) = 1",
+            3,
+        ),
+        (
+            "len_d(G0) = 5 && len_c(G0) = 4 && md(G0) = 3 && len_1(G0) >= 12",
+            3,
+        ),
+        (
+            "len_d(G0) = 4 && len_c(G0) = 4 && md(G0) = 4 && minimal(len_1(G0))",
+            4,
+        ),
+        (
+            "len_d(G0) = 3 && len_c(G0) = 3 && md(G0) = 2 && maximal(len_1(G0))",
+            2,
+        ),
+        (
+            "len_G = 2 && len_d(G0) = 4 && len_c(G0) = 3 && md(G0) = 3 \
+             && len_d(G1) = 8 && len_c(G1) = 1 && md(G1) = 2",
+            3,
+        ),
+    ] {
+        if check_spec(spec, d) {
+            checked += 1;
+        }
+    }
+    assert!(checked >= 5, "only {checked} structured specs comparable");
+}

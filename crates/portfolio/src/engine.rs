@@ -9,7 +9,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// A clause in flight between workers: literals plus LBD at export time.
-type SharedClause = (Vec<Lit>, u32);
+pub(crate) type SharedClause = (Vec<Lit>, u32);
 
 /// Aggregate statistics of one portfolio solve call.
 #[derive(Clone, Debug, Default)]
@@ -23,6 +23,11 @@ pub struct PortfolioStats {
     pub total: SolverStats,
     /// Wall-clock time of the whole call.
     pub wall: Duration,
+    /// Clauses physically transferred into workers for this call,
+    /// summed over workers. One-shot [`solve`] re-ships the whole
+    /// formula to every worker; the warm [`crate::Pool`] ships only the
+    /// per-query delta — the regression tests assert exactly this.
+    pub shipped_clauses: u64,
 }
 
 /// Result of a portfolio solve call.
@@ -54,16 +59,16 @@ impl PortfolioOutcome {
 /// What one worker sends back from its thread. The solver itself is not
 /// `Send` (its proof logger may hold an `Rc`), so workers are built and
 /// dropped inside their threads and only plain data crosses back.
-struct WorkerReport {
-    result: SolveResult,
-    stats: SolverStats,
-    model: Option<Vec<Option<bool>>>,
-    failed_assumptions: Vec<Lit>,
-    proof: Option<Vec<ProofStep>>,
+pub(crate) struct WorkerReport {
+    pub(crate) result: SolveResult,
+    pub(crate) stats: SolverStats,
+    pub(crate) model: Option<Vec<Option<bool>>>,
+    pub(crate) failed_assumptions: Vec<Lit>,
+    pub(crate) proof: Option<Vec<ProofStep>>,
 }
 
 /// Builds one diversified worker over the shared formula.
-fn build_worker(
+pub(crate) fn build_worker(
     worker: usize,
     num_vars: usize,
     clauses: &[Vec<Lit>],
@@ -95,7 +100,7 @@ fn build_worker(
 }
 
 /// Extracts the winner-side data from a finished solver.
-fn report(
+pub(crate) fn report(
     s: &Solver,
     result: SolveResult,
     num_vars: usize,
@@ -174,7 +179,9 @@ pub fn solve(
     } else {
         run_parallel(n, num_vars, clauses, assumptions, budget, config)
     };
-    let out = assemble(reports, start.elapsed());
+    let mut out = assemble(reports, start.elapsed());
+    // one-shot mode re-ships the entire formula to every worker
+    out.stats.shipped_clauses = (clauses.len() * n) as u64;
     if fec_trace::enabled(fec_trace::Level::Debug) {
         // per-call clause-sharing traffic (workers are fresh each call,
         // so the totals are this query's traffic, not cumulative)
@@ -232,7 +239,7 @@ fn run_single(
 /// the share-traffic histogram and the per-worker backlog gauge (the
 /// drain happens at a restart boundary, so the batch size *is* the
 /// queue depth that built up since the previous restart).
-fn observe_import(i: usize, batch: usize) {
+pub(crate) fn observe_import(i: usize, batch: usize) {
     if fec_trace::enabled(fec_trace::Level::Debug) {
         fec_trace::hist(
             fec_trace::Level::Debug,
@@ -251,7 +258,7 @@ fn observe_import(i: usize, batch: usize) {
 /// breakdown — the per-worker view that makes sub-1.0× speedups
 /// diagnosable (who burned the conflicts, who idled, who lost the
 /// race after how long).
-fn emit_worker_done(
+pub(crate) fn emit_worker_done(
     i: usize,
     stats: &SolverStats,
     result: SolveResult,
@@ -281,13 +288,13 @@ fn emit_worker_done(
 /// Per-worker ends of the sharing mesh: the producers that broadcast a
 /// worker's exports to every peer, and the consumers that drain every
 /// peer's exports into that worker.
-type MeshEnds = (Vec<Producer<SharedClause>>, Vec<Consumer<SharedClause>>);
+pub(crate) type MeshEnds = (Vec<Producer<SharedClause>>, Vec<Consumer<SharedClause>>);
 
 /// Build the full N·(N−1) SPSC ring mesh (one ring per ordered pair of
 /// distinct workers) and regroup the ends per worker. With `n` workers
 /// the returned vector has `n` entries; entry `i` holds worker `i`'s
 /// producers (feeding each peer) and consumers (fed by each peer).
-fn ring_mesh(n: usize, capacity: usize) -> Vec<MeshEnds> {
+pub(crate) fn ring_mesh(n: usize, capacity: usize) -> Vec<MeshEnds> {
     let mut producers: Vec<Vec<Producer<SharedClause>>> = (0..n).map(|_| Vec::new()).collect();
     let mut consumers: Vec<Vec<Consumer<SharedClause>>> = (0..n).map(|_| Vec::new()).collect();
     for (i, prods) in producers.iter_mut().enumerate() {

@@ -50,12 +50,18 @@
 pub mod cancel;
 #[cfg(not(feature = "fec_check"))]
 mod engine;
+pub mod gate;
+#[cfg(not(feature = "fec_check"))]
+mod pool;
 mod ring;
 mod sync;
 
 pub use cancel::Election;
 #[cfg(not(feature = "fec_check"))]
 pub use engine::{solve, PortfolioOutcome, PortfolioStats};
+pub use gate::Gate;
+#[cfg(not(feature = "fec_check"))]
+pub use pool::{Pool, PoolOutcome};
 pub use ring::{spsc, Consumer, Producer};
 
 use fec_sat::{PhaseInit, RestartPolicy, SimplifyConfig, SolverConfig};

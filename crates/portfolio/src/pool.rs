@@ -1,0 +1,746 @@
+//! Resident warm worker pool: the incremental counterpart of the
+//! one-shot [`crate::solve`] engine.
+//!
+//! A [`Pool`] keeps `jobs` diversified CDCL workers alive across an
+//! entire solving *session*. Consecutive queries ship only the clause
+//! delta since the previous query (the caller's formula is monotone
+//! under the activation-literal discipline — retraction is a unit
+//! guard clause, also a delta), so every worker keeps its learned
+//! clause database, VSIDS activities, phase saving, and previously
+//! imported clauses warm from one query to the next. The SPSC sharing
+//! mesh is likewise built once and reused: a clause exported during
+//! query `q` may be imported during query `q+1`, which is sound for
+//! exactly the same reason the warm learned-clause DB is — all
+//! workers' formulas grow monotonically and stay identical.
+//!
+//! Threading model: the coordinator (the thread driving the [`Pool`])
+//! publishes jobs through a [`Gate`] and the resident worker threads
+//! park between generations. `load` and `inprocess` are
+//! *fire-and-forget* — the coordinator returns as soon as the job is
+//! published and overlaps its own work (e.g. the CEGIS synthesizer
+//! query) with the workers'; `solve` waits for all acknowledgements
+//! and collects per-query reports.
+//!
+//! Certification: with [`PortfolioConfig::certify`] every worker keeps
+//! its `MemoryProofLogger` installed for the pool's lifetime and each
+//! `solve` report drains the buffered steps into a per-query *segment*
+//! (covering any loads/inprocessing since the previous solve plus this
+//! query's derivations). Concatenating worker `i`'s segments in query
+//! order reconstructs worker `i`'s complete stand-alone DRAT stream,
+//! so a stitching checker upstream (see `fec-smt`) certifies warm
+//! answers exactly as it certifies cold ones.
+//!
+//! In deterministic mode (and for `jobs == 1`) the workers live inline
+//! on the calling thread and run in fixed round-robin conflict slices
+//! per query — same seed ⇒ bit-identical winners, statistics, and
+//! shipped-clause counts across runs, queries, and pool instances.
+
+use crate::engine::{
+    build_worker, emit_worker_done, observe_import, report, ring_mesh, MeshEnds, PortfolioStats,
+    WorkerReport,
+};
+use crate::gate::Gate;
+use crate::PortfolioConfig;
+use fec_sat::{Budget, Lit, MemoryProofLogger, ProofStep, SolveResult, Solver, SolverStats, Var};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What the coordinator publishes to the resident workers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum JobKind {
+    /// Apply the clause delta, no solving. Fire-and-forget.
+    Load,
+    /// Apply the delta, then race a solve under the assumptions.
+    Solve,
+    /// Run one on-demand inprocessing pass (`lits` = frozen literals).
+    /// Fire-and-forget: overlaps with coordinator-side work.
+    Inprocess,
+    /// Tear the pool down.
+    Quit,
+}
+
+struct Job {
+    kind: JobKind,
+    /// Total variable count after this job's delta.
+    num_vars: usize,
+    /// Clause delta since the previous job.
+    clauses: Vec<Vec<Lit>>,
+    /// `Solve`: assumptions; `Inprocess`: frozen literals.
+    lits: Vec<Lit>,
+    budget: Budget,
+    /// The coordinator thread, unparked after every acknowledgement.
+    waker: thread::Thread,
+}
+
+/// Result of one warm [`Pool::solve`] query.
+pub struct PoolOutcome {
+    /// The verdict (`Unknown` only if no worker finished in budget).
+    pub result: SolveResult,
+    /// On `Sat`: the winner's model, indexed by variable.
+    pub model: Option<Vec<Option<bool>>>,
+    /// On `Unsat` under assumptions: the winner's failed-assumption
+    /// subset.
+    pub failed_assumptions: Vec<Lit>,
+    /// Per-query statistics: `workers` and `total` are *deltas* since
+    /// each worker's previous solve report (so they cover this query
+    /// plus any loads/inprocessing in between), and `shipped_clauses`
+    /// counts only the delta physically transferred — the O(delta)
+    /// guarantee the regression tests pin down.
+    pub stats: PortfolioStats,
+    /// With [`PortfolioConfig::certify`]: one DRAT segment per worker,
+    /// containing everything that worker logged since its previous
+    /// solve report. Empty `Vec` per worker when not certifying.
+    pub proof_segments: Vec<Vec<ProofStep>>,
+}
+
+impl PoolOutcome {
+    /// The winner's assignment of `v` (`None` when unassigned or when
+    /// the result was not `Sat`).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.as_ref().and_then(|m| m[v.index()])
+    }
+}
+
+/// A resident warm portfolio: `jobs` diversified workers that persist
+/// across queries, fed per-query clause deltas.
+pub struct Pool {
+    config: PortfolioConfig,
+    inner: PoolInner,
+    /// Queries answered so far (drives trace events).
+    queries: u64,
+}
+
+enum PoolInner {
+    /// `jobs == 1` or deterministic mode: workers live on the calling
+    /// thread, round-robin conflict slices per query.
+    Inline(InlinePool),
+    /// Racing mode: resident worker threads coordinated by a [`Gate`].
+    Threaded(ThreadedPool),
+}
+
+impl Pool {
+    /// Builds the pool: workers are constructed (and, in racing mode,
+    /// their threads spawned and parked) immediately, with an empty
+    /// formula.
+    pub fn new(config: &PortfolioConfig) -> Pool {
+        let n = config.jobs.max(1);
+        let inner = if n == 1 || config.deterministic {
+            PoolInner::Inline(InlinePool::new(n, config))
+        } else {
+            PoolInner::Threaded(ThreadedPool::new(n, config))
+        };
+        Pool {
+            config: *config,
+            inner,
+            queries: 0,
+        }
+    }
+
+    /// Number of resident workers.
+    pub fn jobs(&self) -> usize {
+        match &self.inner {
+            PoolInner::Inline(p) => p.workers.len(),
+            PoolInner::Threaded(p) => p.gate.workers(),
+        }
+    }
+
+    /// Ships a clause delta to every worker without solving.
+    /// Fire-and-forget in racing mode: returns once published.
+    pub fn load(&mut self, num_vars: usize, clauses: Vec<Vec<Lit>>) {
+        match &mut self.inner {
+            PoolInner::Inline(p) => p.load(num_vars, &clauses),
+            PoolInner::Threaded(p) => p.publish(Job {
+                kind: JobKind::Load,
+                num_vars,
+                clauses,
+                lits: Vec::new(),
+                budget: Budget::unlimited(),
+                waker: thread::current(),
+            }),
+        }
+    }
+
+    /// Schedules one on-demand inprocessing pass in every worker, with
+    /// `frozen` protected from elimination (assumption variables).
+    /// Fire-and-forget in racing mode — it overlaps with whatever the
+    /// coordinator does next, and the next `solve` waits for it.
+    pub fn inprocess(&mut self, frozen: Vec<Lit>) {
+        match &mut self.inner {
+            PoolInner::Inline(p) => p.inprocess(&frozen),
+            PoolInner::Threaded(p) => p.publish(Job {
+                kind: JobKind::Inprocess,
+                num_vars: 0,
+                clauses: Vec::new(),
+                lits: frozen,
+                budget: Budget::unlimited(),
+                waker: thread::current(),
+            }),
+        }
+    }
+
+    /// Ships the clause delta and races the warm workers on the query.
+    pub fn solve(
+        &mut self,
+        num_vars: usize,
+        clauses: Vec<Vec<Lit>>,
+        assumptions: Vec<Lit>,
+        budget: Budget,
+    ) -> PoolOutcome {
+        let start = Instant::now();
+        let n = self.jobs();
+        let shipped = (clauses.len() * n) as u64;
+        self.queries += 1;
+        let _sp = fec_trace::span!(
+            fec_trace::Level::Trace,
+            "portfolio.pool.solve",
+            "jobs" => n,
+            "query" => self.queries,
+            "delta_clauses" => clauses.len(),
+            "vars" => num_vars,
+        );
+        let (reports, winner) = match &mut self.inner {
+            PoolInner::Inline(p) => p.solve(num_vars, &clauses, &assumptions, budget),
+            PoolInner::Threaded(p) => p.solve(Job {
+                kind: JobKind::Solve,
+                num_vars,
+                clauses,
+                lits: assumptions,
+                budget,
+                waker: thread::current(),
+            }),
+        };
+        let out = assemble_pool(reports, winner, shipped, start.elapsed());
+        if fec_trace::enabled(fec_trace::Level::Debug) {
+            fec_trace::counter!(
+                fec_trace::Level::Debug,
+                "portfolio.pool.shipped",
+                out.stats.shipped_clauses
+            );
+            fec_trace::event!(
+                fec_trace::Level::Debug,
+                "portfolio.pool.query",
+                "query" => self.queries,
+                "result" => match out.result {
+                    SolveResult::Sat => "sat",
+                    SolveResult::Unsat => "unsat",
+                    SolveResult::Unknown => "unknown",
+                },
+                "winner" => out.stats.winner.map_or(-1i64, |w| w as i64),
+                "conflicts" => out.stats.total.conflicts,
+                "shipped" => out.stats.shipped_clauses,
+                "wall_us" => out.stats.wall.as_micros() as u64,
+            );
+        }
+        out
+    }
+
+    /// Whether proof segments are being collected.
+    pub fn certifying(&self) -> bool {
+        self.config.certify
+    }
+}
+
+/// Grows the variable space and applies the clause delta.
+fn apply_delta(s: &mut Solver, num_vars: usize, clauses: &[Vec<Lit>]) {
+    while s.num_vars() < num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        if !s.add_clause(c) {
+            break; // formula refuted at level 0; solver answers Unsat from here
+        }
+    }
+}
+
+/// Folds per-query worker reports into the outcome. Unlike the
+/// one-shot engine's assembly, the winner is named explicitly (every
+/// report may carry a proof segment here, so "has a proof" no longer
+/// identifies the winner).
+fn assemble_pool(
+    reports: Vec<WorkerReport>,
+    winner: Option<usize>,
+    shipped: u64,
+    wall: Duration,
+) -> PoolOutcome {
+    let mut stats = PortfolioStats {
+        winner,
+        wall,
+        shipped_clauses: shipped,
+        ..PortfolioStats::default()
+    };
+    let mut result = SolveResult::Unknown;
+    let mut model = None;
+    let mut failed = Vec::new();
+    let mut segments = Vec::with_capacity(reports.len());
+    for (i, r) in reports.into_iter().enumerate() {
+        stats.total.merge(&r.stats);
+        stats.workers.push(r.stats);
+        segments.push(r.proof.unwrap_or_default());
+        if Some(i) == winner {
+            result = r.result;
+            model = r.model;
+            failed = r.failed_assumptions;
+        }
+    }
+    PoolOutcome {
+        result,
+        model,
+        failed_assumptions: failed,
+        stats,
+        proof_segments: segments,
+    }
+}
+
+// ---------------------------------------------------------------------
+// inline (deterministic / single-worker) pool
+// ---------------------------------------------------------------------
+
+struct InlinePool {
+    workers: Vec<(Solver, Option<MemoryProofLogger>)>,
+    /// Per-worker stats cursor: totals already reported by previous
+    /// solve calls, so each report is a per-query delta.
+    reported: Vec<SolverStats>,
+    slice: u64,
+}
+
+impl InlinePool {
+    fn new(n: usize, config: &PortfolioConfig) -> InlinePool {
+        let sharing = n > 1 && config.share_lbd_max > 0;
+        let channels: Vec<MeshEnds> = if sharing {
+            ring_mesh(n, config.ring_capacity)
+        } else {
+            (0..n).map(|_| (Vec::new(), Vec::new())).collect()
+        };
+        let mut workers = Vec::with_capacity(n);
+        for (i, (prods, cons)) in channels.into_iter().enumerate() {
+            let (mut s, logger) = build_worker(i, 0, &[], config);
+            if sharing {
+                s.set_export_hook(
+                    Box::new(move |lits, lbd| {
+                        for p in &prods {
+                            p.push((lits.to_vec(), lbd));
+                        }
+                    }),
+                    config.share_lbd_max,
+                );
+                s.set_import_hook(Box::new(move || {
+                    let mut batch = Vec::new();
+                    for c in &cons {
+                        batch.extend(c.drain());
+                    }
+                    observe_import(i, batch.len());
+                    batch
+                }));
+            }
+            workers.push((s, logger));
+        }
+        InlinePool {
+            reported: vec![SolverStats::default(); n],
+            workers,
+            slice: config.det_slice_conflicts.max(1),
+        }
+    }
+
+    fn load(&mut self, num_vars: usize, clauses: &[Vec<Lit>]) {
+        for (s, _) in &mut self.workers {
+            apply_delta(s, num_vars, clauses);
+        }
+    }
+
+    fn inprocess(&mut self, frozen: &[Lit]) {
+        for (s, _) in &mut self.workers {
+            s.preprocess(frozen);
+        }
+    }
+
+    fn solve(
+        &mut self,
+        num_vars: usize,
+        clauses: &[Vec<Lit>],
+        assumptions: &[Lit],
+        budget: Budget,
+    ) -> (Vec<WorkerReport>, Option<usize>) {
+        let start = Instant::now();
+        self.load(num_vars, clauses);
+        let n = self.workers.len();
+        let mut verdict: Option<(usize, SolveResult)> = None;
+        if n == 1 {
+            let (s, _) = &mut self.workers[0];
+            let r = s.solve_with_budget(assumptions, budget);
+            if r != SolveResult::Unknown {
+                verdict = Some((0, r));
+            }
+        } else {
+            // the engine's deterministic round-robin, but over warm
+            // workers with a fresh per-query conflict ledger
+            let mut spent = vec![0u64; n];
+            'epochs: loop {
+                let mut any_alive = false;
+                for (i, (s, _)) in self.workers.iter_mut().enumerate() {
+                    let remaining = budget.max_conflicts.saturating_sub(spent[i]);
+                    if remaining == 0 {
+                        continue;
+                    }
+                    any_alive = true;
+                    let before = s.stats().conflicts;
+                    let r = s.solve_with_budget(
+                        assumptions,
+                        Budget {
+                            max_conflicts: remaining.min(self.slice),
+                            timeout: None,
+                        },
+                    );
+                    spent[i] += s.stats().conflicts - before;
+                    if r != SolveResult::Unknown {
+                        verdict = Some((i, r));
+                        break 'epochs;
+                    }
+                }
+                if !any_alive {
+                    break;
+                }
+                if let Some(t) = budget.timeout {
+                    if start.elapsed() >= t {
+                        break;
+                    }
+                }
+            }
+        }
+        let reports = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, (s, logger))| {
+                let (result, won) = match verdict {
+                    Some((w, r)) if w == i => (r, true),
+                    _ => (SolveResult::Unknown, false),
+                };
+                let mut rep = report(s, result, num_vars, None, won);
+                rep.stats = s.stats().delta_since(&self.reported[i]);
+                rep.proof = logger.as_ref().map(|l| l.take_steps());
+                rep
+            })
+            .collect();
+        for (i, (s, _)) in self.workers.iter().enumerate() {
+            self.reported[i] = s.stats();
+        }
+        (reports, verdict.map(|(w, _)| w))
+    }
+}
+
+// ---------------------------------------------------------------------
+// threaded (racing) pool
+// ---------------------------------------------------------------------
+
+struct ThreadedPool {
+    gate: Arc<Gate<Job, WorkerReport>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadedPool {
+    fn new(n: usize, config: &PortfolioConfig) -> ThreadedPool {
+        let gate = Arc::new(Gate::new(n));
+        let sharing = config.share_lbd_max > 0;
+        let channels: Vec<MeshEnds> = if sharing {
+            ring_mesh(n, config.ring_capacity)
+        } else {
+            (0..n).map(|_| (Vec::new(), Vec::new())).collect()
+        };
+        let handles = channels
+            .into_iter()
+            .enumerate()
+            .map(|(i, ends)| {
+                let gate = Arc::clone(&gate);
+                let config = *config;
+                thread::spawn(move || worker_main(i, &gate, &config, ends))
+            })
+            .collect();
+        ThreadedPool { gate, handles }
+    }
+
+    /// Blocks until the previous generation (if any) is acknowledged,
+    /// then publishes `job` and wakes every worker. Returns without
+    /// waiting for the new generation — callers that need the reports
+    /// call [`ThreadedPool::wait_idle`] themselves.
+    fn publish(&self, job: Job) {
+        self.wait_idle();
+        self.gate.publish(job);
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+    }
+
+    fn wait_idle(&self) {
+        // workers unpark us via the job's waker after each ack; the
+        // timeout is insurance against a stale waker (the Pool moved
+        // threads between calls)
+        while !self.gate.idle() {
+            thread::park_timeout(Duration::from_millis(1));
+        }
+    }
+
+    fn solve(&mut self, job: Job) -> (Vec<WorkerReport>, Option<usize>) {
+        self.publish(job);
+        self.wait_idle();
+        let reports = self
+            .gate
+            .take_reports()
+            .into_iter()
+            .map(|r| r.expect("every worker acked the solve generation"))
+            .collect();
+        (reports, self.gate.winner())
+    }
+}
+
+impl Drop for ThreadedPool {
+    fn drop(&mut self) {
+        self.publish(Job {
+            kind: JobKind::Quit,
+            num_vars: 0,
+            clauses: Vec::new(),
+            lits: Vec::new(),
+            budget: Budget::unlimited(),
+            waker: thread::current(),
+        });
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Blank acknowledgement for fire-and-forget generations; the
+/// coordinator never reads these (the next solve report overwrites the
+/// slot), so they carry no stats and no proof segment — the work they
+/// represent rides into the next solve's delta.
+fn blank_report() -> WorkerReport {
+    WorkerReport {
+        result: SolveResult::Unknown,
+        stats: SolverStats::default(),
+        model: None,
+        failed_assumptions: Vec::new(),
+        proof: None,
+    }
+}
+
+/// Body of one resident worker thread.
+fn worker_main(i: usize, gate: &Gate<Job, WorkerReport>, config: &PortfolioConfig, ends: MeshEnds) {
+    fec_trace::set_thread_name(format!("pool-worker-{i}"));
+    let (mut s, logger) = build_worker(i, 0, &[], config);
+    s.set_stop_flag(gate.stop_handle());
+    let (prods, cons) = ends;
+    if config.share_lbd_max > 0 {
+        s.set_export_hook(
+            Box::new(move |lits, lbd| {
+                fec_trace::hist!(fec_trace::Level::Debug, "portfolio.share.lbd", lbd);
+                for p in &prods {
+                    p.push((lits.to_vec(), lbd));
+                }
+            }),
+            config.share_lbd_max,
+        );
+        s.set_import_hook(Box::new(move || {
+            let mut batch = Vec::new();
+            for c in &cons {
+                batch.extend(c.drain());
+            }
+            observe_import(i, batch.len());
+            batch
+        }));
+    }
+    // totals already reported: each solve report is a per-query delta
+    let mut reported = SolverStats::default();
+    let mut last_gen = 0usize;
+    loop {
+        let Some(gen) = gate.poll(last_gen) else {
+            thread::park();
+            continue;
+        };
+        last_gen = gen;
+        // apply the delta while borrowing the job, then copy out the
+        // small fields we still need after the borrow ends
+        let (kind, assumptions, budget, num_vars, waker) = gate.with_job(|job| {
+            if matches!(job.kind, JobKind::Load | JobKind::Solve) {
+                apply_delta(&mut s, job.num_vars, &job.clauses);
+            }
+            (
+                job.kind,
+                job.lits.clone(),
+                job.budget,
+                job.num_vars,
+                job.waker.clone(),
+            )
+        });
+        match kind {
+            JobKind::Quit => {
+                gate.submit(i, blank_report());
+                waker.unpark();
+                break;
+            }
+            JobKind::Load => {
+                gate.submit(i, blank_report());
+                waker.unpark();
+            }
+            JobKind::Inprocess => {
+                s.preprocess(&assumptions);
+                gate.submit(i, blank_report());
+                waker.unpark();
+            }
+            JobKind::Solve => {
+                let _wsp = fec_trace::span!(
+                    fec_trace::Level::Trace,
+                    "portfolio.pool.worker",
+                    "worker" => i,
+                );
+                let worker_start = Instant::now();
+                let result = s.solve_with_budget(&assumptions, budget);
+                // first verdict wins this generation's election and
+                // cancels the rest — same CAS discipline as the
+                // one-shot engine, on slots reset at publish
+                let won = result != SolveResult::Unknown && gate.try_win(i);
+                if won {
+                    fec_trace::event!(
+                        fec_trace::Level::Debug,
+                        "portfolio.win",
+                        "worker" => i,
+                        "conflicts" => s.stats().conflicts,
+                    );
+                }
+                let delta = s.stats().delta_since(&reported);
+                reported = s.stats();
+                emit_worker_done(i, &delta, result, won, worker_start);
+                let mut rep = report(&s, result, num_vars, None, won);
+                rep.stats = delta;
+                // every worker ships its segment every query — the
+                // stitched per-worker streams upstream need losers'
+                // derivations too (their next-query imports may
+                // depend on them)
+                rep.proof = logger.as_ref().map(|l| l.take_steps());
+                gate.submit(i, rep);
+                waker.unpark();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortfolioConfig;
+
+    fn lit(i: i32) -> Lit {
+        let v = Var::from_index((i.unsigned_abs() - 1) as usize);
+        if i > 0 {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    fn cnf(clauses: &[&[i32]]) -> Vec<Vec<Lit>> {
+        clauses
+            .iter()
+            .map(|c| c.iter().map(|&l| lit(l)).collect())
+            .collect()
+    }
+
+    fn workout(config: &PortfolioConfig) {
+        let mut pool = Pool::new(config);
+        // query 1: satisfiable 3-var formula
+        let out = pool.solve(
+            3,
+            cnf(&[&[1, 2], &[-1, 2], &[-2, 3]]),
+            Vec::new(),
+            Budget::unlimited(),
+        );
+        assert_eq!(out.result, SolveResult::Sat);
+        assert_eq!(out.value(Var::from_index(1)), Some(true));
+        assert_eq!(out.stats.shipped_clauses, (3 * pool.jobs()) as u64);
+        // query 2: only the delta ships; formula forced UNSAT
+        let out = pool.solve(
+            3,
+            cnf(&[&[-2], &[2, -3], &[3]]),
+            Vec::new(),
+            Budget::unlimited(),
+        );
+        assert_eq!(out.result, SolveResult::Unsat);
+        assert_eq!(out.stats.shipped_clauses, (3 * pool.jobs()) as u64);
+        // per-query deltas: each query cost each worker at most one
+        // solve call (threaded) — never the session total
+        for w in &out.stats.workers {
+            assert!(w.solve_calls <= 4, "delta leaked cumulative totals");
+        }
+    }
+
+    #[test]
+    fn warm_pool_single_worker() {
+        workout(&PortfolioConfig::with_jobs(1));
+    }
+
+    #[test]
+    fn warm_pool_threaded() {
+        workout(&PortfolioConfig::with_jobs(3));
+    }
+
+    #[test]
+    fn warm_pool_deterministic() {
+        let cfg = PortfolioConfig {
+            deterministic: true,
+            det_slice_conflicts: 64,
+            ..PortfolioConfig::with_jobs(3)
+        };
+        workout(&cfg);
+    }
+
+    #[test]
+    fn warm_assumption_session() {
+        // the CEGIS verifier shape: one load, many assumption-only
+        // solves — queries after the first ship zero clauses
+        let mut pool = Pool::new(&PortfolioConfig::with_jobs(2));
+        pool.load(4, cnf(&[&[1, 2, 3, 4], &[-1, -2], &[-3, -4]]));
+        let mut shipped = 0;
+        for i in 0..3 {
+            let out = pool.solve(4, Vec::new(), vec![lit(i + 1)], Budget::unlimited());
+            assert_eq!(out.result, SolveResult::Sat, "assuming {} is sat", i + 1);
+            shipped += out.stats.shipped_clauses;
+        }
+        assert_eq!(shipped, 0, "assumption-only queries shipped clauses");
+        let out = pool.solve(
+            4,
+            cnf(&[&[-1], &[-2], &[-3], &[-4]]),
+            Vec::new(),
+            Budget::unlimited(),
+        );
+        assert_eq!(out.result, SolveResult::Unsat);
+        assert_eq!(out.stats.shipped_clauses, 8);
+    }
+
+    #[test]
+    fn certified_segments_stitch_per_worker() {
+        let cfg = PortfolioConfig {
+            certify: true,
+            ..PortfolioConfig::with_jobs(2)
+        };
+        let mut pool = Pool::new(&cfg);
+        let q1 = pool.solve(
+            2,
+            cnf(&[&[1, 2], &[-1, 2]]),
+            Vec::new(),
+            Budget::unlimited(),
+        );
+        assert_eq!(q1.result, SolveResult::Sat);
+        assert_eq!(q1.proof_segments.len(), 2);
+        let q2 = pool.solve(2, cnf(&[&[-2]]), Vec::new(), Budget::unlimited());
+        assert_eq!(q2.result, SolveResult::Unsat);
+        let w = q2.stats.winner.expect("unsat query has a winner");
+        // stitch the winner's two segments and replay them through the
+        // independent checker: the warm answer stays certifiable
+        let mut checker = fec_drat::Checker::new();
+        for seg in [&q1.proof_segments[w], &q2.proof_segments[w]] {
+            for step in seg.iter() {
+                checker.process(step).expect("stitched stream checks");
+            }
+        }
+        assert!(checker.is_refuted(), "stitched stream proves UNSAT");
+    }
+}

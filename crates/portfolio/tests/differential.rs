@@ -1,11 +1,12 @@
 //! Differential validation of the portfolio against the reference DPLL
-//! oracle, plus determinism and proof-certification checks.
+//! oracle, plus determinism and proof-certification checks — for both
+//! the one-shot engine and the resident warm [`Pool`].
 
 // the solve engine is compiled out under the model-checking feature
 #![cfg(not(feature = "fec_check"))]
 
-use fec_portfolio::{solve, PortfolioConfig};
-use fec_sat::{reference, Budget, Lit, SolveResult, Var};
+use fec_portfolio::{solve, Pool, PortfolioConfig};
+use fec_sat::{reference, Budget, Lit, SolveResult, SolverStats, Var};
 
 /// Deterministic xorshift64* for instance generation (no external
 /// randomness: the 200 instances are the same on every run).
@@ -123,6 +124,108 @@ fn deterministic_mode_reproduces_winner_and_stats() {
             assert_eq!(wa.propagations, wb.propagations);
             assert_eq!(wa.decisions, wb.decisions);
             assert_eq!(wa.imported_clauses, wb.imported_clauses);
+        }
+    }
+}
+
+/// One query's complete observable surface: verdict, winner, model,
+/// shipped-clause counter, and every per-worker statistics delta.
+type QueryFingerprint = (
+    SolveResult,
+    Option<usize>,
+    Option<Vec<Option<bool>>>,
+    u64,
+    Vec<SolverStats>,
+);
+
+/// Runs one fixed warm-pool session — an incremental CEGIS-shaped
+/// workload of loads, clause-delta solves, and assumption-only solves
+/// over deterministic random CNFs — and fingerprints every query.
+fn deterministic_pool_session(config: &PortfolioConfig) -> Vec<QueryFingerprint> {
+    let mut rng = Rng(0x1C0F_FEE5);
+    let mut pool = Pool::new(config);
+    let mut fingerprints = Vec::new();
+    let num_vars = 12;
+    // a satisfiable-ish base load, then five rounds of delta + solve
+    pool.load(num_vars, random_cnf(&mut rng, num_vars, 20));
+    for round in 0..5 {
+        let delta = random_cnf(&mut rng, num_vars, 6);
+        let assumptions = if round % 2 == 1 {
+            vec![Lit::with_sign(
+                Var::from_index(rng.below(num_vars as u64) as usize),
+                rng.below(2) == 0,
+            )]
+        } else {
+            Vec::new()
+        };
+        let out = pool.solve(num_vars, delta, assumptions, Budget::unlimited());
+        fingerprints.push((
+            out.result,
+            out.stats.winner,
+            out.model.clone(),
+            out.stats.shipped_clauses,
+            out.stats.workers.clone(),
+        ));
+        if out.result == SolveResult::Unsat && out.failed_assumptions.is_empty() {
+            break; // formula refuted outright; later queries are moot
+        }
+    }
+    fingerprints
+}
+
+#[test]
+fn warm_pool_deterministic_mode_is_bit_identical_across_runs() {
+    // three independent pools, same seed ⇒ the same winners, models,
+    // shipped-clause counters, and per-worker stats deltas, query by
+    // query — the reproducibility contract the CI determinism job pins
+    let config = PortfolioConfig {
+        deterministic: true,
+        det_slice_conflicts: 50,
+        seed: 11,
+        ..PortfolioConfig::with_jobs(3)
+    };
+    let runs: Vec<_> = (0..3)
+        .map(|_| deterministic_pool_session(&config))
+        .collect();
+    assert!(!runs[0].is_empty());
+    assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
+    assert_eq!(runs[0], runs[2], "run 3 diverged from run 1");
+}
+
+#[test]
+fn warm_pool_matches_reference_on_incremental_sessions() {
+    // 30 sessions × 4 growing queries: at every step the warm pool's
+    // verdict must match the reference oracle solving the accumulated
+    // formula from scratch, and SAT models must satisfy every clause
+    let mut rng = Rng(0xF001_FEC2);
+    let config = PortfolioConfig::with_jobs(2);
+    for session in 0..30 {
+        let num_vars = 6 + rng.below(8) as usize;
+        let mut pool = Pool::new(&config);
+        let mut accumulated: Vec<Vec<Lit>> = Vec::new();
+        for step in 0..4 {
+            let width = 4 + rng.below(6) as usize;
+            let delta = random_cnf(&mut rng, num_vars, width);
+            accumulated.extend(delta.iter().cloned());
+            let expected = reference::solve(num_vars, &accumulated).is_some();
+            let out = pool.solve(num_vars, delta, Vec::new(), Budget::unlimited());
+            match out.result {
+                SolveResult::Sat => {
+                    assert!(expected, "session {session} step {step}: false SAT");
+                    let model: Vec<bool> = (0..num_vars)
+                        .map(|v| out.value(Var::from_index(v)).unwrap_or(false))
+                        .collect();
+                    assert!(
+                        reference::check_model(&accumulated, &model),
+                        "session {session} step {step}: warm model violates a clause"
+                    );
+                }
+                SolveResult::Unsat => {
+                    assert!(!expected, "session {session} step {step}: false UNSAT");
+                    break; // monotone: stays UNSAT forever
+                }
+                SolveResult::Unknown => panic!("session {session} step {step}: Unknown"),
+            }
         }
     }
 }

@@ -18,7 +18,7 @@
 #![cfg(feature = "fec_check")]
 
 use fec_check::{explore, CheckError, Config};
-use fec_portfolio::{spsc, Election};
+use fec_portfolio::{spsc, Election, Gate};
 use std::sync::Arc;
 
 /// Exploration budget for the ring models. The schedule cap makes an
@@ -184,6 +184,101 @@ fn election_publishes_winner_report() {
     );
 }
 
+// ----------------------------------------------------- warm-pool gate
+
+#[test]
+fn pool_gate_handoff_reuse_and_teardown_exhaustive() {
+    // the warm pool's whole lifecycle on the *production* Gate: a
+    // published generation raced by two workers, slot reuse for a
+    // second generation after a win (winner + stop flag reset at
+    // publish), and a final teardown generation. The coordinator reads
+    // the report slots through the acks Acquire edge *without joining
+    // first* whenever a schedule allows it — that unjoined read is
+    // exactly what the pool's wait_idle relies on.
+    let report = explore(&cfg(2), || {
+        let gate: Arc<Gate<u32, u32>> = Arc::new(Gate::new(2));
+
+        // generation 1: publication + election
+        gate.publish(10);
+        let handles: Vec<_> = (0..2u32)
+            .map(|w| {
+                let g = Arc::clone(&gate);
+                fec_check::thread::spawn(move || {
+                    let gen = g.poll(0).expect("published before spawn");
+                    assert_eq!(gen, 1);
+                    let job = g.with_job(|j| *j);
+                    assert_eq!(job, 10, "payload published with the generation");
+                    let won = g.try_win(w as usize);
+                    g.submit(w as usize, job + w);
+                    won
+                })
+            })
+            .collect();
+        let early = gate.idle();
+        if early {
+            // both acks observed before any join: the Release
+            // fetch_adds alone must make the report writes readable
+            assert_eq!(gate.take_reports(), vec![Some(10), Some(11)]);
+        }
+        let wins: Vec<bool> = handles.into_iter().map(|h| h.join()).collect();
+        assert_eq!(
+            wins.iter().filter(|&&w| w).count(),
+            1,
+            "one winner: {wins:?}"
+        );
+        assert!(gate.stop_requested(), "winner raised the stop flag");
+        assert!(gate.idle());
+        if !early {
+            assert_eq!(gate.take_reports(), vec![Some(10), Some(11)]);
+        }
+
+        // generation 2: reuse after a win — publish must reset the
+        // election state before any worker sees the new generation
+        gate.publish(20);
+        assert!(!gate.stop_requested(), "stop flag reset on publish");
+        assert_eq!(gate.winner(), None, "winner slot reset on publish");
+        let handles: Vec<_> = (0..2u32)
+            .map(|w| {
+                let g = Arc::clone(&gate);
+                fec_check::thread::spawn(move || {
+                    let gen = g.poll(1).expect("second generation visible");
+                    assert_eq!(gen, 2);
+                    let job = g.with_job(|j| *j);
+                    assert_eq!(job, 20, "stale payload must not survive reuse");
+                    let won = g.try_win(w as usize);
+                    g.submit(w as usize, job + w);
+                    won
+                })
+            })
+            .collect();
+        let wins: Vec<bool> = handles.into_iter().map(|h| h.join()).collect();
+        assert_eq!(wins.iter().filter(|&&w| w).count(), 1, "fresh election");
+        assert_eq!(gate.take_reports(), vec![Some(20), Some(21)]);
+
+        // generation 3: teardown — workers ack without touching the
+        // payload and exit; the coordinator may then drop the gate
+        gate.publish(u32::MAX);
+        let handles: Vec<_> = (0..2u32)
+            .map(|w| {
+                let g = Arc::clone(&gate);
+                fec_check::thread::spawn(move || {
+                    assert_eq!(g.poll(2), Some(3));
+                    g.submit(w as usize, 0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert!(gate.idle(), "teardown generation fully acknowledged");
+    })
+    .expect("pool gate lifecycle must be race-free");
+    eprintln!(
+        "pool_gate_handoff: {} schedules explored (+{} pruned)",
+        report.schedules, report.pruned
+    );
+}
+
 // ---------------------------------------------- mutation tests (teeth)
 
 /// One-slot replica of `ring.rs`'s publication protocol with the
@@ -284,4 +379,78 @@ fn head_release_downgraded_to_relaxed_is_a_race() {
     run(Ordering::Release).expect("head handback with Release is race-free");
     let err = run(Ordering::Relaxed).expect_err("relaxed head handback must race");
     assert!(matches!(err, CheckError::Race { .. }), "got: {err}");
+}
+
+/// One-worker replica of the Gate's ack/reset path with the orderings
+/// as parameters. Mirrors `Gate::submit` (report write, then `Release`
+/// fetch_add on `acks`) and the coordinator's `idle()`-guarded reuse
+/// (`Acquire` load of `acks`, then drain the report slot and overwrite
+/// it for the next generation) literally.
+mod gate_mutation {
+    use fec_check::cell::UnsafeCell;
+    use fec_check::sync::atomic::{AtomicUsize, Ordering};
+    use fec_check::{explore, CheckError, Report};
+    use std::sync::Arc;
+
+    pub fn reset_path(ack_ord: Ordering, idle_ord: Ordering) -> Result<Report, CheckError> {
+        explore(&super::cfg(2), move || {
+            let report = Arc::new(UnsafeCell::new(None::<u32>));
+            let acks = Arc::new(AtomicUsize::new(0));
+            let (r, a) = (Arc::clone(&report), Arc::clone(&acks));
+            let worker = fec_check::thread::spawn(move || {
+                // submit: deposit the report, then acknowledge
+                r.with_mut(|p| unsafe { *p = Some(7) });
+                a.fetch_add(1, ack_ord);
+            });
+            // coordinator reset path: once idle, drain the report and
+            // reuse the slot for the next generation's publish
+            if acks.load(idle_ord) == 1 {
+                let got = report.with_mut(|p| unsafe { (*p).take() });
+                assert_eq!(got, Some(7), "ack implies the report is visible");
+                report.with_mut(|p| unsafe { *p = None }); // slot reused
+            }
+            worker.join();
+        })
+    }
+}
+
+#[test]
+fn gate_reset_path_verifies_clean() {
+    let report = gate_mutation::reset_path(
+        fec_check::sync::atomic::Ordering::Release,
+        fec_check::sync::atomic::Ordering::Acquire,
+    )
+    .expect("the Gate's actual Release/Acquire ack pair is race-free");
+    assert!(report.schedules > 1);
+}
+
+#[test]
+fn gate_idle_acquire_downgraded_to_relaxed_is_a_race() {
+    // the ISSUE-mandated mutation: the coordinator polls acks with
+    // Relaxed instead of Acquire before reusing the report slot — the
+    // drain/overwrite now races the worker's report write
+    let err = gate_mutation::reset_path(
+        fec_check::sync::atomic::Ordering::Release,
+        fec_check::sync::atomic::Ordering::Relaxed, // MUTATION: was Acquire
+    )
+    .expect_err("a relaxed idle poll must be reported");
+    assert!(
+        matches!(err, CheckError::Race { .. }),
+        "expected a data race, got: {err}"
+    );
+    eprintln!("detected as required: {err}");
+}
+
+#[test]
+fn gate_ack_release_downgraded_to_relaxed_is_a_race() {
+    let err = gate_mutation::reset_path(
+        fec_check::sync::atomic::Ordering::Relaxed, // MUTATION: was Release
+        fec_check::sync::atomic::Ordering::Acquire,
+    )
+    .expect_err("a relaxed ack must be reported");
+    assert!(
+        matches!(err, CheckError::Race { .. }),
+        "expected a data race, got: {err}"
+    );
+    eprintln!("detected as required: {err}");
 }

